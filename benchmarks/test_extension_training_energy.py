@@ -1,0 +1,67 @@
+"""Extension: DRAM energy of fault-aware *training* itself.
+
+The paper evaluates inference energy; a natural follow-up question is
+what the retraining step costs in DRAM traffic.  One training sample
+reads the weight tensor (forward pass) and writes back the updated
+tensor (STDP write-back), so a training epoch costs roughly
+``n_samples x (read + write)`` passes versus inference's single read.
+This benchmark measures both at 1.35 V and at 1.025 V — fault-aware
+retraining can itself run on the approximate DRAM once the model
+tolerates the errors.
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core.mapping_policy import baseline_mapping
+from repro.dram.controller import DramController
+from repro.dram.specs import LPDDR3_1600_4GB
+from repro.trace.generator import InferenceTraceSpec, inference_read_trace
+
+N_NEURONS = 400
+N_WEIGHTS = 784 * N_NEURONS
+SAMPLES_PER_EPOCH = 16  # scaled epoch slice; energy scales linearly
+
+
+def run_experiment():
+    controller = DramController(LPDDR3_1600_4GB)
+    org = controller.organization
+    mapping = baseline_mapping(org, N_WEIGHTS, 32)
+    spec = InferenceTraceSpec(n_weights=N_WEIGHTS, bits_per_weight=32)
+    trace = inference_read_trace(spec, mapping.slot_of_chunk, org)
+
+    results = {}
+    for v in (1.35, 1.025):
+        read = controller.execute(trace, v, write=False)
+        write = controller.execute(trace, v, write=True)
+        inference_mj = read.energy.total_mj
+        epoch_mj = SAMPLES_PER_EPOCH * (read.energy.total_mj + write.energy.total_mj)
+        results[v] = (inference_mj, epoch_mj)
+    return results
+
+
+def test_extension_training_energy(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = []
+    for v, (inference_mj, epoch_mj) in results.items():
+        rows.append([
+            f"{v:.3f}",
+            f"{inference_mj:.3f}",
+            f"{epoch_mj:.3f}",
+            f"{epoch_mj / inference_mj:.1f}x",
+        ])
+    print("\n" + format_table(
+        ["Vsupply [V]", "inference [mJ]", f"epoch({SAMPLES_PER_EPOCH}) [mJ]", "ratio"],
+        rows,
+        title="EXTENSION - DRAM energy of fault-aware training (N400, "
+        "read+write per sample)",
+    ))
+
+    inference_nominal, epoch_nominal = results[1.35]
+    inference_reduced, epoch_reduced = results[1.025]
+    # a training epoch costs read+write per sample
+    assert epoch_nominal > 2 * SAMPLES_PER_EPOCH * inference_nominal * 0.9
+    # voltage scaling helps training traffic just like inference traffic
+    saving = 1 - epoch_reduced / epoch_nominal
+    assert saving == pytest.approx(0.40, abs=0.05)

@@ -1,0 +1,34 @@
+"""Fig. 1(b): energy breakdown of SNN processing across platforms.
+
+Paper shape (adapted from Krithivasan et al.): memory accesses dominate,
+consuming ~50-75% of total energy on TrueNorth, PEASE and SNNAP.
+"""
+
+import pytest
+
+from repro.analysis.platforms import PAPER_PLATFORMS, energy_breakdown
+from repro.analysis.reporting import format_table
+
+
+def test_fig1b_energy_breakdown(benchmark):
+    def run():
+        return {p.name: energy_breakdown(p) for p in PAPER_PLATFORMS}
+
+    breakdowns = benchmark(run)
+
+    rows = [
+        [name, f"{b['computation']:.1%}", f"{b['communication']:.1%}", f"{b['memory']:.1%}"]
+        for name, b in breakdowns.items()
+    ]
+    print("\n" + format_table(
+        ["platform", "computation", "communication", "memory"],
+        rows,
+        title="FIG 1(b) - SNN processing energy breakdown "
+        "(paper: memory accesses ~50-75% everywhere)",
+    ))
+
+    for name, b in breakdowns.items():
+        assert sum(b.values()) == pytest.approx(1.0)
+        assert 0.5 <= b["memory"] <= 0.8, name
+        assert b["memory"] > b["computation"], name
+        assert b["memory"] > b["communication"], name

@@ -1,0 +1,63 @@
+"""Fig. 2(a): approximate DRAM composes with weight pruning.
+
+Paper shape: normalised DRAM energy falls linearly with connectivity for
+both accurate (1.35 V) and approximate (1.025 V) DRAM, with the
+approximate series uniformly ~40% below the accurate one - the two
+techniques multiply.  The paper's experiment uses a 4900-neuron network.
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core.mapping_policy import baseline_mapping
+from repro.dram.controller import DramController
+from repro.dram.specs import LPDDR3_1600_4GB
+from repro.snn.pruning import pruned_weight_count
+from repro.trace.generator import InferenceTraceSpec, inference_read_trace
+
+CONNECTIVITY = (1.0, 0.9, 0.8, 0.7, 0.6, 0.5)
+N_WEIGHTS_FULL = 784 * 4900  # the paper's 4900-neuron network
+
+
+def run_experiment():
+    controller = DramController(LPDDR3_1600_4GB)
+    org = controller.organization
+    energies = {}
+    for connectivity in CONNECTIVITY:
+        n_weights = pruned_weight_count(N_WEIGHTS_FULL, connectivity)
+        spec = InferenceTraceSpec(n_weights=n_weights, bits_per_weight=32)
+        mapping = baseline_mapping(org, n_weights, 32)
+        trace = inference_read_trace(spec, mapping.slot_of_chunk, org)
+        for v in (1.35, 1.025):
+            energies[(connectivity, v)] = controller.execute(trace, v).energy.total_nj
+    return energies
+
+
+def test_fig2a_pruning_combination(benchmark):
+    energies = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    reference = energies[(1.0, 1.35)]
+    rows = []
+    for c in CONNECTIVITY:
+        rows.append([
+            f"{c:.0%}",
+            f"{energies[(c, 1.35)] / reference:.3f}",
+            f"{energies[(c, 1.025)] / reference:.3f}",
+        ])
+    print("\n" + format_table(
+        ["connectivity", "accurate 1.35V", "approx 1.025V"],
+        rows,
+        title="FIG 2(a) - normalised DRAM energy: voltage scaling x pruning (N4900)",
+    ))
+
+    # energy falls with connectivity for both voltages
+    for v in (1.35, 1.025):
+        series = [energies[(c, v)] for c in CONNECTIVITY]
+        assert all(a > b for a, b in zip(series, series[1:]))
+    # the approximate series sits ~40% below the accurate one everywhere
+    for c in CONNECTIVITY:
+        saving = 1 - energies[(c, 1.025)] / energies[(c, 1.35)]
+        assert saving == pytest.approx(0.40, abs=0.05)
+    # combined: 50% connectivity + 1.025V vs the unpruned accurate run
+    combined = 1 - energies[(0.5, 1.025)] / reference
+    assert combined > 0.65  # ~0.5 * ~0.6 => ~70% total reduction

@@ -1,0 +1,51 @@
+"""Fig. 2(b): DRAM access energy per row-buffer condition at 1.35/1.025 V.
+
+Paper shape: hit < miss < conflict; reduced voltage saves 31-42% per
+access; absolute scale a few nJ.
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.dram.commands import AccessCondition
+from repro.dram.energy import DramEnergyModel
+from repro.dram.specs import LPDDR3_1600_4GB
+
+
+def test_fig2b_access_energy_by_condition(benchmark):
+    model = DramEnergyModel(LPDDR3_1600_4GB)
+
+    def run():
+        return {
+            condition: (
+                model.access_energy(condition, 1.350).total_nj,
+                model.access_energy(condition, 1.025).total_nj,
+            )
+            for condition in AccessCondition
+        }
+
+    energies = benchmark(run)
+
+    rows = []
+    savings = []
+    for condition, (nominal, reduced) in energies.items():
+        saving = 1 - reduced / nominal
+        savings.append(saving)
+        rows.append([condition.value, f"{nominal:.2f}", f"{reduced:.2f}", f"{saving:.1%}"])
+    print("\n" + format_table(
+        ["condition", "1.350V [nJ]", "1.025V [nJ]", "saving"],
+        rows,
+        title="FIG 2(b) - DRAM access energy by row-buffer condition",
+    ))
+
+    hit = energies[AccessCondition.HIT]
+    miss = energies[AccessCondition.MISS]
+    conflict = energies[AccessCondition.CONFLICT]
+    # ordering holds at both voltages
+    assert hit[0] < miss[0] < conflict[0]
+    assert hit[1] < miss[1] < conflict[1]
+    # paper: "31%-42% energy savings per access"
+    assert min(savings) == pytest.approx(0.31, abs=0.03)
+    assert max(savings) == pytest.approx(0.42, abs=0.02)
+    # nJ scale of the figure's y-axis (0-8 nJ)
+    assert conflict[0] < 8.0

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Comparing the four approximate-DRAM error models (Section III).
+
+Trains one SNN, then injects bit errors at the same BER with each of
+the paper's four probabilistic error models:
+
+- Model-0: uniform random across a bank (what SparkXD uses);
+- Model-1: concentrated on weak bitlines (vertical);
+- Model-2: concentrated on weak wordlines (horizontal);
+- Model-3: data-dependent (stored 1s fail more than 0s).
+
+Prints the accuracy impact of each, supporting the paper's argument
+that Model-0 is a reasonable approximation of the others.
+
+Usage::
+
+    python examples/error_model_comparison.py [--ber 1e-3] [--neurons 60]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.analysis.sweeps import accuracy_vs_ber_sweep
+from repro.core.fault_aware_training import train_baseline
+from repro.datasets import load_dataset
+from repro.errors.injection import ErrorInjector
+from repro.errors.models import make_error_model
+from repro.snn.quantization import Float32Representation
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ber", type=float, default=1e-3)
+    parser.add_argument("--neurons", type=int, default=60)
+    parser.add_argument("--train", type=int, default=200)
+    parser.add_argument("--test", type=int, default=100)
+    parser.add_argument("--trials", type=int, default=3)
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(0)
+    dataset = load_dataset("mnist", args.train, args.test)
+    print(f"Training baseline SNN ({args.neurons} neurons)...")
+    model = train_baseline(dataset, args.neurons, epochs=2, n_steps=80, rng=rng)
+    print(f"  error-free accuracy: {model.accuracy:.1%}")
+
+    rows = []
+    for name in ("model0", "model1", "model2", "model3"):
+        injector = ErrorInjector(
+            Float32Representation(clip_range=(0.0, 1.0)),
+            model=make_error_model(name),
+            lane_bits=64,
+            row_bits=784 * 32,
+            seed=1,
+        )
+        point = accuracy_vs_ber_sweep(
+            model, dataset, injector, (args.ber,), 80,
+            np.random.default_rng(2), trials=args.trials,
+        )[0]
+        rows.append([name, f"{point.accuracy:.1%}"])
+
+    print()
+    print(format_table(
+        ["error model", f"accuracy @ BER {args.ber:.0e}"],
+        rows,
+        title="Section III error models - accuracy impact",
+    ))
+
+
+if __name__ == "__main__":
+    main()

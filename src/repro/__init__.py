@@ -1,0 +1,30 @@
+"""SparkXD reproduction.
+
+A full reimplementation of *SparkXD: A Framework for Resilient and
+Energy-Efficient Spiking Neural Network Inference using Approximate DRAM*
+(Putra, Hanif, Shafique — DAC 2021), including every substrate the paper
+depends on:
+
+- a vectorised numpy SNN simulator (:mod:`repro.snn`),
+- a command-level DRAM model with voltage-dependent timing and energy
+  (:mod:`repro.dram`),
+- approximate-DRAM probabilistic error models and bit-level error
+  injection (:mod:`repro.errors`),
+- synthetic MNIST / Fashion-MNIST workloads (:mod:`repro.datasets`),
+- SNN-inference-to-DRAM-trace generation (:mod:`repro.trace`),
+- and the SparkXD framework itself (:mod:`repro.core`): fault-aware
+  training, error-tolerance analysis, and fault/energy-aware DRAM mapping.
+
+Quickstart::
+
+    from repro import SparkXD, SparkXDConfig
+    frame = SparkXD(SparkXDConfig.small())
+    result = frame.run()
+    print(result.summary())
+"""
+
+from repro.core.config import SparkXDConfig
+from repro.core.framework import SparkXD, SparkXDResult
+
+__all__ = ["SparkXD", "SparkXDConfig", "SparkXDResult"]
+__version__ = "1.0.0"

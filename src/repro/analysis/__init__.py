@@ -1,0 +1,53 @@
+"""Experiment sweeps, platform energy models and report formatting."""
+
+from repro.analysis.platforms import (
+    PlatformModel,
+    TRUENORTH,
+    PEASE,
+    SNNAP,
+    PAPER_PLATFORMS,
+    energy_breakdown,
+)
+from repro.analysis.sweeps import (
+    AccuracySweepPoint,
+    accuracy_vs_ber_sweep,
+    energy_vs_voltage_sweep,
+)
+from repro.analysis.reporting import format_table, format_percent_row
+from repro.analysis.pareto import ParetoPoint, tolerance_frontier, frontier_is_monotone
+from repro.analysis.sensitivity import (
+    BitSensitivityPoint,
+    accuracy_by_bit,
+    weight_perturbation_by_bit,
+)
+
+from repro.analysis.export import (
+    export_accuracy_curve,
+    export_sparkxd_result,
+    export_tolerance_report,
+    write_rows,
+)
+
+__all__ = [
+    "BitSensitivityPoint",
+    "accuracy_by_bit",
+    "weight_perturbation_by_bit",
+    "export_accuracy_curve",
+    "export_sparkxd_result",
+    "export_tolerance_report",
+    "write_rows",
+    "ParetoPoint",
+    "tolerance_frontier",
+    "frontier_is_monotone",
+    "PlatformModel",
+    "TRUENORTH",
+    "PEASE",
+    "SNNAP",
+    "PAPER_PLATFORMS",
+    "energy_breakdown",
+    "AccuracySweepPoint",
+    "accuracy_vs_ber_sweep",
+    "energy_vs_voltage_sweep",
+    "format_table",
+    "format_percent_row",
+]

@@ -1,0 +1,87 @@
+"""CSV export of experiment results.
+
+The benchmark harness prints human-readable tables; downstream plotting
+or regression tracking wants machine-readable files.  These helpers
+write the core result objects as plain CSV (stdlib ``csv``, no pandas).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+from repro.analysis.sweeps import AccuracySweepPoint
+from repro.core.framework import SparkXDResult
+from repro.core.tolerance_analysis import ToleranceReport
+
+PathLike = Union[str, Path]
+
+
+def _open_csv(path: PathLike) -> Path:
+    path = Path(path)
+    if path.suffix != ".csv":
+        path = path.with_suffix(".csv")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def write_rows(
+    path: PathLike, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> Path:
+    """Write a generic header + rows CSV; returns the final path."""
+    path = _open_csv(path)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError(
+                    f"row width {len(row)} does not match {len(headers)} headers"
+                )
+            writer.writerow(row)
+    return path
+
+
+def export_accuracy_curve(
+    path: PathLike, points: Sequence[AccuracySweepPoint], label: str = ""
+) -> Path:
+    """One Fig.-11-style accuracy-vs-BER series."""
+    return write_rows(
+        path,
+        ["label", "ber", "accuracy"],
+        [[label, p.ber, p.accuracy] for p in points],
+    )
+
+
+def export_tolerance_report(path: PathLike, report: ToleranceReport) -> Path:
+    """The Section IV-C tolerance curve plus the selected threshold."""
+    rows = [
+        ["point", p.ber, p.accuracy, p.trials] for p in report.points
+    ]
+    rows.append(["target_accuracy", "", report.target_accuracy, ""])
+    rows.append(["ber_threshold", report.ber_threshold, "", ""])
+    return write_rows(path, ["kind", "ber", "accuracy", "trials"], rows)
+
+
+def export_sparkxd_result(path: PathLike, result: SparkXDResult) -> Path:
+    """The per-voltage energy/speed-up outcomes of one framework run."""
+    rows = []
+    rows.append([
+        result.baseline_dram.v_supply, "baseline", 1, 0.0, 1.0,
+        result.baseline_dram.energy.total_mj,
+    ])
+    for v, outcome in sorted(result.outcomes.items(), reverse=True):
+        rows.append([
+            v,
+            outcome.mapping_policy,
+            int(outcome.feasible),
+            outcome.energy_saving,
+            outcome.speedup,
+            outcome.result.energy.total_mj if outcome.result else "",
+        ])
+    return write_rows(
+        path,
+        ["v_supply", "mapping", "feasible", "energy_saving", "speedup", "energy_mj"],
+        rows,
+    )

@@ -1,0 +1,47 @@
+"""Plain-text table formatting for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's tables
+and figures report; these helpers keep that output aligned and
+readable without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 1e-2:
+            return f"{value:.2e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_percent_row(label: str, values: Sequence[float]) -> str:
+    """One label plus percentage-formatted values (Table I style)."""
+    cells = "  ".join(f"{v:7.2%}" for v in values)
+    return f"{label:<28}{cells}"

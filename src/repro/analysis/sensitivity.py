@@ -1,0 +1,136 @@
+"""Bit-position sensitivity of stored weights.
+
+Fig. 11's label-2 observation: "when the bit errors flip the most
+significant bits (MSBs) of weights, they change the corresponding
+weight values and the accuracy may be decreased significantly", while
+flips in less significant bits barely matter.
+
+This module quantifies that claim: flip *only* one bit position across
+a sampled fraction of the weights and measure the accuracy (or, more
+cheaply, the weight perturbation) per position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.snn.network import DiehlCookNetwork, NetworkParameters
+from repro.snn.training import TrainedModel, evaluate_accuracy
+
+
+@dataclass(frozen=True)
+class BitSensitivityPoint:
+    """Impact of flipping one stored bit position."""
+
+    bit_position: int
+    flip_fraction: float
+    mean_weight_change: float
+    accuracy: Optional[float] = None
+
+
+def flip_single_position(
+    weights: np.ndarray,
+    representation,
+    bit_position: int,
+    flip_fraction: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Flip bit ``bit_position`` of a random ``flip_fraction`` of weights."""
+    if not 0.0 < flip_fraction <= 1.0:
+        raise ValueError(f"flip_fraction must be in (0, 1], got {flip_fraction}")
+    bpw = representation.bits_per_weight
+    if not 0 <= bit_position < bpw:
+        raise IndexError(f"bit_position must be in [0, {bpw})")
+    n = int(np.size(weights))
+    count = max(1, int(round(flip_fraction * n)))
+    victims = rng.choice(n, size=count, replace=False)
+    flat_bits = victims.astype(np.int64) * bpw + bit_position
+    words = representation.encode(weights)
+    corrupted = representation.flip_bits(np.ravel(words), flat_bits)
+    return representation.decode(corrupted).reshape(np.shape(weights))
+
+
+def weight_perturbation_by_bit(
+    weights: np.ndarray,
+    representation,
+    flip_fraction: float = 0.05,
+    bit_positions: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> Tuple[BitSensitivityPoint, ...]:
+    """Mean |Δweight| caused by flipping each stored bit position."""
+    rng = np.random.default_rng(seed)
+    bpw = representation.bits_per_weight
+    positions = tuple(bit_positions) if bit_positions is not None else tuple(range(bpw))
+    clean = representation.decode(np.ravel(representation.encode(weights))).reshape(
+        np.shape(weights)
+    )
+    points = []
+    for bit in positions:
+        corrupted = flip_single_position(
+            weights, representation, bit, flip_fraction, rng
+        )
+        changed = np.abs(corrupted - clean)
+        # mean over the actually flipped weights (others are zero)
+        nonzero = changed[changed > 0]
+        mean_change = float(nonzero.mean()) if nonzero.size else 0.0
+        points.append(
+            BitSensitivityPoint(
+                bit_position=bit,
+                flip_fraction=flip_fraction,
+                mean_weight_change=mean_change,
+            )
+        )
+    return tuple(points)
+
+
+def accuracy_by_bit(
+    model: TrainedModel,
+    dataset: Dataset,
+    representation,
+    bit_positions: Sequence[int],
+    flip_fraction: float = 0.05,
+    n_steps: int = 80,
+    seed: int = 0,
+    n_classes: int = 10,
+) -> Tuple[BitSensitivityPoint, ...]:
+    """Classification accuracy with one stored bit position flipped.
+
+    The expensive variant of :func:`weight_perturbation_by_bit`: runs
+    the SNN on the test split for every probed position.
+    """
+    rng = np.random.default_rng(seed)
+    network = DiehlCookNetwork(
+        NetworkParameters(n_input=model.n_input, n_neurons=model.n_neurons), rng=rng
+    )
+    model.install_into(network)
+    points = []
+    for bit in bit_positions:
+        corrupted = flip_single_position(
+            model.weights, representation, bit, flip_fraction, rng
+        )
+        network.set_weights(corrupted)
+        accuracy = evaluate_accuracy(
+            network,
+            dataset.test_images,
+            dataset.test_labels,
+            model.assignments,
+            n_steps,
+            rng,
+            n_classes=n_classes,
+        )
+        changed = np.abs(corrupted - model.weights)
+        nonzero = changed[changed > 0]
+        points.append(
+            BitSensitivityPoint(
+                bit_position=bit,
+                flip_fraction=flip_fraction,
+                mean_weight_change=float(nonzero.mean()) if nonzero.size else 0.0,
+                accuracy=accuracy,
+            )
+        )
+    network.set_weights(model.weights)
+    return tuple(points)

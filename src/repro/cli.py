@@ -1,0 +1,147 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    Execute the full SparkXD pipeline (Fig. 7) and print the summary.
+``dram``
+    Print the DRAM-side studies (Fig. 2b, Table I) for a device.
+``tolerance``
+    Train a model, analyse its error tolerance and print the curve.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def _add_run_parser(subparsers) -> None:
+    p = subparsers.add_parser("run", help="run the full SparkXD pipeline")
+    p.add_argument("--dataset", default="mnist", choices=["mnist", "fashion"])
+    p.add_argument("--neurons", type=int, default=60)
+    p.add_argument("--train", type=int, default=150)
+    p.add_argument("--test", type=int, default=80)
+    p.add_argument("--steps", type=int, default=80)
+    p.add_argument("--bound", type=float, default=0.05,
+                   help="accuracy bound (paper: 0.01)")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--save-model", metavar="PATH",
+                   help="write the improved model to an .npz file")
+
+
+def _add_dram_parser(subparsers) -> None:
+    p = subparsers.add_parser("dram", help="DRAM energy studies (no training)")
+    p.add_argument(
+        "--voltages", type=float, nargs="+",
+        default=[1.325, 1.250, 1.175, 1.100, 1.025],
+    )
+
+
+def _add_tolerance_parser(subparsers) -> None:
+    p = subparsers.add_parser("tolerance", help="error-tolerance analysis")
+    p.add_argument("--dataset", default="mnist", choices=["mnist", "fashion"])
+    p.add_argument("--neurons", type=int, default=60)
+    p.add_argument("--train", type=int, default=150)
+    p.add_argument("--test", type=int, default=80)
+    p.add_argument("--bound", type=float, default=0.05)
+    p.add_argument("--rates", type=float, nargs="+",
+                   default=[1e-9, 1e-7, 1e-5, 1e-3])
+    p.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser with all subcommands attached."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SparkXD reproduction - resilient SNN inference on approximate DRAM",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_run_parser(subparsers)
+    _add_dram_parser(subparsers)
+    _add_tolerance_parser(subparsers)
+    return parser
+
+
+def _cmd_run(args) -> int:
+    from repro import SparkXD, SparkXDConfig
+
+    config = SparkXDConfig.small(
+        dataset=args.dataset,
+        n_neurons=args.neurons,
+        n_train=args.train,
+        n_test=args.test,
+        n_steps=args.steps,
+        accuracy_bound=args.bound,
+        seed=args.seed,
+    )
+    result = SparkXD(config).run()
+    print(result.summary())
+    if args.save_model:
+        from repro.snn.serialization import save_model
+
+        path = save_model(result.improved_model, args.save_model)
+        print(f"improved model written to {path}")
+    return 0
+
+
+def _cmd_dram(args) -> int:
+    from repro.analysis.reporting import format_table
+    from repro.dram.commands import AccessCondition
+    from repro.dram.energy import DramEnergyModel
+    from repro.dram.specs import LPDDR3_1600_4GB
+
+    model = DramEnergyModel(LPDDR3_1600_4GB)
+    rows = []
+    for condition in AccessCondition:
+        row = [condition.value]
+        for v in args.voltages:
+            row.append(f"{model.access_energy(condition, v).total_nj:.2f}")
+        rows.append(row)
+    print(format_table(
+        ["condition"] + [f"{v:.3f}V [nJ]" for v in args.voltages],
+        rows,
+        title=f"Access energy - {LPDDR3_1600_4GB.name}",
+    ))
+    savings = [f"{model.energy_per_access_saving(v):.2%}" for v in args.voltages]
+    print("\nper-access savings vs 1.350V: " + "  ".join(savings))
+    return 0
+
+
+def _cmd_tolerance(args) -> int:
+    from repro.core.fault_aware_training import train_baseline
+    from repro.core.tolerance_analysis import analyze_error_tolerance
+    from repro.datasets import load_dataset
+    from repro.errors.injection import ErrorInjector
+    from repro.snn.quantization import Float32Representation
+
+    rng = np.random.default_rng(args.seed)
+    dataset = load_dataset(args.dataset, args.train, args.test)
+    print(f"training baseline ({args.neurons} neurons on {dataset.name})...")
+    model = train_baseline(dataset, args.neurons, epochs=2, rng=rng)
+    print(f"baseline accuracy: {model.accuracy:.1%}")
+    injector = ErrorInjector(Float32Representation(clip_range=(0, 1)), seed=1)
+    report = analyze_error_tolerance(
+        model, dataset, injector, rates=args.rates,
+        baseline_accuracy=model.accuracy, accuracy_bound=args.bound, rng=rng,
+    )
+    for ber, accuracy in report.curve:
+        marker = "  <= tolerable" if report.meets_target(ber) else ""
+        print(f"  BER {ber:.0e}: {accuracy:.1%}{marker}")
+    print(f"maximum tolerable BER: {report.ber_threshold}")
+    print(f"minimum supply voltage: {report.min_voltage():.3f} V")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Parse ``argv`` (default: process args) and run the subcommand."""
+    args = build_parser().parse_args(argv)
+    handlers = {"run": _cmd_run, "dram": _cmd_dram, "tolerance": _cmd_tolerance}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

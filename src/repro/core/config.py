@@ -1,0 +1,113 @@
+"""Configuration of a full SparkXD run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from repro.dram.specs import DramSpec, LPDDR3_1600_4GB
+
+#: The reduced supply voltages of the paper's Fig. 12(a).
+PAPER_VOLTAGES = (1.325, 1.250, 1.175, 1.100, 1.025)
+#: The BER decades swept by the paper's Fig. 11.
+PAPER_BER_RATES = (1e-9, 1e-7, 1e-5, 1e-3)
+
+
+@dataclass(frozen=True)
+class SparkXDConfig:
+    """Everything a :class:`repro.core.framework.SparkXD` run needs.
+
+    The defaults follow the paper's setup (Section V) at a compute scale
+    a CPU can train: the paper's GPU runs use the full 60k-sample MNIST;
+    here the synthetic workloads default to a few hundred samples.  Use
+    :meth:`paper` for the faithful parameterisation and :meth:`small`
+    for second-scale smoke runs.
+    """
+
+    # workload
+    dataset: str = "mnist"
+    n_train: int = 300
+    n_test: int = 150
+    dataset_seed: int = 7
+
+    # SNN
+    n_neurons: int = 400
+    n_steps: int = 100
+    baseline_epochs: int = 1
+    epochs_per_rate: int = 1
+
+    # SparkXD error schedule and accuracy target
+    ber_rates: Tuple[float, ...] = PAPER_BER_RATES
+    accuracy_bound: float = 0.01
+    tolerance_trials: int = 1
+
+    # storage + DRAM
+    representation: str = "float32"
+    dram_spec: DramSpec = field(default_factory=lambda: LPDDR3_1600_4GB)
+    voltages: Tuple[float, ...] = PAPER_VOLTAGES
+    weak_cell_sigma: float = 0.8
+    weak_cell_seed: int = 0
+    refetch_passes: int = 1
+
+    # reproducibility
+    seed: int = 42
+
+    def __post_init__(self):
+        if self.n_train <= 0 or self.n_test <= 0:
+            raise ValueError("n_train and n_test must be > 0")
+        if self.n_neurons <= 0 or self.n_steps <= 0:
+            raise ValueError("n_neurons and n_steps must be > 0")
+        if self.baseline_epochs <= 0 or self.epochs_per_rate <= 0:
+            raise ValueError("epoch counts must be > 0")
+        if not self.ber_rates:
+            raise ValueError("need at least one BER rate")
+        if any(not 0 <= r <= 1 for r in self.ber_rates):
+            raise ValueError("BER rates must lie in [0, 1]")
+        if self.accuracy_bound < 0:
+            raise ValueError("accuracy_bound must be >= 0")
+        if not self.voltages:
+            raise ValueError("need at least one reduced voltage")
+        v_nom = self.dram_spec.electrical.v_nominal_volts
+        if any(v <= 0 or v > v_nom for v in self.voltages):
+            raise ValueError(f"voltages must lie in (0, {v_nom}]")
+
+    # ------------------------------------------------------------------
+    @property
+    def v_nominal(self) -> float:
+        return self.dram_spec.electrical.v_nominal_volts
+
+    def with_overrides(self, **kwargs) -> "SparkXDConfig":
+        return replace(self, **kwargs)
+
+    @classmethod
+    def small(cls, **overrides) -> "SparkXDConfig":
+        """A sub-minute configuration for smoke tests and examples.
+
+        The accuracy bound is relaxed from the paper's 1% to 5%: with
+        under a hundred test samples, evaluation noise alone exceeds 1%.
+        """
+        base = cls(
+            n_train=150,
+            n_test=80,
+            n_neurons=60,
+            n_steps=80,
+            baseline_epochs=2,
+            ber_rates=(1e-5, 1e-3),
+            accuracy_bound=0.05,
+            tolerance_trials=2,
+        )
+        return base.with_overrides(**overrides) if overrides else base
+
+    @classmethod
+    def paper(cls, n_neurons: int = 400, dataset: str = "mnist", **overrides) -> "SparkXDConfig":
+        """The paper's Section V parameterisation (CPU-scaled workload)."""
+        base = cls(
+            dataset=dataset,
+            n_neurons=n_neurons,
+            n_train=500,
+            n_test=200,
+            n_steps=100,
+            ber_rates=PAPER_BER_RATES,
+            voltages=PAPER_VOLTAGES,
+        )
+        return base.with_overrides(**overrides) if overrides else base

@@ -1,0 +1,225 @@
+"""Fault-aware training: improving the SNN error tolerance (Algorithm 1).
+
+Section IV-B: bit errors generated from the DRAM error model are
+injected into the weights *during training*, with the BER incremented
+after each training stage "from a minimum error rate to a maximum one
+(e.g., the next error rate is 10x of the previous one)", so the SNN is
+gradually trained to tolerate errors up to the maximum rate.
+
+Mechanics per presented sample: the network computes with a freshly
+corrupted copy of the stored weights (what a DRAM read returns under
+errors), and the STDP deltas are credited back onto the stored tensor
+(what the training write-back updates).  See
+:func:`repro.snn.training.train_unsupervised`.
+
+One deliberate deviation from the paper's Algorithm 1 pseudocode: the
+listing returns as soon as *one* error rate meets the accuracy bound,
+which (read literally) stops at the lowest rate.  The surrounding text
+makes the intent clear — train through the whole ascending schedule,
+then let the Section IV-C analysis pick the *maximum* tolerable BER —
+so that is what this implementation does, recording the accuracy
+reached at every stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.errors.injection import ErrorInjector
+from repro.snn.network import DiehlCookNetwork, NetworkParameters
+from repro.snn.stdp import STDPParameters
+from repro.snn.training import (
+    TrainedModel,
+    assign_labels,
+    evaluate_accuracy,
+    run_spike_counts,
+    train_unsupervised,
+)
+
+
+def default_ber_schedule(
+    minimum: float = 1e-9, maximum: float = 1e-3, factor: float = 100.0
+) -> tuple:
+    """The paper's geometric BER schedule (each rate ``factor``× the last)."""
+    if not 0 < minimum <= maximum:
+        raise ValueError("require 0 < minimum <= maximum")
+    if factor <= 1:
+        raise ValueError("factor must be > 1")
+    rates = []
+    rate = minimum
+    while rate < maximum * (1.0 - 1e-12):
+        rates.append(rate)
+        rate *= factor
+    rates.append(maximum)
+    return tuple(rates)
+
+
+@dataclass
+class FaultAwareTrainingResult:
+    """The improved model plus the per-stage accuracy trajectory."""
+
+    model: TrainedModel
+    rates: tuple
+    accuracy_per_rate: dict = field(default_factory=dict)
+    #: BER of the stage whose snapshot became the returned model.
+    selected_rate: float = 0.0
+
+    def final_accuracy(self) -> float:
+        return self.model.accuracy
+
+
+def improve_error_tolerance(
+    baseline: TrainedModel,
+    dataset: Dataset,
+    injector: ErrorInjector,
+    rates: Sequence[float] = default_ber_schedule(),
+    epochs_per_rate: int = 1,
+    n_steps: int = 100,
+    accuracy_bound: float = 0.01,
+    network_parameters: Optional[NetworkParameters] = None,
+    stdp_parameters: Optional[STDPParameters] = None,
+    rng: Optional[np.random.Generator] = None,
+    n_classes: int = 10,
+) -> FaultAwareTrainingResult:
+    """Algorithm 1: progressive fault-aware retraining of a baseline SNN.
+
+    Parameters
+    ----------
+    baseline:
+        The model trained without DRAM errors (``model0`` in the paper).
+    dataset:
+        Training workload; its test split monitors per-stage accuracy.
+    injector:
+        Error generator+injector configured with the storage
+        representation and the DRAM error model (Model-0 by default).
+    rates:
+        Ascending BER schedule; Step-1 of Section IV-B.
+    epochs_per_rate:
+        Training epochs spent at each BER stage.
+    """
+    rng = rng or np.random.default_rng()
+    rates = tuple(sorted(float(r) for r in rates))
+    if not rates:
+        raise ValueError("need at least one BER stage")
+    if any(r < 0 or r > 1 for r in rates):
+        raise ValueError("rates must lie in [0, 1]")
+    if stdp_parameters is None:
+        # Fault-aware stages *fine-tune* an already-trained model; the
+        # full from-scratch learning rate would let error-driven spurious
+        # spikes erode the learned receptive fields.
+        stdp_parameters = STDPParameters(learning_rate=0.01)
+
+    params = network_parameters or NetworkParameters(
+        n_input=baseline.n_input, n_neurons=baseline.n_neurons
+    )
+    network = DiehlCookNetwork(params, rng=rng)
+    baseline.install_into(network)
+
+    accuracy_per_rate: dict = {}
+    snapshots: dict = {}
+    model = baseline.copy()
+    for rate in rates:
+        def corrupt(weights: np.ndarray, _rate=rate) -> np.ndarray:
+            corrupted, _report = injector.inject_uniform(weights, _rate, rng=rng)
+            return corrupted
+
+        model = train_unsupervised(
+            network,
+            dataset.train_images,
+            dataset.train_labels,
+            n_steps=n_steps,
+            epochs=epochs_per_rate,
+            stdp_parameters=stdp_parameters,
+            rng=rng,
+            corrupt_weights=corrupt,
+            n_classes=n_classes,
+        )
+        # Deployment reads corrupted weights, so both the neuron→class
+        # assignment and the stage accuracy are measured under fresh
+        # error injection at this stage's BER.
+        corrupted_weights, _ = injector.inject_uniform(model.weights, rate, rng=rng)
+        network.set_weights(corrupted_weights)
+        counts = run_spike_counts(network, dataset.train_images, n_steps, rng)
+        model.assignments = assign_labels(counts, dataset.train_labels, n_classes)
+        accuracy = evaluate_accuracy(
+            network,
+            dataset.test_images,
+            dataset.test_labels,
+            model.assignments,
+            n_steps,
+            rng,
+            n_classes=n_classes,
+        )
+        network.set_weights(model.weights)
+        accuracy_per_rate[rate] = accuracy
+        model.accuracy = accuracy
+        model.metadata["fault_aware"] = True
+        model.metadata["trained_through_ber"] = rate
+        snapshots[rate] = model.copy()
+
+    # Algorithm 1 keeps the model of the stage that met the accuracy
+    # target at the *highest* BER; training past the point where the
+    # errors overwhelm STDP must not degrade the returned model.  The
+    # untouched baseline (model0, trained at BER 0) is always a valid
+    # candidate: if no fine-tuned stage meets the target, the framework
+    # returns model0 rather than a damaged model.
+    snapshots[0.0] = baseline.copy()
+    candidate_accuracy = {0.0: baseline.accuracy, **accuracy_per_rate}
+    target = baseline.accuracy - accuracy_bound
+    candidates = (0.0,) + rates
+    passing = [r for r in candidates if candidate_accuracy[r] >= target]
+    selected = passing[-1] if passing else max(
+        candidates, key=lambda r: candidate_accuracy[r]
+    )
+    chosen = snapshots[selected]
+    return FaultAwareTrainingResult(
+        model=chosen,
+        rates=rates,
+        accuracy_per_rate=accuracy_per_rate,
+        selected_rate=selected,
+    )
+
+
+def train_baseline(
+    dataset: Dataset,
+    n_neurons: int,
+    epochs: int = 1,
+    n_steps: int = 100,
+    network_parameters: Optional[NetworkParameters] = None,
+    stdp_parameters: Optional[STDPParameters] = None,
+    rng: Optional[np.random.Generator] = None,
+    n_classes: int = 10,
+) -> TrainedModel:
+    """Train the error-free baseline SNN (``model0``)."""
+    rng = rng or np.random.default_rng()
+    params = network_parameters or NetworkParameters(
+        n_input=dataset.train_images.shape[1], n_neurons=n_neurons
+    )
+    network = DiehlCookNetwork(params, rng=rng)
+    model = train_unsupervised(
+        network,
+        dataset.train_images,
+        dataset.train_labels,
+        n_steps=n_steps,
+        epochs=epochs,
+        stdp_parameters=stdp_parameters,
+        rng=rng,
+        n_classes=n_classes,
+    )
+    # Report accuracy on the held-out test split.
+    counts = run_spike_counts(network, dataset.train_images, n_steps, rng)
+    model.assignments = assign_labels(counts, dataset.train_labels, n_classes)
+    model.accuracy = evaluate_accuracy(
+        network,
+        dataset.test_images,
+        dataset.test_labels,
+        model.assignments,
+        n_steps,
+        rng,
+        n_classes=n_classes,
+    )
+    return model

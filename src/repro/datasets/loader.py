@@ -1,0 +1,29 @@
+"""Unified dataset loading by name."""
+
+from __future__ import annotations
+
+from repro.datasets.base import Dataset
+from repro.datasets.synthetic_fashion import load_synthetic_fashion
+from repro.datasets.synthetic_mnist import load_synthetic_mnist
+
+DATASET_NAMES = ("mnist", "fashion")
+
+_ALIASES = {
+    "mnist": "mnist",
+    "synthetic-mnist": "mnist",
+    "fashion": "fashion",
+    "fashion-mnist": "fashion",
+    "synthetic-fashion": "fashion",
+}
+
+
+def load_dataset(
+    name: str, n_train: int = 500, n_test: int = 200, seed: int | None = None
+) -> Dataset:
+    """Load a workload by name ('mnist' or 'fashion', with aliases)."""
+    key = _ALIASES.get(name.lower())
+    if key is None:
+        raise ValueError(f"unknown dataset {name!r}; choose from {DATASET_NAMES}")
+    if key == "mnist":
+        return load_synthetic_mnist(n_train, n_test, seed if seed is not None else 7)
+    return load_synthetic_fashion(n_train, n_test, seed if seed is not None else 13)

@@ -1,0 +1,123 @@
+"""DRAM controller: ties organization, row buffer, timing and energy.
+
+The controller is the entry point other packages use: give it a trace of
+column-slot accesses (flat slot indices or coordinates) and a supply
+voltage, and it returns a :class:`TraceExecutionResult` with row-buffer
+statistics, execution time and the full energy breakdown.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from repro.dram.energy import DramEnergyModel, TraceEnergyBreakdown
+from repro.dram.organization import DramCoordinate, DramOrganization
+from repro.dram.row_buffer import RowBufferSimulator, TraceStatistics
+from repro.dram.specs import DramSpec
+from repro.dram.timing import TimingParameters, timing_for_voltage
+from repro.dram.voltage import ArrayVoltageModel
+
+TraceLike = Union[Sequence[int], np.ndarray, Iterable[DramCoordinate]]
+
+
+@dataclass(frozen=True)
+class TraceExecutionResult:
+    """Everything one trace execution produced."""
+
+    v_supply: float
+    timing: TimingParameters
+    stats: TraceStatistics
+    energy: TraceEnergyBreakdown
+
+    @property
+    def total_energy_nj(self) -> float:
+        return self.energy.total_nj
+
+    @property
+    def total_time_ns(self) -> float:
+        return self.stats.total_time_ns
+
+    @property
+    def throughput_accesses_per_us(self) -> float:
+        if self.stats.total_time_ns == 0:
+            return 0.0
+        return self.stats.accesses / (self.stats.total_time_ns * 1e-3)
+
+    def summary(self) -> str:
+        s = self.stats
+        return (
+            f"V={self.v_supply:.3f}V accesses={s.accesses} "
+            f"hit/miss/conflict={s.hits}/{s.misses}/{s.conflicts} "
+            f"time={s.total_time_ns / 1e3:.2f}us "
+            f"energy={self.energy.total_nj / 1e6:.4f}mJ"
+        )
+
+
+class DramController:
+    """Executes access traces against one DRAM device at one voltage."""
+
+    def __init__(
+        self,
+        spec: DramSpec,
+        voltage_model: ArrayVoltageModel | None = None,
+        energy_model: DramEnergyModel | None = None,
+    ):
+        spec.validate()
+        self.spec = spec
+        self.organization = DramOrganization(spec)
+        self.voltage_model = voltage_model or ArrayVoltageModel(
+            v_nominal=spec.electrical.v_nominal_volts
+        )
+        self.energy_model = energy_model or DramEnergyModel(spec, self.voltage_model)
+
+    def _coordinates(self, trace: TraceLike) -> Iterable[DramCoordinate]:
+        for item in trace:
+            if isinstance(item, DramCoordinate):
+                yield item
+            else:
+                yield self.organization.coordinate_of(int(item))
+
+    def execute(
+        self,
+        trace: TraceLike,
+        v_supply: float,
+        write: bool = False,
+        include_refresh: bool = False,
+    ) -> TraceExecutionResult:
+        """Run ``trace`` at ``v_supply`` and return statistics + energy.
+
+        ``trace`` may contain flat slot indices (ints) or
+        :class:`DramCoordinate` objects, in access order.  ``write=True``
+        models write traffic (e.g. training weight write-back);
+        ``include_refresh`` adds the background refresh energy accrued
+        over the execution window (see :mod:`repro.dram.refresh`).
+        """
+        timing = timing_for_voltage(self.spec, v_supply, self.voltage_model)
+        simulator = RowBufferSimulator(self.organization, timing)
+        stats = simulator.run(self._coordinates(trace), write=write)
+        energy = self.energy_model.trace_energy(stats, v_supply)
+        if include_refresh:
+            from repro.dram.refresh import RefreshModel
+
+            refresh_nj = RefreshModel(self.spec, voltage_model=self.voltage_model).refresh_energy_nj(
+                stats.total_time_ns, v_supply
+            )
+            energy = dataclasses.replace(
+                energy, idle_standby_nj=energy.idle_standby_nj + refresh_nj
+            )
+        return TraceExecutionResult(
+            v_supply=v_supply, timing=timing, stats=stats, energy=energy
+        )
+
+    def execute_at_voltages(
+        self, trace: TraceLike, v_supplies: Sequence[float]
+    ) -> list[TraceExecutionResult]:
+        """Run the same trace at several supply voltages (Fig. 12a sweep)."""
+        materialised = [
+            c for c in self._coordinates(trace)
+        ]  # traces may be generators; reuse across voltages
+        return [self.execute(materialised, v) for v in v_supplies]

@@ -1,0 +1,189 @@
+"""DRAM device specifications.
+
+The paper evaluates a **LPDDR3-1600 4Gb** device ("representative for the
+main memory of energy-constrained embedded systems", Section V).  A spec
+bundles the three ingredient groups every other DRAM module consumes:
+
+- *geometry* — channels / ranks / chips / banks / subarrays / rows /
+  columns, and the data width of one column access;
+- *nominal timings* — clock period and the JEDEC timing parameters at the
+  nominal supply voltage;
+- *electrical parameters* — supply voltage and the IDD-style current
+  values used by the DRAMPower-like energy model
+  (:mod:`repro.dram.energy`).
+
+Current values follow the structure of LPDDR3 datasheets (IDD0 activate/
+precharge cycling current, IDD2N precharge-standby, IDD3N active-standby,
+IDD4R burst-read, IDD4W burst-write).  Absolute values are representative,
+not datasheet-exact; the paper's results are reported as *relative*
+savings, which depend on the V² dynamic-energy scaling and the command
+mix, not on the absolute current scale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Physical organisation of one DRAM module (Fig. 5a of the paper)."""
+
+    channels: int = 1
+    ranks_per_channel: int = 1
+    chips_per_rank: int = 1
+    banks_per_chip: int = 8
+    subarrays_per_bank: int = 8
+    rows_per_subarray: int = 512
+    columns_per_row: int = 1024
+    #: bits transferred by a single column access (one burst beat group).
+    column_width_bits: int = 64
+
+    @property
+    def rows_per_bank(self) -> int:
+        return self.subarrays_per_bank * self.rows_per_subarray
+
+    @property
+    def row_size_bits(self) -> int:
+        return self.columns_per_row * self.column_width_bits
+
+    @property
+    def subarray_size_bits(self) -> int:
+        return self.rows_per_subarray * self.row_size_bits
+
+    @property
+    def bank_size_bits(self) -> int:
+        return self.subarrays_per_bank * self.subarray_size_bits
+
+    @property
+    def chip_size_bits(self) -> int:
+        return self.banks_per_chip * self.bank_size_bits
+
+    @property
+    def total_size_bits(self) -> int:
+        return (
+            self.channels
+            * self.ranks_per_channel
+            * self.chips_per_rank
+            * self.chip_size_bits
+        )
+
+    @property
+    def total_subarrays(self) -> int:
+        return (
+            self.channels
+            * self.ranks_per_channel
+            * self.chips_per_rank
+            * self.banks_per_chip
+            * self.subarrays_per_bank
+        )
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` if any dimension is non-positive."""
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if value <= 0:
+                raise ValueError(f"geometry field {field.name!r} must be > 0, got {value}")
+
+
+@dataclass(frozen=True)
+class NominalTimings:
+    """JEDEC-style timing parameters at nominal voltage, in nanoseconds."""
+
+    clock_ns: float = 1.25  # LPDDR3-1600: 800 MHz DDR -> 1.25 ns cycle
+    t_rcd_ns: float = 18.0  # row-address-to-column-address delay
+    t_ras_ns: float = 42.0  # row active time
+    t_rp_ns: float = 18.0  # row precharge time
+    t_cl_ns: float = 15.0  # CAS latency
+    burst_length: int = 8  # beats per RD/WR burst
+
+    @property
+    def t_rc_ns(self) -> float:
+        """Row cycle time: full activate-precharge turnaround."""
+        return self.t_ras_ns + self.t_rp_ns
+
+
+@dataclass(frozen=True)
+class ElectricalParameters:
+    """Supply voltage and IDD currents used for energy estimation.
+
+    ``v_nominal_volts`` is the accurate-DRAM supply (1.35 V for LPDDR3);
+    ``v_min_volts`` is the lowest approximate-DRAM supply studied by the
+    paper (1.025 V).
+    """
+
+    v_nominal_volts: float = 1.35
+    v_min_volts: float = 1.025
+    idd0_ma: float = 48.0  # ACT/PRE cycling
+    idd2n_ma: float = 0.8  # precharge standby
+    idd3n_ma: float = 2.0  # active standby
+    idd4r_ma: float = 444.0  # burst read
+    idd4w_ma: float = 470.0  # burst write
+
+    def validate(self) -> None:
+        if not 0.0 < self.v_min_volts <= self.v_nominal_volts:
+            raise ValueError(
+                "require 0 < v_min <= v_nominal, got "
+                f"{self.v_min_volts} and {self.v_nominal_volts}"
+            )
+
+
+@dataclass(frozen=True)
+class DramSpec:
+    """A complete DRAM device description."""
+
+    name: str
+    geometry: DramGeometry
+    timings: NominalTimings
+    electrical: ElectricalParameters
+
+    def validate(self) -> None:
+        self.geometry.validate()
+        self.electrical.validate()
+
+    def scaled(self, **geometry_overrides: int) -> "DramSpec":
+        """Return a copy with some geometry dimensions overridden.
+
+        Useful for tests and examples that want a tiny device, e.g.
+        ``spec.scaled(rows_per_subarray=4, columns_per_row=8)``.
+        """
+        new_geometry = dataclasses.replace(self.geometry, **geometry_overrides)
+        return dataclasses.replace(self, geometry=new_geometry)
+
+
+#: The device configuration used throughout the paper's evaluation.
+LPDDR3_1600_4GB = DramSpec(
+    name="LPDDR3-1600 4Gb",
+    geometry=DramGeometry(
+        channels=1,
+        ranks_per_channel=1,
+        chips_per_rank=1,
+        banks_per_chip=8,
+        subarrays_per_bank=8,
+        rows_per_subarray=2048,  # 8 banks x 8 subarrays x 2048 rows x 4KB row = 4Gb
+        columns_per_row=512,
+        column_width_bits=64,
+    ),
+    timings=NominalTimings(),
+    electrical=ElectricalParameters(),
+)
+
+
+def tiny_spec(name: str = "tiny-test-dram") -> DramSpec:
+    """A miniature device for fast unit tests (a few KiB total)."""
+    return DramSpec(
+        name=name,
+        geometry=DramGeometry(
+            channels=1,
+            ranks_per_channel=1,
+            chips_per_rank=1,
+            banks_per_chip=2,
+            subarrays_per_bank=2,
+            rows_per_subarray=4,
+            columns_per_row=8,
+            column_width_bits=32,
+        ),
+        timings=NominalTimings(),
+        electrical=ElectricalParameters(),
+    )

@@ -1,0 +1,72 @@
+"""Voltage-dependent DRAM timing parameters.
+
+The paper extracts ``tRCD``, ``tRAS`` and ``tRP`` from its SPICE study for
+each supply voltage and feeds them to DRAMPower (Section V).  Here the
+:class:`~repro.dram.voltage.ArrayVoltageModel` provides the *relative*
+slowdown of the array at reduced voltage, which we apply to the JEDEC
+nominal timings of the device spec.  At nominal voltage the returned
+parameters equal the spec's nominal ones exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.specs import DramSpec
+from repro.dram.voltage import ArrayVoltageModel
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """Resolved timing parameters at one supply voltage (nanoseconds)."""
+
+    v_supply: float
+    clock_ns: float
+    t_rcd_ns: float
+    t_ras_ns: float
+    t_rp_ns: float
+    t_cl_ns: float
+    burst_length: int
+
+    @property
+    def t_rc_ns(self) -> float:
+        """Row cycle time (activate-to-activate in the same bank)."""
+        return self.t_ras_ns + self.t_rp_ns
+
+    @property
+    def burst_time_ns(self) -> float:
+        """Data-bus occupancy of one RD/WR burst (DDR: 2 beats/cycle)."""
+        return self.burst_length * self.clock_ns / 2.0
+
+    def cycles(self, time_ns: float) -> int:
+        """Round a duration up to whole clock cycles."""
+        if time_ns < 0:
+            raise ValueError(f"time must be >= 0, got {time_ns}")
+        return -(-int(round(time_ns * 1e6)) // int(round(self.clock_ns * 1e6)))
+
+
+def timing_for_voltage(
+    spec: DramSpec,
+    v_supply: float,
+    voltage_model: ArrayVoltageModel | None = None,
+) -> TimingParameters:
+    """Timing parameters of ``spec`` operated at ``v_supply``.
+
+    The row-related parameters (tRCD, tRAS, tRP) are derated by the array
+    voltage model's slowdown factor; the interface clock and CAS latency
+    are unchanged (the I/O path runs from a separate regulated rail, as in
+    the reduced-voltage study the paper builds on).
+    """
+    if voltage_model is None:
+        voltage_model = ArrayVoltageModel(v_nominal=spec.electrical.v_nominal_volts)
+    derate = voltage_model.derating_factor(v_supply)
+    nominal = spec.timings
+    return TimingParameters(
+        v_supply=v_supply,
+        clock_ns=nominal.clock_ns,
+        t_rcd_ns=nominal.t_rcd_ns * derate,
+        t_ras_ns=nominal.t_ras_ns * derate,
+        t_rp_ns=nominal.t_rp_ns * derate,
+        t_cl_ns=nominal.t_cl_ns,
+        burst_length=nominal.burst_length,
+    )

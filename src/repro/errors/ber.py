@@ -1,0 +1,115 @@
+"""Bit error rate as a function of DRAM supply voltage.
+
+Substitutes for the real reduced-voltage characterisation the paper
+borrows from Chang et al.: the only properties the experiments rely on
+are (1) zero errors at the nominal voltage, (2) a *monotonically
+decreasing* BER as the voltage rises, and (3) the span of Fig. 2(c) —
+roughly 10⁻⁸ near the top of the reduced range down at 1.325 V and
+growing toward 10⁻³…10⁻² at 1.025 V.
+
+The curve interpolates log10(BER) piecewise-linearly through anchor
+points, which both matches the straight-ish line of Fig. 2(c) on its
+log axis and keeps the mapping exactly invertible for tests.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BerVoltageCurve:
+    """Piecewise log-linear BER(V) with a hard zero at/above ``v_safe``.
+
+    Parameters
+    ----------
+    anchors:
+        ``(voltage, ber)`` pairs, strictly increasing in voltage and
+        strictly decreasing in BER.  Voltages above the largest anchor
+        but below ``v_safe`` extrapolate the last segment.
+    v_safe:
+        At or above this supply voltage the DRAM is accurate: BER = 0.
+    """
+
+    anchors: Tuple[Tuple[float, float], ...]
+    v_safe: float = 1.35
+
+    def __post_init__(self):
+        if len(self.anchors) < 2:
+            raise ValueError("need at least two anchors")
+        volts = [v for v, _ in self.anchors]
+        bers = [b for _, b in self.anchors]
+        if any(b <= 0 for b in bers):
+            raise ValueError("anchor BERs must be > 0 (v_safe handles the zero)")
+        if sorted(volts) != volts or len(set(volts)) != len(volts):
+            raise ValueError("anchor voltages must be strictly increasing")
+        if sorted(bers, reverse=True) != bers or len(set(bers)) != len(bers):
+            raise ValueError("anchor BERs must be strictly decreasing")
+        if volts[-1] >= self.v_safe:
+            raise ValueError("all anchors must lie below v_safe")
+
+    # ------------------------------------------------------------------
+    def ber_at(self, v_supply: float) -> float:
+        """BER of the device operated at ``v_supply``."""
+        if v_supply <= 0:
+            raise ValueError(f"v_supply must be > 0, got {v_supply}")
+        if v_supply >= self.v_safe:
+            return 0.0
+        volts = [v for v, _ in self.anchors]
+        logs = [np.log10(b) for _, b in self.anchors]
+        if v_supply <= volts[0]:
+            # extrapolate the first segment below the measured range
+            i0, i1 = 0, 1
+        elif v_supply >= volts[-1]:
+            i0, i1 = len(volts) - 2, len(volts) - 1
+        else:
+            i1 = bisect.bisect_right(volts, v_supply)
+            i0 = i1 - 1
+        slope = (logs[i1] - logs[i0]) / (volts[i1] - volts[i0])
+        log_ber = logs[i0] + slope * (v_supply - volts[i0])
+        return float(10.0 ** log_ber)
+
+    def ber_array(self, v_supplies: Sequence[float]) -> np.ndarray:
+        return np.array([self.ber_at(v) for v in v_supplies])
+
+    # ------------------------------------------------------------------
+    def voltage_for_ber(self, ber: float) -> float:
+        """Lowest voltage whose BER does not exceed ``ber`` (inverse map).
+
+        Returns ``v_safe`` for ``ber <= 0``.
+        """
+        if ber <= 0:
+            return self.v_safe
+        volts = [v for v, _ in self.anchors]
+        logs = [np.log10(b) for _, b in self.anchors]
+        target = np.log10(ber)
+        if target >= logs[0]:
+            i0, i1 = 0, 1
+        elif target <= logs[-1]:
+            i0, i1 = len(volts) - 2, len(volts) - 1
+        else:
+            # logs decrease with index; find the segment bracketing target
+            i1 = next(i for i in range(1, len(logs)) if logs[i] <= target)
+            i0 = i1 - 1
+        slope = (logs[i1] - logs[i0]) / (volts[i1] - volts[i0])
+        v = volts[i0] + (target - logs[i0]) / slope
+        return float(min(v, self.v_safe))
+
+
+#: Anchors chosen to match the evaluated voltage corners of the paper:
+#: the five reduced supplies of Fig. 12(a) map onto the BER decades the
+#: accuracy study of Fig. 11 sweeps (10⁻⁹ … 10⁻³).
+DEFAULT_BER_CURVE = BerVoltageCurve(
+    anchors=(
+        (1.025, 1e-3),
+        (1.100, 1e-5),
+        (1.175, 1e-6),
+        (1.250, 1e-7),
+        (1.325, 1e-9),
+    ),
+    v_safe=1.35,
+)

@@ -1,0 +1,65 @@
+"""Numpy SNN simulator substrate.
+
+Implements the SNN stack of the paper's Section II-A: Leaky
+Integrate-and-Fire neurons with adaptive thresholds, conductance-based
+synapses, Poisson rate coding (plus the other codings the paper cites),
+trace-based STDP, and the fully-connected architecture with lateral
+inhibition of Fig. 4(a) (Diehl & Cook style, as used by the paper's
+reference [7] and by BindsNET, the paper's simulation substrate [16]).
+"""
+
+from repro.snn.neurons import LIFParameters, AdaptiveLIFLayer
+from repro.snn.synapses import ConductanceParameters, SynapticConductance
+from repro.snn.encoding import (
+    poisson_rate_code,
+    rank_order_code,
+    phase_code,
+    burst_code,
+)
+from repro.snn.stdp import STDPParameters, STDPRule
+from repro.snn.network import NetworkParameters, DiehlCookNetwork
+from repro.snn.training import (
+    TrainedModel,
+    train_unsupervised,
+    assign_labels,
+    evaluate_accuracy,
+)
+from repro.snn.quantization import (
+    WeightRepresentation,
+    Float32Representation,
+    FixedPointRepresentation,
+)
+from repro.snn.pruning import prune_by_magnitude, connectivity
+from repro.snn.serialization import save_model, load_model
+from repro.snn.diagnostics import TrainingHealth, check_training_health
+from repro.snn.inhibitory import InhibitoryParameters, TwoLayerDiehlCookNetwork
+
+__all__ = [
+    "InhibitoryParameters",
+    "TwoLayerDiehlCookNetwork",
+    "save_model",
+    "load_model",
+    "TrainingHealth",
+    "check_training_health",
+    "LIFParameters",
+    "AdaptiveLIFLayer",
+    "ConductanceParameters",
+    "SynapticConductance",
+    "poisson_rate_code",
+    "rank_order_code",
+    "phase_code",
+    "burst_code",
+    "STDPParameters",
+    "STDPRule",
+    "NetworkParameters",
+    "DiehlCookNetwork",
+    "TrainedModel",
+    "train_unsupervised",
+    "assign_labels",
+    "evaluate_accuracy",
+    "WeightRepresentation",
+    "Float32Representation",
+    "FixedPointRepresentation",
+    "prune_by_magnitude",
+    "connectivity",
+]

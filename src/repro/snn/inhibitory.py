@@ -1,0 +1,186 @@
+"""Explicit inhibitory-layer variant of the Fig. 4(a) architecture.
+
+The original Diehl & Cook network implements lateral inhibition through
+a *separate inhibitory population*: each excitatory neuron drives one
+inhibitory partner, and each inhibitory neuron projects back onto every
+excitatory neuron except its partner.  The default
+:class:`~repro.snn.network.DiehlCookNetwork` folds that loop into a
+direct one-step inhibition (cheaper, same competitive effect);
+this module provides the two-population version for users who want the
+literature-faithful dynamics — e.g. to study the extra inhibition
+latency, which the folded model hides.
+
+The excitatory synaptic weights (the DRAM-resident tensor SparkXD
+protects) are identical in both variants; the exc→inh and inh→exc
+projections are fixed, small, and assumed on-chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.snn.neurons import AdaptiveLIFLayer, LIFParameters
+from repro.snn.network import NetworkParameters
+from repro.snn.stdp import STDPRule, normalize_columns
+from repro.snn.synapses import SynapticConductance
+
+
+@dataclass(frozen=True)
+class InhibitoryParameters:
+    """Constants of the inhibitory population and its projections."""
+
+    #: conductance an excitatory spike injects into its inhibitory partner.
+    exc_to_inh_strength: float = 20.0
+    #: conductance an inhibitory spike injects into the other excitatory
+    #: neurons.
+    inh_to_exc_strength: float = 10.0
+    #: the inhibitory neurons: fast, non-adaptive LIF.
+    lif: LIFParameters = field(
+        default_factory=lambda: LIFParameters(
+            v_threshold=-40.0,
+            tau_membrane_ms=10.0,
+            refractory_ms=2.0,
+            theta_plus=0.0,
+        )
+    )
+
+    def validate(self) -> None:
+        if self.exc_to_inh_strength < 0 or self.inh_to_exc_strength < 0:
+            raise ValueError("projection strengths must be >= 0")
+        self.lif.validate()
+
+
+class TwoLayerDiehlCookNetwork:
+    """Input → excitatory layer ⇄ inhibitory layer (one-to-one pairing).
+
+    The public surface matches :class:`DiehlCookNetwork` where it
+    matters to the SparkXD pipeline: ``weights``, ``set_weights``,
+    ``reset_state``, ``step`` and ``run_sample`` (excitatory spike
+    counts).
+    """
+
+    def __init__(
+        self,
+        parameters: NetworkParameters | None = None,
+        inhibitory: InhibitoryParameters | None = None,
+        rng: Optional[np.random.Generator] = None,
+        w_max: float = 1.0,
+    ):
+        self.parameters = parameters or NetworkParameters()
+        self.parameters.validate()
+        self.inhibitory_parameters = inhibitory or InhibitoryParameters()
+        self.inhibitory_parameters.validate()
+        p = self.parameters
+        rng = rng or np.random.default_rng()
+        self.w_max = w_max
+        self.weights = rng.random((p.n_input, p.n_neurons)) * 0.3 * w_max
+        if p.weight_norm > 0:
+            normalize_columns(self.weights, p.weight_norm)
+
+        self.excitatory = AdaptiveLIFLayer(p.n_neurons, p.lif, p.dt_ms)
+        if p.theta_init_max > 0:
+            self.excitatory.theta = rng.uniform(0.0, p.theta_init_max, p.n_neurons)
+        self.inhibitory = AdaptiveLIFLayer(
+            p.n_neurons, self.inhibitory_parameters.lif, p.dt_ms
+        )
+        self.g_exc_input = SynapticConductance(
+            p.n_neurons, p.conductance.tau_excitatory_ms, p.dt_ms
+        )
+        self.g_exc_inhibition = SynapticConductance(
+            p.n_neurons, p.conductance.tau_inhibitory_ms, p.dt_ms
+        )
+        self.g_inh_drive = SynapticConductance(
+            p.n_neurons, p.conductance.tau_excitatory_ms, p.dt_ms
+        )
+        self._zero = np.zeros(p.n_neurons)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_input(self) -> int:
+        return self.parameters.n_input
+
+    @property
+    def n_neurons(self) -> int:
+        return self.parameters.n_neurons
+
+    def set_weights(self, weights: np.ndarray) -> None:
+        """Install a weight tensor (e.g. a DRAM-corrupted copy)."""
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (self.n_input, self.n_neurons):
+            raise ValueError(
+                f"weights must have shape ({self.n_input}, {self.n_neurons})"
+            )
+        self.weights = weights.copy()
+
+    def reset_state(self, keep_theta: bool = True) -> None:
+        self.excitatory.reset_state(keep_theta=keep_theta)
+        self.inhibitory.reset_state(keep_theta=True)
+        self.g_exc_input.reset_state()
+        self.g_exc_inhibition.reset_state()
+        self.g_inh_drive.reset_state()
+
+    # ------------------------------------------------------------------
+    def step(self, input_spikes: np.ndarray, adapt: bool = True) -> np.ndarray:
+        """One timestep; returns the excitatory spike vector."""
+        p = self.parameters
+        q = self.inhibitory_parameters
+        pre = np.asarray(input_spikes, dtype=bool)
+        if pre.shape != (p.n_input,):
+            raise ValueError(f"input spikes must have shape ({p.n_input},)")
+
+        self.g_exc_input.g *= self.g_exc_input._decay
+        active = np.flatnonzero(pre)
+        if active.size:
+            self.g_exc_input.g += self.weights[active].sum(axis=0) * p.excitation_gain
+
+        exc_spikes = self.excitatory.step(
+            self.g_exc_input.g, self.g_exc_inhibition.g, adapt=adapt
+        )
+
+        # exc -> inh: each excitatory spike drives its one partner.
+        drive = np.where(exc_spikes, q.exc_to_inh_strength, 0.0)
+        self.g_inh_drive.step(drive)
+        inh_spikes = self.inhibitory.step(self.g_inh_drive.g, self._zero, adapt=False)
+
+        # inh -> exc: every inhibitory spike suppresses all *other*
+        # excitatory neurons (the lateral inhibition of Fig. 4a).
+        n_inh = int(inh_spikes.sum())
+        inhibition = np.full(p.n_neurons, n_inh * q.inh_to_exc_strength)
+        if n_inh:
+            inhibition[inh_spikes] -= q.inh_to_exc_strength
+        self.g_exc_inhibition.step(inhibition)
+        return exc_spikes
+
+    def run_sample(
+        self,
+        spike_train: np.ndarray,
+        stdp: Optional[STDPRule] = None,
+        adapt: Optional[bool] = None,
+        normalize: Optional[bool] = None,
+    ) -> np.ndarray:
+        """Present one encoded sample; returns excitatory spike counts."""
+        p = self.parameters
+        train = np.asarray(spike_train, dtype=bool)
+        if train.ndim != 2 or train.shape[1] != p.n_input:
+            raise ValueError(
+                f"spike train must have shape (n_steps, {p.n_input})"
+            )
+        if adapt is None:
+            adapt = stdp is not None
+        if normalize is None:
+            normalize = stdp is not None and p.weight_norm > 0
+        self.reset_state(keep_theta=True)
+        if stdp is not None:
+            stdp.reset_state()
+        counts = np.zeros(p.n_neurons, dtype=np.int64)
+        for t in range(train.shape[0]):
+            spikes = self.step(train[t], adapt=adapt)
+            if stdp is not None:
+                stdp.step(self.weights, train[t], spikes)
+            counts += spikes
+        if normalize and p.weight_norm > 0:
+            normalize_columns(self.weights, p.weight_norm)
+        return counts

@@ -1,0 +1,197 @@
+"""The fully-connected SNN architecture of the paper's Fig. 4(a).
+
+Every input pixel connects to all excitatory neurons; each excitatory
+spike feeds lateral inhibition back to all *other* neurons, promoting
+competition (winner-take-all dynamics).  This is the Diehl & Cook
+unsupervised architecture the paper adopts (its reference [7] and the
+BindsNET substrate [16]); the network sizes of the evaluation are
+N400, N900, N1600, N2500 and N3600 excitatory neurons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.snn.neurons import AdaptiveLIFLayer, LIFParameters
+from repro.snn.stdp import STDPParameters, STDPRule, normalize_columns
+from repro.snn.synapses import ConductanceParameters, SynapticConductance
+
+#: Network sizes evaluated by the paper (Section V).
+PAPER_NETWORK_SIZES = (400, 900, 1600, 2500, 3600)
+
+
+@dataclass(frozen=True)
+class NetworkParameters:
+    """Constants of the Fig. 4(a) architecture."""
+
+    n_input: int = 784
+    n_neurons: int = 400
+    dt_ms: float = 1.0
+    #: inhibitory conductance every spike applies to the other neurons.
+    inhibition_strength: float = 10.0
+    #: scale of the excitatory drive per unit weight.
+    excitation_gain: float = 3.0
+    #: per-neuron L1 weight mass kept by normalisation (0 disables it).
+    weight_norm: float = 20.0
+    #: initial adaptive thresholds are drawn from U(0, theta_init_max).
+    #: Weight normalisation equalises every neuron's total drive, so
+    #: without this symmetry breaking large populations fire in
+    #: lockstep, homeostasis punishes all of them identically, and the
+    #: competition never differentiates (accuracy collapses to chance).
+    theta_init_max: float = 2.0
+    lif: LIFParameters = field(default_factory=LIFParameters)
+    conductance: ConductanceParameters = field(default_factory=ConductanceParameters)
+
+    def validate(self) -> None:
+        if self.n_input <= 0 or self.n_neurons <= 0:
+            raise ValueError("n_input and n_neurons must be > 0")
+        if self.dt_ms <= 0:
+            raise ValueError("dt_ms must be > 0")
+        if self.inhibition_strength < 0 or self.excitation_gain <= 0:
+            raise ValueError("gains must be non-negative (excitation > 0)")
+        if self.theta_init_max < 0:
+            raise ValueError("theta_init_max must be >= 0")
+        self.lif.validate()
+        self.conductance.validate()
+
+
+class DiehlCookNetwork:
+    """Input → excitatory layer with lateral inhibition (Fig. 4a).
+
+    The synaptic weight matrix ``weights`` has shape
+    ``(n_input, n_neurons)`` with values in ``[0, w_max]``.  It is the
+    tensor SparkXD stores in (approximate) DRAM; replacing it with a
+    corrupted copy models inference from faulty memory.
+    """
+
+    def __init__(
+        self,
+        parameters: NetworkParameters | None = None,
+        rng: Optional[np.random.Generator] = None,
+        w_max: float = 1.0,
+    ):
+        self.parameters = parameters or NetworkParameters()
+        self.parameters.validate()
+        if w_max <= 0:
+            raise ValueError(f"w_max must be > 0, got {w_max}")
+        p = self.parameters
+        rng = rng or np.random.default_rng()
+        self.w_max = w_max
+        self.weights = rng.random((p.n_input, p.n_neurons)) * 0.3 * w_max
+        self.neurons = AdaptiveLIFLayer(p.n_neurons, p.lif, p.dt_ms)
+        if p.theta_init_max > 0:
+            self.neurons.theta = rng.uniform(0.0, p.theta_init_max, p.n_neurons)
+        self.g_excitatory = SynapticConductance(
+            p.n_neurons, p.conductance.tau_excitatory_ms, p.dt_ms
+        )
+        self.g_inhibitory = SynapticConductance(
+            p.n_neurons, p.conductance.tau_inhibitory_ms, p.dt_ms
+        )
+        self._last_spikes = np.zeros(p.n_neurons, dtype=bool)
+        if p.weight_norm > 0:
+            normalize_columns(self.weights, p.weight_norm)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_input(self) -> int:
+        return self.parameters.n_input
+
+    @property
+    def n_neurons(self) -> int:
+        return self.parameters.n_neurons
+
+    @property
+    def n_weights(self) -> int:
+        return self.weights.size
+
+    def set_weights(self, weights: np.ndarray) -> None:
+        """Install a weight tensor (e.g. a DRAM-corrupted copy)."""
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (self.n_input, self.n_neurons):
+            raise ValueError(
+                f"weights must have shape ({self.n_input}, {self.n_neurons}), "
+                f"got {weights.shape}"
+            )
+        self.weights = weights.copy()
+
+    def reset_state(self, keep_theta: bool = True) -> None:
+        """Clear per-sample dynamic state; keep long-term homeostasis."""
+        self.neurons.reset_state(keep_theta=keep_theta)
+        self.g_excitatory.reset_state()
+        self.g_inhibitory.reset_state()
+        self._last_spikes = np.zeros(self.n_neurons, dtype=bool)
+
+    # ------------------------------------------------------------------
+    def step(self, input_spikes: np.ndarray, adapt: bool = True) -> np.ndarray:
+        """One network timestep; returns the excitatory spike vector."""
+        p = self.parameters
+        pre = np.asarray(input_spikes, dtype=bool)
+        if pre.shape != (p.n_input,):
+            raise ValueError(f"input spikes must have shape ({p.n_input},)")
+
+        self.g_excitatory.g *= self.g_excitatory._decay
+        active = np.flatnonzero(pre)
+        if active.size:
+            drive = self.weights[active].sum(axis=0) * p.excitation_gain
+            self.g_excitatory.g += drive
+
+        # Lateral inhibition: each spike last step inhibits all *other*
+        # neurons (Fig. 4a's inhibition fan-out).
+        n_spikes = int(self._last_spikes.sum())
+        inhibition = np.full(
+            p.n_neurons, n_spikes * p.inhibition_strength, dtype=np.float64
+        )
+        if n_spikes:
+            inhibition[self._last_spikes] -= p.inhibition_strength
+        self.g_inhibitory.step(inhibition)
+
+        spikes = self.neurons.step(self.g_excitatory.g, self.g_inhibitory.g, adapt=adapt)
+        self._last_spikes = spikes
+        return spikes
+
+    def run_sample(
+        self,
+        spike_train: np.ndarray,
+        stdp: Optional[STDPRule] = None,
+        adapt: Optional[bool] = None,
+        normalize: Optional[bool] = None,
+    ) -> np.ndarray:
+        """Present one encoded sample; returns per-neuron spike counts.
+
+        Passing an :class:`~repro.snn.stdp.STDPRule` enables learning
+        (training mode); otherwise the run is pure inference with frozen
+        adaptive thresholds.  ``normalize`` overrides the default
+        post-sample column normalisation (fault-aware training applies
+        it to the stored clean tensor instead of the corrupted copy).
+        """
+        p = self.parameters
+        train = np.asarray(spike_train, dtype=bool)
+        if train.ndim != 2 or train.shape[1] != p.n_input:
+            raise ValueError(
+                f"spike train must have shape (n_steps, {p.n_input}), got {train.shape}"
+            )
+        if adapt is None:
+            adapt = stdp is not None
+        self.reset_state(keep_theta=True)
+        if stdp is not None:
+            stdp.reset_state()
+        if normalize is None:
+            normalize = stdp is not None and p.weight_norm > 0
+        counts = np.zeros(p.n_neurons, dtype=np.int64)
+        for t in range(train.shape[0]):
+            spikes = self.step(train[t], adapt=adapt)
+            if stdp is not None:
+                stdp.step(self.weights, train[t], spikes)
+            counts += spikes
+        if normalize and p.weight_norm > 0:
+            normalize_columns(self.weights, p.weight_norm)
+        return counts
+
+
+def make_stdp(network: DiehlCookNetwork, parameters: STDPParameters | None = None) -> STDPRule:
+    """An STDP rule sized for ``network``'s input projection."""
+    params = parameters or STDPParameters(w_max=network.w_max)
+    return STDPRule(network.n_input, params, network.parameters.dt_ms)

@@ -1,0 +1,144 @@
+"""Leaky Integrate-and-Fire neurons with adaptive thresholds.
+
+The paper uses LIF neurons "due to their low complexity" (Section II-A,
+Fig. 4b): the membrane potential integrates presynaptic input, decays
+exponentially otherwise, fires a spike when it crosses the threshold,
+then resets and sits out a refractory period.
+
+For the unsupervised Diehl & Cook architecture the excitatory neurons
+additionally carry an *adaptive threshold* (homeostasis): every spike
+raises a per-neuron offset ``theta`` that decays very slowly, forcing
+neurons to specialise on different input classes instead of a few
+neurons winning every competition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LIFParameters:
+    """LIF neuron constants (units: mV and ms, matching Diehl & Cook)."""
+
+    v_rest: float = -65.0
+    v_reset: float = -60.0
+    v_threshold: float = -52.0
+    tau_membrane_ms: float = 100.0
+    refractory_ms: float = 5.0
+    #: reversal potential of excitatory synapses.
+    e_excitatory: float = 0.0
+    #: reversal potential of inhibitory synapses.
+    e_inhibitory: float = -100.0
+    #: threshold increment per spike (adaptive threshold).
+    theta_plus: float = 0.3
+    #: adaptive threshold decay time constant; very slow.
+    tau_theta_ms: float = 1.0e7
+
+    def validate(self) -> None:
+        if self.tau_membrane_ms <= 0 or self.tau_theta_ms <= 0:
+            raise ValueError("time constants must be > 0")
+        if self.refractory_ms < 0:
+            raise ValueError("refractory period must be >= 0")
+        if not self.v_reset <= self.v_threshold:
+            raise ValueError("require v_reset <= v_threshold")
+
+
+class AdaptiveLIFLayer:
+    """A vectorised population of adaptive-threshold LIF neurons.
+
+    State arrays (one entry per neuron):
+
+    - ``v`` — membrane potential (mV);
+    - ``theta`` — adaptive threshold offset (mV, >= 0);
+    - ``refractory_left`` — remaining refractory time (ms).
+
+    The update follows conductance-based LIF dynamics::
+
+        dv/dt = ((v_rest - v) + g_e (E_e - v) + g_i (E_i - v)) / tau_m
+
+    integrated with forward Euler at step ``dt``.
+    """
+
+    def __init__(
+        self,
+        n_neurons: int,
+        parameters: LIFParameters | None = None,
+        dt_ms: float = 1.0,
+    ):
+        if n_neurons <= 0:
+            raise ValueError(f"n_neurons must be > 0, got {n_neurons}")
+        if dt_ms <= 0:
+            raise ValueError(f"dt_ms must be > 0, got {dt_ms}")
+        self.n_neurons = n_neurons
+        self.parameters = parameters or LIFParameters()
+        self.parameters.validate()
+        self.dt_ms = dt_ms
+        self._theta_decay = np.exp(-dt_ms / self.parameters.tau_theta_ms)
+        self.v = np.full(n_neurons, self.parameters.v_rest, dtype=np.float64)
+        self.theta = np.zeros(n_neurons, dtype=np.float64)
+        self.refractory_left = np.zeros(n_neurons, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def reset_state(self, keep_theta: bool = True) -> None:
+        """Return the layer to rest between samples.
+
+        ``theta`` is homeostatic long-term state: it survives sample
+        boundaries during training (``keep_theta=True``) and is frozen at
+        inference time.
+        """
+        self.v.fill(self.parameters.v_rest)
+        self.refractory_left.fill(0.0)
+        if not keep_theta:
+            self.theta.fill(0.0)
+
+    def step(
+        self,
+        g_excitatory: np.ndarray,
+        g_inhibitory: np.ndarray,
+        adapt: bool = True,
+    ) -> np.ndarray:
+        """Advance one timestep; returns the boolean spike vector.
+
+        ``g_excitatory`` / ``g_inhibitory`` are dimensionless conductance
+        inputs for this step (see :mod:`repro.snn.synapses`).
+        ``adapt=False`` freezes the adaptive thresholds (inference mode).
+        """
+        p = self.parameters
+        active = self.refractory_left <= 0.0
+
+        dv = (
+            (p.v_rest - self.v)
+            + g_excitatory * (p.e_excitatory - self.v)
+            + g_inhibitory * (p.e_inhibitory - self.v)
+        ) * (self.dt_ms / p.tau_membrane_ms)
+        self.v = np.where(active, self.v + dv, self.v)
+
+        spikes = active & (self.v >= p.v_threshold + self.theta)
+        self.v[spikes] = p.v_reset
+        self.refractory_left[spikes] = p.refractory_ms
+        self.refractory_left[~spikes] = np.maximum(
+            0.0, self.refractory_left[~spikes] - self.dt_ms
+        )
+        if adapt:
+            self.theta *= self._theta_decay
+            self.theta[spikes] += p.theta_plus
+        return spikes
+
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> dict:
+        """Copy of the full neuron state (for checkpointing / tests)."""
+        return {
+            "v": self.v.copy(),
+            "theta": self.theta.copy(),
+            "refractory_left": self.refractory_left.copy(),
+        }
+
+    def load_state(self, snapshot: dict) -> None:
+        for name in ("v", "theta", "refractory_left"):
+            value = np.asarray(snapshot[name], dtype=np.float64)
+            if value.shape != (self.n_neurons,):
+                raise ValueError(f"{name} must have shape ({self.n_neurons},)")
+            setattr(self, name, value.copy())

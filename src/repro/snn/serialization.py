@@ -1,0 +1,77 @@
+"""Saving and loading trained models.
+
+A :class:`~repro.snn.training.TrainedModel` is a handful of numpy
+arrays plus scalar metadata; the on-disk format is a single ``.npz``
+archive so models survive across sessions without pickle (no arbitrary
+code execution on load).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.snn.training import TrainedModel
+
+_FORMAT_VERSION = 1
+
+
+def save_model(model: TrainedModel, path: Union[str, Path]) -> Path:
+    """Write a trained model to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    payload = {
+        "format_version": np.array(_FORMAT_VERSION),
+        "weights": model.weights,
+        "theta": model.theta,
+        "assignments": model.assignments,
+        "n_input": np.array(model.n_input),
+        "n_neurons": np.array(model.n_neurons),
+        "accuracy": np.array(model.accuracy),
+        "metadata_json": np.array(json.dumps(model.metadata, default=str)),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_model(path: Union[str, Path]) -> TrainedModel:
+    """Read a trained model written by :func:`save_model`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported model format version {version} "
+                f"(this build reads version {_FORMAT_VERSION})"
+            )
+        metadata = json.loads(str(archive["metadata_json"]))
+        model = TrainedModel(
+            weights=archive["weights"].astype(np.float64),
+            theta=archive["theta"].astype(np.float64),
+            assignments=archive["assignments"].astype(np.int64),
+            n_input=int(archive["n_input"]),
+            n_neurons=int(archive["n_neurons"]),
+            accuracy=float(archive["accuracy"]),
+            metadata=metadata,
+        )
+    _validate(model)
+    return model
+
+
+def _validate(model: TrainedModel) -> None:
+    if model.weights.shape != (model.n_input, model.n_neurons):
+        raise ValueError(
+            f"weights shape {model.weights.shape} does not match "
+            f"({model.n_input}, {model.n_neurons})"
+        )
+    for name in ("theta", "assignments"):
+        arr = getattr(model, name)
+        if arr.shape != (model.n_neurons,):
+            raise ValueError(f"{name} must have shape ({model.n_neurons},)")

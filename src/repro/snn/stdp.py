@@ -1,0 +1,114 @@
+"""Spike-timing-dependent plasticity (STDP).
+
+The paper trains with STDP "since it has been widely used by previous
+works" (Section II-A).  We implement the trace-based, weight-dependent
+post-synaptic rule of the Diehl & Cook unsupervised pipeline:
+
+- every input neuron keeps a presynaptic *trace* ``x_pre`` that jumps to
+  1 on a spike and decays exponentially;
+- when an excitatory neuron fires, each of its incoming weights moves
+  by ``nu * (x_pre - x_offset) * (w_max - w)**mu``:
+
+  * recently active inputs (``x_pre > x_offset``) are potentiated,
+  * silent inputs are depressed,
+  * the ``(w_max - w)**mu`` factor softly bounds growth.
+
+Weights therefore always stay inside ``[0, w_max]`` — the property the
+fixed-point storage representation and the DRAM error analysis rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class STDPParameters:
+    """Constants of the trace-based post-synaptic STDP rule."""
+
+    learning_rate: float = 0.1
+    tau_trace_ms: float = 20.0
+    #: traces below this offset cause depression on a post spike.
+    trace_offset: float = 0.4
+    w_max: float = 1.0
+    #: exponent of the soft weight bound.
+    mu: float = 1.0
+
+    def validate(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be > 0")
+        if self.tau_trace_ms <= 0:
+            raise ValueError("tau_trace_ms must be > 0")
+        if self.w_max <= 0:
+            raise ValueError("w_max must be > 0")
+        if self.mu < 0:
+            raise ValueError("mu must be >= 0")
+
+
+class STDPRule:
+    """Stateful STDP updater for one input→excitatory projection."""
+
+    def __init__(
+        self,
+        n_pre: int,
+        parameters: STDPParameters | None = None,
+        dt_ms: float = 1.0,
+    ):
+        if n_pre <= 0:
+            raise ValueError(f"n_pre must be > 0, got {n_pre}")
+        if dt_ms <= 0:
+            raise ValueError(f"dt_ms must be > 0, got {dt_ms}")
+        self.n_pre = n_pre
+        self.parameters = parameters or STDPParameters()
+        self.parameters.validate()
+        self.dt_ms = dt_ms
+        self._trace_decay = np.exp(-dt_ms / self.parameters.tau_trace_ms)
+        self.x_pre = np.zeros(n_pre, dtype=np.float64)
+
+    def reset_state(self) -> None:
+        self.x_pre.fill(0.0)
+
+    def step(
+        self,
+        weights: np.ndarray,
+        pre_spikes: np.ndarray,
+        post_spikes: np.ndarray,
+    ) -> np.ndarray:
+        """Advance traces one step and apply the update in place.
+
+        ``weights`` has shape ``(n_pre, n_post)`` and is modified and
+        returned.  ``pre_spikes`` and ``post_spikes`` are boolean vectors.
+        """
+        p = self.parameters
+        if weights.shape[0] != self.n_pre:
+            raise ValueError(
+                f"weights must have {self.n_pre} presynaptic rows, got {weights.shape}"
+            )
+        self.x_pre *= self._trace_decay
+        self.x_pre[np.asarray(pre_spikes, dtype=bool)] = 1.0
+
+        post = np.flatnonzero(post_spikes)
+        if post.size:
+            columns = weights[:, post]
+            delta = self.x_pre[:, None] - p.trace_offset
+            bound = (p.w_max - columns) ** p.mu
+            updated = columns + p.learning_rate * delta * bound
+            weights[:, post] = np.clip(updated, 0.0, p.w_max)
+        return weights
+
+
+def normalize_columns(weights: np.ndarray, target_sum: float) -> np.ndarray:
+    """Scale each column (one neuron's receptive field) to a fixed L1 mass.
+
+    Diehl & Cook apply this after every sample so no neuron can win the
+    competition by sheer total weight.  Operates in place and returns
+    the array.
+    """
+    if target_sum <= 0:
+        raise ValueError(f"target_sum must be > 0, got {target_sum}")
+    sums = weights.sum(axis=0)
+    scale = np.where(sums > 0, target_sum / np.maximum(sums, 1e-12), 1.0)
+    weights *= scale[None, :]
+    return weights

@@ -1,0 +1,75 @@
+"""Conductance-based synapse model.
+
+Section II-A: "the synapse is modeled by the synaptic conductance, which
+increases by weight ``w`` when a presynaptic spike arrives at a synapse,
+and otherwise decreases exponentially."
+
+:class:`SynapticConductance` tracks one conductance value per
+postsynaptic neuron (the summed effect of all presynaptic spikes through
+the weight matrix), decaying with time constant ``tau``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConductanceParameters:
+    """Synaptic conductance constants (ms)."""
+
+    tau_excitatory_ms: float = 1.0
+    tau_inhibitory_ms: float = 2.0
+
+    def validate(self) -> None:
+        if self.tau_excitatory_ms <= 0 or self.tau_inhibitory_ms <= 0:
+            raise ValueError("conductance time constants must be > 0")
+
+
+class SynapticConductance:
+    """Exponentially decaying conductance for one neuron population."""
+
+    def __init__(self, n_neurons: int, tau_ms: float, dt_ms: float = 1.0):
+        if n_neurons <= 0:
+            raise ValueError(f"n_neurons must be > 0, got {n_neurons}")
+        if tau_ms <= 0 or dt_ms <= 0:
+            raise ValueError("tau_ms and dt_ms must be > 0")
+        self.n_neurons = n_neurons
+        self.tau_ms = tau_ms
+        self.dt_ms = dt_ms
+        self._decay = np.exp(-dt_ms / tau_ms)
+        self.g = np.zeros(n_neurons, dtype=np.float64)
+
+    def reset_state(self) -> None:
+        self.g.fill(0.0)
+
+    def step(self, injected: np.ndarray | float = 0.0) -> np.ndarray:
+        """Decay one step, then add ``injected`` conductance; return g."""
+        self.g *= self._decay
+        self.g += injected
+        return self.g
+
+    def inject_through_weights(
+        self, weights: np.ndarray, presynaptic_spikes: np.ndarray
+    ) -> np.ndarray:
+        """Decay, then add ``weights.T @ spikes`` (spikes as 0/1 vector).
+
+        ``weights`` has shape ``(n_pre, n_post)``; the conductance of
+        postsynaptic neuron ``j`` grows by ``sum_i w[i, j] s[i]``.
+        """
+        if weights.shape[1] != self.n_neurons:
+            raise ValueError(
+                f"weights must map onto {self.n_neurons} postsynaptic neurons, "
+                f"got shape {weights.shape}"
+            )
+        spikes = np.asarray(presynaptic_spikes, dtype=np.float64)
+        if spikes.shape != (weights.shape[0],):
+            raise ValueError(
+                f"spike vector must have shape ({weights.shape[0]},), got {spikes.shape}"
+            )
+        self.g *= self._decay
+        if spikes.any():
+            self.g += spikes @ weights
+        return self.g

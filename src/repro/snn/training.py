@@ -1,0 +1,195 @@
+"""Unsupervised STDP training, label assignment and evaluation.
+
+The Diehl & Cook pipeline the paper builds on is unsupervised: STDP
+shapes the receptive fields, then each excitatory neuron is *assigned*
+the class it responds to most strongly on labelled data, and inference
+predicts the class whose assigned neurons spike most.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.snn.encoding import poisson_rate_code
+from repro.snn.network import DiehlCookNetwork, make_stdp
+from repro.snn.stdp import STDPParameters, normalize_columns
+
+
+@dataclass
+class TrainedModel:
+    """Everything needed to run (and corrupt) a trained SNN.
+
+    ``weights`` is the DRAM-resident tensor; ``theta`` and
+    ``assignments`` are small per-neuron metadata assumed to live
+    on-chip (they are not subject to DRAM errors in the paper's model).
+    """
+
+    weights: np.ndarray
+    theta: np.ndarray
+    assignments: np.ndarray
+    n_input: int
+    n_neurons: int
+    accuracy: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    def copy(self) -> "TrainedModel":
+        return TrainedModel(
+            weights=self.weights.copy(),
+            theta=self.theta.copy(),
+            assignments=self.assignments.copy(),
+            n_input=self.n_input,
+            n_neurons=self.n_neurons,
+            accuracy=self.accuracy,
+            metadata=dict(self.metadata),
+        )
+
+    def install_into(self, network: DiehlCookNetwork) -> None:
+        network.set_weights(self.weights)
+        network.neurons.theta = self.theta.copy()
+
+
+Encoder = Callable[[np.ndarray, int, np.random.Generator], np.ndarray]
+
+
+def _default_encoder(
+    image: np.ndarray, n_steps: int, rng: np.random.Generator
+) -> np.ndarray:
+    return poisson_rate_code(image, n_steps, rng=rng)
+
+
+def run_spike_counts(
+    network: DiehlCookNetwork,
+    images: np.ndarray,
+    n_steps: int,
+    rng: np.random.Generator,
+    encoder: Encoder = _default_encoder,
+) -> np.ndarray:
+    """Spike-count responses (n_samples, n_neurons) without learning."""
+    counts = np.zeros((len(images), network.n_neurons), dtype=np.int64)
+    for i, image in enumerate(images):
+        train = encoder(image, n_steps, rng)
+        counts[i] = network.run_sample(train, stdp=None)
+    return counts
+
+
+def assign_labels(
+    spike_counts: np.ndarray, labels: np.ndarray, n_classes: int = 10
+) -> np.ndarray:
+    """Assign each neuron the class it fires for most, on average.
+
+    Neurons that never fire get assignment ``-1`` and never vote.
+    """
+    labels = np.asarray(labels)
+    if spike_counts.shape[0] != labels.shape[0]:
+        raise ValueError("one label per response row required")
+    n_neurons = spike_counts.shape[1]
+    mean_rates = np.zeros((n_classes, n_neurons))
+    for cls in range(n_classes):
+        rows = spike_counts[labels == cls]
+        if len(rows):
+            mean_rates[cls] = rows.mean(axis=0)
+    assignments = mean_rates.argmax(axis=0).astype(np.int64)
+    silent = mean_rates.max(axis=0) <= 0
+    assignments[silent] = -1
+    return assignments
+
+
+def predict(
+    spike_counts: np.ndarray, assignments: np.ndarray, n_classes: int = 10
+) -> np.ndarray:
+    """Predict the class whose assigned neurons spiked most per sample.
+
+    Votes are normalised by the number of neurons assigned to each class
+    so that over-represented classes do not dominate.
+    """
+    votes = np.zeros((spike_counts.shape[0], n_classes))
+    for cls in range(n_classes):
+        members = assignments == cls
+        n = int(members.sum())
+        if n:
+            votes[:, cls] = spike_counts[:, members].sum(axis=1) / n
+    return votes.argmax(axis=1)
+
+
+def evaluate_accuracy(
+    network: DiehlCookNetwork,
+    images: np.ndarray,
+    labels: np.ndarray,
+    assignments: np.ndarray,
+    n_steps: int,
+    rng: np.random.Generator,
+    encoder: Encoder = _default_encoder,
+    n_classes: int = 10,
+) -> float:
+    """Classification accuracy of ``network`` on a labelled set."""
+    counts = run_spike_counts(network, images, n_steps, rng, encoder)
+    predictions = predict(counts, assignments, n_classes)
+    return float((predictions == np.asarray(labels)).mean())
+
+
+def train_unsupervised(
+    network: DiehlCookNetwork,
+    images: np.ndarray,
+    labels: np.ndarray,
+    n_steps: int = 100,
+    epochs: int = 1,
+    stdp_parameters: Optional[STDPParameters] = None,
+    rng: Optional[np.random.Generator] = None,
+    encoder: Encoder = _default_encoder,
+    corrupt_weights: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    n_classes: int = 10,
+) -> TrainedModel:
+    """Train ``network`` with STDP and return the packaged model.
+
+    ``corrupt_weights``, when given, is applied to the weight tensor
+    before every sample presentation — this is the hook SparkXD's
+    fault-aware training (Algorithm 1) uses to expose the network to
+    DRAM bit errors *during* learning: the network computes with the
+    corrupted weights, and STDP updates are applied to the stored
+    (clean) tensor, exactly as a DRAM-backed accelerator would behave
+    (errors corrupt reads; the training update writes back).
+    """
+    rng = rng or np.random.default_rng()
+    stdp = make_stdp(network, stdp_parameters)
+    images = np.asarray(images)
+    labels = np.asarray(labels)
+    if len(images) != len(labels):
+        raise ValueError("images and labels must align")
+
+    for _epoch in range(epochs):
+        order = rng.permutation(len(images))
+        for i in order:
+            train = encoder(images[i], n_steps, rng)
+            if corrupt_weights is not None:
+                # The network computes with the *corrupted* weights (what
+                # a DRAM read returns); the STDP deltas it produces are
+                # then credited back to the stored clean tensor (what the
+                # training write-back updates).
+                clean = network.weights
+                corrupted = np.asarray(corrupt_weights(clean), dtype=np.float64)
+                network.weights = corrupted.copy()
+                network.run_sample(train, stdp=stdp, normalize=False)
+                delta = network.weights - corrupted
+                network.weights = np.clip(clean + delta, 0.0, network.w_max)
+                if network.parameters.weight_norm > 0:
+                    normalize_columns(network.weights, network.parameters.weight_norm)
+            else:
+                network.run_sample(train, stdp=stdp)
+
+    counts = run_spike_counts(network, images, n_steps, rng, encoder)
+    assignments = assign_labels(counts, labels, n_classes)
+    accuracy = evaluate_accuracy(
+        network, images, labels, assignments, n_steps, rng, encoder, n_classes
+    )
+    return TrainedModel(
+        weights=network.weights.copy(),
+        theta=network.neurons.theta.copy(),
+        assignments=assignments,
+        n_input=network.n_input,
+        n_neurons=network.n_neurons,
+        accuracy=accuracy,
+        metadata={"epochs": epochs, "n_steps": n_steps},
+    )

@@ -1,0 +1,24 @@
+"""SNN inference → DRAM access trace generation and statistics."""
+
+from repro.trace.generator import (
+    InferenceTraceSpec,
+    chunks_for_weights,
+    inference_read_trace,
+)
+from repro.trace.stats import TraceSummary, summarize_trace
+from repro.trace.tiling import (
+    TiledInferencePlan,
+    buffer_sweep,
+    refetch_passes_for_buffer,
+)
+
+__all__ = [
+    "TiledInferencePlan",
+    "buffer_sweep",
+    "refetch_passes_for_buffer",
+    "InferenceTraceSpec",
+    "chunks_for_weights",
+    "inference_read_trace",
+    "TraceSummary",
+    "summarize_trace",
+]

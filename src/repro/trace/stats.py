@@ -1,0 +1,46 @@
+"""Aggregate statistics of executed traces (the 'DRAM access traces &
+statistics' box of the paper's Fig. 10)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.controller import TraceExecutionResult
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Compact, comparable view of one trace execution."""
+
+    v_supply: float
+    accesses: int
+    hit_rate: float
+    miss_rate: float
+    conflict_rate: float
+    total_time_us: float
+    total_energy_mj: float
+    energy_per_access_nj: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.v_supply:.3f}V: {self.accesses} accesses, "
+            f"hit {self.hit_rate:.1%}, {self.total_time_us:.1f}us, "
+            f"{self.total_energy_mj:.4f}mJ "
+            f"({self.energy_per_access_nj:.2f}nJ/access)"
+        )
+
+
+def summarize_trace(result: TraceExecutionResult) -> TraceSummary:
+    """Reduce a :class:`TraceExecutionResult` to headline numbers."""
+    stats = result.stats
+    n = max(stats.accesses, 1)
+    return TraceSummary(
+        v_supply=result.v_supply,
+        accesses=stats.accesses,
+        hit_rate=stats.hits / n,
+        miss_rate=stats.misses / n,
+        conflict_rate=stats.conflicts / n,
+        total_time_us=stats.total_time_ns * 1e-3,
+        total_energy_mj=result.energy.total_nj * 1e-6,
+        energy_per_access_nj=result.energy.total_nj / n,
+    )

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.dram.organization import DramOrganization
+from repro.dram.specs import tiny_spec
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_dram():
+    """A miniature DRAM spec: 2 banks x 2 subarrays x 4 rows x 8 cols."""
+    return tiny_spec()
+
+
+@pytest.fixture
+def tiny_organization(tiny_dram):
+    return DramOrganization(tiny_dram)
+
+
+@pytest.fixture(scope="session")
+def mini_mnist():
+    """A small but trainable dataset reused across tests."""
+    return load_dataset("mnist", n_train=80, n_test=50, seed=7)
+
+
+@pytest.fixture(scope="session")
+def mini_fashion():
+    return load_dataset("fashion", n_train=80, n_test=50, seed=13)

@@ -1,0 +1,63 @@
+"""Tests of the CSV export helpers."""
+
+import csv
+
+import pytest
+
+from repro.analysis.export import (
+    export_accuracy_curve,
+    export_tolerance_report,
+    write_rows,
+)
+from repro.analysis.sweeps import AccuracySweepPoint
+from repro.core.tolerance_analysis import TolerancePoint, ToleranceReport
+
+
+def read_csv(path):
+    with open(path) as handle:
+        return list(csv.reader(handle))
+
+
+class TestWriteRows:
+    def test_roundtrip(self, tmp_path):
+        path = write_rows(tmp_path / "out.csv", ["a", "b"], [[1, 2], [3, 4]])
+        rows = read_csv(path)
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_suffix_appended(self, tmp_path):
+        path = write_rows(tmp_path / "out", ["a"], [[1]])
+        assert path.suffix == ".csv"
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_rows(tmp_path / "out.csv", ["a", "b"], [[1]])
+
+    def test_parent_created(self, tmp_path):
+        path = write_rows(tmp_path / "x" / "y.csv", ["a"], [[1]])
+        assert path.exists()
+
+
+class TestDomainExports:
+    def test_accuracy_curve(self, tmp_path):
+        points = (
+            AccuracySweepPoint(ber=1e-5, accuracy=0.9),
+            AccuracySweepPoint(ber=1e-3, accuracy=0.8),
+        )
+        path = export_accuracy_curve(tmp_path / "curve.csv", points, label="baseline")
+        rows = read_csv(path)
+        assert rows[0] == ["label", "ber", "accuracy"]
+        assert rows[1][0] == "baseline"
+        assert float(rows[2][2]) == 0.8
+
+    def test_tolerance_report(self, tmp_path):
+        report = ToleranceReport(
+            points=(TolerancePoint(1e-5, 0.9, 2),),
+            target_accuracy=0.88,
+            ber_threshold=1e-5,
+            baseline_accuracy=0.9,
+        )
+        path = export_tolerance_report(tmp_path / "tol.csv", report)
+        rows = read_csv(path)
+        kinds = [r[0] for r in rows[1:]]
+        assert kinds == ["point", "target_accuracy", "ber_threshold"]
+        assert float(rows[1][1]) == 1e-5

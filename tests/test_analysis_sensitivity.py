@@ -1,0 +1,68 @@
+"""Tests of the bit-position sensitivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import (
+    flip_single_position,
+    weight_perturbation_by_bit,
+)
+from repro.snn.quantization import FixedPointRepresentation, Float32Representation
+
+
+@pytest.fixture
+def weights(rng):
+    return (rng.random((20, 10)) * 0.9 + 0.05).astype(np.float32)
+
+
+class TestFlipSinglePosition:
+    def test_flips_requested_fraction(self, weights):
+        rep = Float32Representation(sanitize=False)
+        out = flip_single_position(
+            weights, rep, bit_position=0, flip_fraction=0.5,
+            rng=np.random.default_rng(0),
+        )
+        changed = np.count_nonzero(out != weights)
+        assert changed == weights.size // 2
+
+    def test_only_named_bit_flipped(self, weights):
+        rep = Float32Representation(sanitize=False)
+        out = flip_single_position(
+            weights, rep, bit_position=7, flip_fraction=1.0,
+            rng=np.random.default_rng(0),
+        )
+        xor = np.bitwise_xor(weights.view(np.uint32), out.view(np.uint32))
+        assert set(np.unique(xor)) == {1 << 7}
+
+    def test_validation(self, weights):
+        rep = Float32Representation()
+        with pytest.raises(ValueError):
+            flip_single_position(weights, rep, 0, 0.0, np.random.default_rng(0))
+        with pytest.raises(IndexError):
+            flip_single_position(weights, rep, 32, 0.5, np.random.default_rng(0))
+
+
+class TestPerturbationByBit:
+    def test_msb_dwarfs_lsb_for_fp32(self, weights):
+        # The label-2 observation in weight space.
+        rep = Float32Representation(clip_range=(0.0, 1.0))
+        points = weight_perturbation_by_bit(
+            weights, rep, flip_fraction=0.2, bit_positions=(0, 30)
+        )
+        by_bit = {p.bit_position: p.mean_weight_change for p in points}
+        assert by_bit[30] > 1e3 * max(by_bit[0], 1e-12)
+
+    def test_int8_perturbation_doubles_per_bit(self, weights):
+        # fixed point: bit k moves the weight by exactly step * 2^k.
+        rep = FixedPointRepresentation(bits=8)
+        points = weight_perturbation_by_bit(
+            weights, rep, flip_fraction=1.0, bit_positions=(0, 1, 2)
+        )
+        changes = [p.mean_weight_change for p in points]
+        assert changes[1] == pytest.approx(2 * changes[0], rel=1e-6)
+        assert changes[2] == pytest.approx(4 * changes[0], rel=1e-6)
+
+    def test_probes_every_position_by_default(self, weights):
+        rep = FixedPointRepresentation(bits=8)
+        points = weight_perturbation_by_bit(weights, rep, flip_fraction=0.5)
+        assert [p.bit_position for p in points] == list(range(8))

@@ -1,0 +1,64 @@
+"""Tests of the accuracy/energy sweep helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweeps import AccuracySweepPoint, accuracy_vs_ber_sweep
+from repro.core.fault_aware_training import train_baseline
+from repro.errors.injection import ErrorInjector
+from repro.snn.quantization import Float32Representation
+
+
+@pytest.fixture(scope="module")
+def trained():
+    from repro.datasets import load_dataset
+
+    dataset = load_dataset("mnist", 60, 40, seed=7)
+    model = train_baseline(
+        dataset, n_neurons=25, epochs=1, n_steps=50, rng=np.random.default_rng(4)
+    )
+    return dataset, model
+
+
+class TestAccuracySweep:
+    def test_one_point_per_rate_sorted(self, trained):
+        dataset, model = trained
+        injector = ErrorInjector(Float32Representation(clip_range=(0, 1)), seed=1)
+        points = accuracy_vs_ber_sweep(
+            model, dataset, injector, rates=(1e-3, 1e-7),  # unsorted input
+            n_steps=50, rng=np.random.default_rng(0),
+        )
+        assert [p.ber for p in points] == [1e-7, 1e-3]
+        for p in points:
+            assert isinstance(p, AccuracySweepPoint)
+            assert 0.0 <= p.accuracy <= 1.0
+
+    def test_model_weights_restored_after_sweep(self, trained):
+        dataset, model = trained
+        weights_before = model.weights.copy()
+        injector = ErrorInjector(Float32Representation(clip_range=(0, 1)), seed=1)
+        accuracy_vs_ber_sweep(
+            model, dataset, injector, rates=(1e-3,),
+            n_steps=40, rng=np.random.default_rng(0),
+        )
+        assert np.array_equal(model.weights, weights_before)
+
+    def test_trials_validated(self, trained):
+        dataset, model = trained
+        injector = ErrorInjector(Float32Representation(), seed=1)
+        with pytest.raises(ValueError):
+            accuracy_vs_ber_sweep(
+                model, dataset, injector, rates=(1e-3,), n_steps=40,
+                rng=np.random.default_rng(0), trials=0,
+            )
+
+    def test_zero_ber_matches_clean_inference(self, trained):
+        dataset, model = trained
+        injector = ErrorInjector(Float32Representation(clip_range=(0, 1)), seed=1)
+        rng_state = np.random.default_rng(42)
+        points = accuracy_vs_ber_sweep(
+            model, dataset, injector, rates=(0.0,),
+            n_steps=50, rng=rng_state,
+        )
+        # with zero errors the sweep is just an evaluation; sane range
+        assert points[0].accuracy > 0.15

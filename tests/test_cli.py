@@ -1,0 +1,56 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.dataset == "mnist"
+
+    def test_tolerance_rates(self):
+        args = build_parser().parse_args(
+            ["tolerance", "--rates", "1e-7", "1e-5"]
+        )
+        assert args.rates == [1e-7, 1e-5]
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+
+class TestDramCommand:
+    def test_dram_prints_access_table(self, capsys):
+        exit_code = main(["dram"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "hit" in out
+        assert "conflict" in out
+        assert "per-access savings" in out
+
+    def test_dram_custom_voltages(self, capsys):
+        exit_code = main(["dram", "--voltages", "1.35", "1.025"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "1.025V" in out
+
+
+class TestRunCommand:
+    @pytest.mark.slow
+    def test_run_tiny_pipeline(self, capsys, tmp_path):
+        exit_code = main([
+            "run", "--neurons", "15", "--train", "40", "--test", "30",
+            "--steps", "40", "--bound", "0.4",
+            "--save-model", str(tmp_path / "m.npz"),
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "baseline accuracy" in out
+        assert (tmp_path / "m.npz").exists()

@@ -1,0 +1,137 @@
+"""Tests of fault-aware training (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fault_aware_training import (
+    default_ber_schedule,
+    improve_error_tolerance,
+    train_baseline,
+)
+from repro.errors.injection import ErrorInjector
+from repro.snn.network import NetworkParameters
+from repro.snn.quantization import Float32Representation
+
+
+class TestSchedule:
+    def test_default_schedule_spans_paper_range(self):
+        rates = default_ber_schedule()
+        assert rates[0] == pytest.approx(1e-9)
+        assert rates[-1] == pytest.approx(1e-3)
+
+    def test_geometric_progression(self):
+        rates = default_ber_schedule(1e-8, 1e-4, factor=100.0)
+        assert len(rates) == 3
+        assert rates[1] / rates[0] == pytest.approx(100.0)
+
+    def test_ragged_maximum_included_once(self):
+        rates = default_ber_schedule(1e-6, 5e-4, factor=10.0)
+        assert rates[-1] == pytest.approx(5e-4)
+        assert len(rates) == len(set(rates))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            default_ber_schedule(1e-3, 1e-6)
+        with pytest.raises(ValueError):
+            default_ber_schedule(1e-6, 1e-3, factor=1.0)
+
+
+@pytest.fixture(scope="module")
+def small_baseline():
+    """One baseline model shared by the fault-aware tests (trains once)."""
+    from repro.datasets import load_dataset
+
+    dataset = load_dataset("mnist", 60, 40, seed=7)
+    rng = np.random.default_rng(11)
+    model = train_baseline(dataset, n_neurons=25, epochs=1, n_steps=50, rng=rng)
+    return dataset, model
+
+
+class TestTrainBaseline:
+    def test_baseline_learns(self, small_baseline):
+        _dataset, model = small_baseline
+        assert model.accuracy > 0.25
+        assert model.weights.shape == (784, 25)
+
+    def test_accuracy_is_test_split_accuracy(self, small_baseline):
+        _, model = small_baseline
+        assert 0.0 <= model.accuracy <= 1.0
+
+
+class TestImproveErrorTolerance:
+    def test_progressive_training_records_every_stage(self, small_baseline):
+        dataset, baseline = small_baseline
+        injector = ErrorInjector(Float32Representation(clip_range=(0, 1)), seed=3)
+        result = improve_error_tolerance(
+            baseline,
+            dataset,
+            injector,
+            rates=(1e-5, 1e-3),
+            epochs_per_rate=1,
+            n_steps=50,
+            rng=np.random.default_rng(5),
+        )
+        assert result.rates == (1e-5, 1e-3)
+        assert set(result.accuracy_per_rate) == {1e-5, 1e-3}
+        assert result.model.metadata["fault_aware"] is True
+
+    def test_selected_stage_is_highest_passing_or_best(self, small_baseline):
+        dataset, baseline = small_baseline
+        injector = ErrorInjector(Float32Representation(clip_range=(0, 1)), seed=3)
+        result = improve_error_tolerance(
+            baseline,
+            dataset,
+            injector,
+            rates=(1e-5, 1e-3),
+            epochs_per_rate=1,
+            n_steps=50,
+            accuracy_bound=0.10,
+            rng=np.random.default_rng(5),
+        )
+        target = baseline.accuracy - 0.10
+        # the untouched baseline is always a candidate at rate 0.0
+        candidate_accuracy = {0.0: baseline.accuracy}
+        candidate_accuracy.update(result.accuracy_per_rate)
+        passing = [
+            r for r in (0.0,) + result.rates if candidate_accuracy[r] >= target
+        ]
+        assert result.selected_rate == passing[-1]
+        assert result.model.accuracy == candidate_accuracy[result.selected_rate]
+
+    def test_rates_sorted_ascending(self, small_baseline):
+        dataset, baseline = small_baseline
+        injector = ErrorInjector(Float32Representation(clip_range=(0, 1)), seed=3)
+        result = improve_error_tolerance(
+            baseline,
+            dataset,
+            injector,
+            rates=(1e-3, 1e-5),  # unordered on purpose
+            epochs_per_rate=1,
+            n_steps=40,
+            rng=np.random.default_rng(5),
+        )
+        assert result.rates == (1e-5, 1e-3)
+
+    def test_weights_stay_in_range(self, small_baseline):
+        dataset, baseline = small_baseline
+        injector = ErrorInjector(Float32Representation(clip_range=(0, 1)), seed=3)
+        result = improve_error_tolerance(
+            baseline,
+            dataset,
+            injector,
+            rates=(1e-3,),
+            epochs_per_rate=1,
+            n_steps=40,
+            rng=np.random.default_rng(5),
+        )
+        assert np.all(result.model.weights >= 0.0)
+        assert np.all(result.model.weights <= 1.0)
+        assert np.all(np.isfinite(result.model.weights))
+
+    def test_validation(self, small_baseline):
+        dataset, baseline = small_baseline
+        injector = ErrorInjector(Float32Representation(), seed=3)
+        with pytest.raises(ValueError):
+            improve_error_tolerance(baseline, dataset, injector, rates=())
+        with pytest.raises(ValueError):
+            improve_error_tolerance(baseline, dataset, injector, rates=(2.0,))

@@ -1,0 +1,114 @@
+"""Tests of the SparkXD orchestrator and its configuration."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PAPER_BER_RATES, PAPER_VOLTAGES, SparkXDConfig
+from repro.core.framework import SparkXD
+
+
+class TestConfig:
+    def test_defaults_follow_paper(self):
+        cfg = SparkXDConfig()
+        assert cfg.ber_rates == PAPER_BER_RATES
+        assert cfg.voltages == PAPER_VOLTAGES
+        assert cfg.accuracy_bound == 0.01  # "within 1%"
+        assert cfg.v_nominal == pytest.approx(1.35)
+
+    def test_paper_voltages_are_fig12_corners(self):
+        assert PAPER_VOLTAGES == (1.325, 1.250, 1.175, 1.100, 1.025)
+
+    def test_with_overrides(self):
+        cfg = SparkXDConfig().with_overrides(n_neurons=123)
+        assert cfg.n_neurons == 123
+        assert cfg.dataset == "mnist"
+
+    def test_small_preset_valid(self):
+        cfg = SparkXDConfig.small()
+        assert cfg.n_neurons < 400
+
+    def test_paper_preset_sizes(self):
+        cfg = SparkXDConfig.paper(n_neurons=900, dataset="fashion")
+        assert cfg.n_neurons == 900
+        assert cfg.dataset == "fashion"
+        assert cfg.accuracy_bound == 0.01
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_train": 0},
+            {"n_neurons": 0},
+            {"ber_rates": ()},
+            {"ber_rates": (2.0,)},
+            {"accuracy_bound": -0.1},
+            {"voltages": ()},
+            {"voltages": (1.5,)},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SparkXDConfig(**kwargs)
+
+
+class TestEvaluateDram:
+    """evaluate_dram runs without any SNN training, so it tests fast."""
+
+    @pytest.fixture
+    def frame(self):
+        return SparkXD(SparkXDConfig.small(weak_cell_sigma=0.5, weak_cell_seed=1))
+
+    def test_baseline_runs_at_nominal_voltage(self, frame):
+        baseline, _ = frame.evaluate_dram(
+            n_weights=4096, bits_per_weight=32, ber_threshold=1e-3
+        )
+        assert baseline.v_supply == pytest.approx(1.35)
+        assert baseline.stats.accesses == 4096 // 2  # 2 fp32 weights per slot
+
+    def test_feasible_voltages_save_energy(self, frame):
+        baseline, outcomes = frame.evaluate_dram(
+            n_weights=4096, bits_per_weight=32, ber_threshold=1e-3
+        )
+        feasible = [o for o in outcomes.values() if o.feasible]
+        assert feasible, "expected at least one feasible voltage"
+        for outcome in feasible:
+            assert outcome.energy_saving > 0
+            assert outcome.result.stats.accesses == baseline.stats.accesses
+
+    def test_savings_grow_as_voltage_drops(self, frame):
+        _, outcomes = frame.evaluate_dram(
+            n_weights=4096, bits_per_weight=32, ber_threshold=1.0
+        )
+        voltages = sorted(outcomes)
+        savings = [outcomes[v].energy_saving for v in voltages]
+        assert all(a > b for a, b in zip(savings, savings[1:]))
+
+    def test_tight_threshold_makes_low_voltages_infeasible(self, frame):
+        _, outcomes = frame.evaluate_dram(
+            n_weights=4096, bits_per_weight=32, ber_threshold=1e-12
+        )
+        assert not outcomes[1.025].feasible
+        assert outcomes[1.025].result is None
+
+    def test_none_threshold_treated_as_intolerant(self, frame):
+        _, outcomes = frame.evaluate_dram(
+            n_weights=4096, bits_per_weight=32, ber_threshold=None
+        )
+        assert not any(o.feasible for o in outcomes.values())
+
+
+class TestEndToEnd:
+    @pytest.mark.slow
+    def test_small_run_produces_complete_result(self):
+        config = SparkXDConfig.small(
+            n_train=50, n_test=30, n_neurons=20, n_steps=40,
+            baseline_epochs=1, ber_rates=(1e-5, 1e-3), accuracy_bound=0.3,
+        )
+        result = SparkXD(config).run()
+        assert 0.0 <= result.baseline_model.accuracy <= 1.0
+        assert set(result.outcomes) == set(config.voltages)
+        assert result.training.rates == (1e-5, 1e-3)
+        assert len(result.tolerance.points) == 2
+        summary = result.summary()
+        assert "baseline accuracy" in summary
+        assert "mean energy saving" in summary
+        assert isinstance(result.mean_energy_saving(), float)

@@ -1,0 +1,72 @@
+"""Tests of the operating-voltage selection step."""
+
+import pytest
+
+from repro.core.voltage_selection import select_operating_voltage
+from repro.dram.organization import DramOrganization
+from repro.dram.specs import LPDDR3_1600_4GB, tiny_spec
+from repro.errors.weak_cells import WeakCellMap
+
+
+class TestSelection:
+    def test_tolerant_model_gets_lowest_voltage(self):
+        decision = select_operating_voltage(
+            LPDDR3_1600_4GB, n_weights=784 * 100, bits_per_weight=32,
+            ber_threshold=1e-2,  # tolerant beyond every corner's BER
+        )
+        assert decision.v_selected == pytest.approx(1.025)
+        assert decision.estimated_access_saving == pytest.approx(0.42, abs=0.01)
+        assert decision.is_reduced
+
+    def test_moderate_threshold_picks_matching_corner(self):
+        # BER_th 1e-5 -> device BER must be <= 1e-5 -> 1.100V corner.
+        decision = select_operating_voltage(
+            LPDDR3_1600_4GB, n_weights=784 * 100, bits_per_weight=32,
+            ber_threshold=1e-5,
+            weak_cells=WeakCellMap(DramOrganization(LPDDR3_1600_4GB), sigma=0.0),
+        )
+        assert decision.v_selected == pytest.approx(1.100)
+        rejected_voltages = [v for v, _ in decision.rejected]
+        assert 1.025 in rejected_voltages
+
+    def test_none_threshold_falls_back_to_nominal(self):
+        decision = select_operating_voltage(
+            LPDDR3_1600_4GB, n_weights=1024, bits_per_weight=32,
+            ber_threshold=None,
+        )
+        assert decision.v_selected == pytest.approx(1.35)
+        assert not decision.is_reduced
+        assert all(reason == "ber" for _, reason in decision.rejected)
+
+    def test_capacity_rejection(self):
+        # tiny device, tensor larger than any single safe subarray set
+        spec = tiny_spec()
+        org = DramOrganization(spec)
+        # all subarrays identical; threshold below the device BER at
+        # every corner except none -> capacity is the binding constraint
+        # when the tensor exceeds total capacity of safe subarrays.
+        weak = WeakCellMap(org, sigma=2.5, seed=0)
+        n_weights = org.total_slots  # 32-bit slots, 1 weight per slot
+        decision = select_operating_voltage(
+            spec, n_weights=n_weights, bits_per_weight=32,
+            ber_threshold=1e-7, weak_cells=weak,
+        )
+        # at least one corner must have been rejected for capacity
+        # (with sigma=2.5 some subarrays exceed the threshold), or the
+        # search fell back to nominal entirely.
+        reasons = {reason for _, reason in decision.rejected}
+        assert decision.v_selected in (1.35, 1.100, 1.175, 1.250, 1.325)
+        assert reasons <= {"ber", "capacity"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            select_operating_voltage(
+                LPDDR3_1600_4GB, n_weights=0, bits_per_weight=32, ber_threshold=1e-3
+            )
+
+    def test_safe_fraction_reported(self):
+        decision = select_operating_voltage(
+            LPDDR3_1600_4GB, n_weights=1024, bits_per_weight=32,
+            ber_threshold=1e-2,
+        )
+        assert 0.0 < decision.safe_subarray_fraction <= 1.0

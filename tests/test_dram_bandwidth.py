@@ -1,0 +1,41 @@
+"""Tests of the bandwidth accounting module."""
+
+import pytest
+
+from repro.dram.bandwidth import bandwidth_report, peak_bandwidth_gbps
+from repro.dram.controller import DramController
+from repro.dram.specs import LPDDR3_1600_4GB, tiny_spec
+
+
+class TestPeak:
+    def test_lpddr3_1600_sustained_peak(self):
+        # 64-bit column per 5 ns burst window -> 1.6 GB/s sustained
+        assert peak_bandwidth_gbps(LPDDR3_1600_4GB) == pytest.approx(1.6)
+
+
+class TestReport:
+    def test_streaming_hits_approach_peak(self):
+        controller = DramController(LPDDR3_1600_4GB)
+        result = controller.execute(list(range(4096)), 1.35)
+        report = bandwidth_report(LPDDR3_1600_4GB, result.stats, result.timing)
+        assert report.efficiency > 0.9  # hit-dominated stream saturates the bus
+        assert report.bus_utilization > 0.9
+        assert report.achieved_gbps <= report.peak_gbps + 1e-9
+
+    def test_conflict_heavy_trace_loses_bandwidth(self):
+        controller = DramController(tiny_spec())
+        org = controller.organization
+        g = org.geometry
+        # ping-pong between two rows of the same bank: all conflicts
+        a, b = 0, g.columns_per_row
+        trace = [a, b] * 20
+        result = controller.execute(trace, 1.35)
+        report = bandwidth_report(tiny_spec(), result.stats, result.timing)
+        assert report.efficiency < 0.3
+
+    def test_empty_trace(self):
+        controller = DramController(tiny_spec())
+        result = controller.execute([], 1.35)
+        report = bandwidth_report(tiny_spec(), result.stats, result.timing)
+        assert report.achieved_gbps == 0.0
+        assert report.efficiency == 0.0

@@ -1,0 +1,154 @@
+"""Tests of the row-buffer state machine and cycle accounting."""
+
+import pytest
+
+from repro.dram.commands import AccessCondition, CommandKind
+from repro.dram.organization import DramOrganization
+from repro.dram.row_buffer import RowBufferSimulator
+from repro.dram.specs import tiny_spec
+from repro.dram.timing import timing_for_voltage
+
+
+@pytest.fixture
+def org():
+    return DramOrganization(tiny_spec())
+
+
+@pytest.fixture
+def sim(org):
+    timing = timing_for_voltage(org.spec, 1.35)
+    return RowBufferSimulator(org, timing)
+
+
+def coords(org, *slots):
+    return [org.coordinate_of(s) for s in slots]
+
+
+class TestClassification:
+    def test_first_access_is_miss(self, sim, org):
+        assert sim.access(org.coordinate_of(0)) is AccessCondition.MISS
+
+    def test_same_row_access_is_hit(self, sim, org):
+        sim.access(org.coordinate_of(0))
+        assert sim.access(org.coordinate_of(1)) is AccessCondition.HIT
+
+    def test_other_row_same_bank_is_conflict(self, sim, org):
+        g = org.geometry
+        sim.access(org.coordinate_of(0))
+        other_row = org.coordinate_of(g.columns_per_row)  # row 1, same bank
+        assert sim.access(other_row) is AccessCondition.CONFLICT
+
+    def test_other_bank_first_access_is_miss(self, sim, org):
+        g = org.geometry
+        sim.access(org.coordinate_of(0))
+        per_bank = g.subarrays_per_bank * g.rows_per_subarray * g.columns_per_row
+        other_bank = org.coordinate_of(per_bank)
+        assert other_bank.bank != 0 or other_bank.chip != 0
+        assert sim.access(other_bank) is AccessCondition.MISS
+
+    def test_classify_does_not_mutate(self, sim, org):
+        c = org.coordinate_of(0)
+        assert sim.classify(c) is AccessCondition.MISS
+        assert sim.classify(c) is AccessCondition.MISS  # still a miss
+        sim.access(c)
+        assert sim.classify(c) is AccessCondition.HIT
+
+
+class TestCommandCounts:
+    def test_hit_issues_only_rd(self, sim, org):
+        sim.access(org.coordinate_of(0))
+        sim.access(org.coordinate_of(1))
+        assert sim.stats.command_counts[CommandKind.RD] == 2
+        assert sim.stats.command_counts[CommandKind.ACT] == 1
+        assert sim.stats.command_counts[CommandKind.PRE] == 0
+
+    def test_conflict_issues_pre_act_rd(self, sim, org):
+        g = org.geometry
+        sim.access(org.coordinate_of(0))
+        sim.access(org.coordinate_of(g.columns_per_row))
+        assert sim.stats.command_counts[CommandKind.PRE] == 1
+        assert sim.stats.command_counts[CommandKind.ACT] == 2
+        assert sim.stats.command_counts[CommandKind.RD] == 2
+
+    def test_stats_accumulate(self, sim, org):
+        stats = sim.run(coords(org, 0, 1, 2, 8, 0))
+        assert stats.accesses == 5
+        assert stats.hits + stats.misses + stats.conflicts == 5
+
+
+class TestTiming:
+    def test_sequential_hits_limited_by_bus(self, org):
+        timing = timing_for_voltage(org.spec, 1.35)
+        sim = RowBufferSimulator(org, timing)
+        n = org.geometry.columns_per_row
+        stats = sim.run(coords(org, *range(n)))
+        # After the first ACT+tRCD, hits stream back-to-back on the bus.
+        expected_min = timing.t_rcd_ns + n * timing.burst_time_ns
+        assert stats.total_time_ns == pytest.approx(expected_min, rel=0.01)
+
+    def test_same_bank_conflict_pays_full_latency(self, org):
+        timing = timing_for_voltage(org.spec, 1.35)
+        sim = RowBufferSimulator(org, timing)
+        g = org.geometry
+        sim.access(org.coordinate_of(0))
+        sim.access(org.coordinate_of(g.columns_per_row))  # same-bank conflict
+        # From t=0: the PRE waits out tRAS, then tRP and tRCD gate the
+        # second RD, which still needs its burst on the bus.
+        lower_bound = (
+            timing.t_ras_ns + timing.t_rp_ns + timing.t_rcd_ns + timing.burst_time_ns
+        )
+        assert sim.stats.total_time_ns >= lower_bound * 0.99
+
+    def test_open_ahead_hides_other_bank_activation(self, org):
+        """The multi-bank burst (Fig. 9b): rotating banks hides ACT."""
+        timing = timing_for_voltage(org.spec, 1.35)
+        g = org.geometry
+        per_bank = g.subarrays_per_bank * g.rows_per_subarray * g.columns_per_row
+        # alternate banks every row worth of columns
+        trace = []
+        for row in range(2):
+            for bank in range(g.banks_per_chip):
+                base = bank * per_bank + row * g.columns_per_row
+                trace.extend(range(base, base + g.columns_per_row))
+
+        sim_ahead = RowBufferSimulator(org, timing, open_ahead=True)
+        ahead = sim_ahead.run(coords(org, *trace)).total_time_ns
+        sim_lazy = RowBufferSimulator(org, timing, open_ahead=False)
+        lazy = sim_lazy.run(coords(org, *trace)).total_time_ns
+        assert ahead < lazy
+
+    def test_derated_timing_slows_misses(self, org):
+        g = org.geometry
+        trace = coords(org, 0, g.columns_per_row, 2 * g.columns_per_row)
+        nominal = RowBufferSimulator(org, timing_for_voltage(org.spec, 1.35))
+        reduced = RowBufferSimulator(org, timing_for_voltage(org.spec, 1.025))
+        t_nominal = nominal.run(list(trace)).total_time_ns
+        t_reduced = reduced.run(list(trace)).total_time_ns
+        assert t_reduced > t_nominal
+
+
+class TestFinishAccounting:
+    def test_active_time_counted(self, sim, org):
+        sim.access(org.coordinate_of(0))
+        stats = sim.finish()
+        assert stats.bank_active_time_ns > 0
+        assert stats.banks_touched == 1
+
+    def test_idle_time_nonnegative(self, sim, org):
+        g = org.geometry
+        per_bank = g.subarrays_per_bank * g.rows_per_subarray * g.columns_per_row
+        sim.access(org.coordinate_of(0))
+        sim.access(org.coordinate_of(per_bank))
+        stats = sim.finish()
+        assert stats.idle_time_ns >= 0
+        assert stats.banks_touched == 2
+
+    def test_hit_rate(self, sim, org):
+        stats = sim.run(coords(org, 0, 1, 2, 3))
+        assert stats.hit_rate == pytest.approx(3 / 4)
+
+    def test_empty_trace(self, sim):
+        stats = sim.run([])
+        assert stats.accesses == 0
+        assert stats.hit_rate == 0.0
+        assert stats.total_time_ns == 0.0

@@ -1,0 +1,89 @@
+"""Unit tests for DRAM device specifications."""
+
+import dataclasses
+
+import pytest
+
+from repro.dram.specs import (
+    DramGeometry,
+    DramSpec,
+    ElectricalParameters,
+    LPDDR3_1600_4GB,
+    NominalTimings,
+    tiny_spec,
+)
+
+
+class TestDramGeometry:
+    def test_default_geometry_is_valid(self):
+        DramGeometry().validate()
+
+    def test_capacity_chain_is_consistent(self):
+        g = DramGeometry()
+        assert g.rows_per_bank == g.subarrays_per_bank * g.rows_per_subarray
+        assert g.row_size_bits == g.columns_per_row * g.column_width_bits
+        assert g.subarray_size_bits == g.rows_per_subarray * g.row_size_bits
+        assert g.bank_size_bits == g.subarrays_per_bank * g.subarray_size_bits
+        assert g.chip_size_bits == g.banks_per_chip * g.bank_size_bits
+
+    def test_total_size_multiplies_all_levels(self):
+        g = DramGeometry(channels=2, ranks_per_channel=3, chips_per_rank=4)
+        assert g.total_size_bits == 2 * 3 * 4 * g.chip_size_bits
+
+    def test_total_subarrays(self):
+        g = DramGeometry(channels=2, banks_per_chip=4, subarrays_per_bank=8)
+        assert g.total_subarrays == 2 * 4 * 8
+
+    @pytest.mark.parametrize("field", ["channels", "banks_per_chip", "rows_per_subarray"])
+    def test_nonpositive_dimension_rejected(self, field):
+        g = dataclasses.replace(DramGeometry(), **{field: 0})
+        with pytest.raises(ValueError, match=field):
+            g.validate()
+
+
+class TestNominalTimings:
+    def test_row_cycle_is_ras_plus_rp(self):
+        t = NominalTimings(t_ras_ns=42.0, t_rp_ns=18.0)
+        assert t.t_rc_ns == pytest.approx(60.0)
+
+
+class TestElectricalParameters:
+    def test_defaults_valid(self):
+        ElectricalParameters().validate()
+
+    def test_vmin_above_nominal_rejected(self):
+        bad = ElectricalParameters(v_nominal_volts=1.0, v_min_volts=1.2)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+
+class TestPaperSpec:
+    def test_lpddr3_is_4_gigabit(self):
+        # The paper's device: LPDDR3-1600 4Gb.
+        assert LPDDR3_1600_4GB.geometry.total_size_bits == 4 * 2**30
+
+    def test_lpddr3_nominal_voltage(self):
+        assert LPDDR3_1600_4GB.electrical.v_nominal_volts == pytest.approx(1.35)
+        assert LPDDR3_1600_4GB.electrical.v_min_volts == pytest.approx(1.025)
+
+    def test_lpddr3_clock_matches_1600(self):
+        # DDR-1600 -> 800 MHz -> 1.25 ns.
+        assert LPDDR3_1600_4GB.timings.clock_ns == pytest.approx(1.25)
+
+    def test_scaled_overrides_geometry_only(self):
+        small = LPDDR3_1600_4GB.scaled(rows_per_subarray=4, columns_per_row=8)
+        assert small.geometry.rows_per_subarray == 4
+        assert small.geometry.columns_per_row == 8
+        assert small.geometry.banks_per_chip == LPDDR3_1600_4GB.geometry.banks_per_chip
+        assert small.timings == LPDDR3_1600_4GB.timings
+        small.validate()
+
+
+class TestTinySpec:
+    def test_tiny_spec_valid_and_small(self):
+        spec = tiny_spec()
+        spec.validate()
+        assert spec.geometry.total_size_bits <= 64 * 1024
+
+    def test_tiny_spec_custom_name(self):
+        assert tiny_spec("abc").name == "abc"

@@ -1,0 +1,80 @@
+"""Tests of voltage-dependent timing parameters."""
+
+import pytest
+
+from repro.dram.specs import LPDDR3_1600_4GB
+from repro.dram.timing import TimingParameters, timing_for_voltage
+from repro.dram.voltage import ArrayVoltageModel
+
+
+class TestTimingForVoltage:
+    def test_nominal_voltage_returns_nominal_timings(self):
+        t = timing_for_voltage(LPDDR3_1600_4GB, 1.35)
+        nominal = LPDDR3_1600_4GB.timings
+        assert t.t_rcd_ns == pytest.approx(nominal.t_rcd_ns)
+        assert t.t_ras_ns == pytest.approx(nominal.t_ras_ns)
+        assert t.t_rp_ns == pytest.approx(nominal.t_rp_ns)
+
+    def test_reduced_voltage_derates_row_timings(self):
+        t = timing_for_voltage(LPDDR3_1600_4GB, 1.025)
+        nominal = LPDDR3_1600_4GB.timings
+        assert t.t_rcd_ns > nominal.t_rcd_ns
+        assert t.t_ras_ns > nominal.t_ras_ns
+        assert t.t_rp_ns > nominal.t_rp_ns
+
+    def test_interface_timings_unchanged(self):
+        # The I/O clock and CAS latency run from a separate rail.
+        t = timing_for_voltage(LPDDR3_1600_4GB, 1.025)
+        nominal = LPDDR3_1600_4GB.timings
+        assert t.clock_ns == pytest.approx(nominal.clock_ns)
+        assert t.t_cl_ns == pytest.approx(nominal.t_cl_ns)
+        assert t.burst_length == nominal.burst_length
+
+    def test_derating_is_consistent_across_parameters(self):
+        t = timing_for_voltage(LPDDR3_1600_4GB, 1.1)
+        nominal = LPDDR3_1600_4GB.timings
+        ratio_rcd = t.t_rcd_ns / nominal.t_rcd_ns
+        ratio_ras = t.t_ras_ns / nominal.t_ras_ns
+        ratio_rp = t.t_rp_ns / nominal.t_rp_ns
+        assert ratio_rcd == pytest.approx(ratio_ras) == pytest.approx(ratio_rp)
+
+    def test_custom_voltage_model_used(self):
+        aggressive = ArrayVoltageModel(drive_exponent=4.0)
+        gentle = ArrayVoltageModel(drive_exponent=1.0)
+        t_fast = timing_for_voltage(LPDDR3_1600_4GB, 1.1, gentle)
+        t_slow = timing_for_voltage(LPDDR3_1600_4GB, 1.1, aggressive)
+        assert t_slow.t_rcd_ns > t_fast.t_rcd_ns
+
+
+class TestTimingParameters:
+    def test_row_cycle_time(self):
+        t = TimingParameters(
+            v_supply=1.35, clock_ns=1.25, t_rcd_ns=18, t_ras_ns=42,
+            t_rp_ns=18, t_cl_ns=15, burst_length=8,
+        )
+        assert t.t_rc_ns == pytest.approx(60)
+
+    def test_burst_time_is_ddr(self):
+        t = TimingParameters(
+            v_supply=1.35, clock_ns=1.25, t_rcd_ns=18, t_ras_ns=42,
+            t_rp_ns=18, t_cl_ns=15, burst_length=8,
+        )
+        # 8 beats at 2 beats per 1.25ns cycle -> 5 ns.
+        assert t.burst_time_ns == pytest.approx(5.0)
+
+    def test_cycles_rounds_up(self):
+        t = TimingParameters(
+            v_supply=1.35, clock_ns=1.25, t_rcd_ns=18, t_ras_ns=42,
+            t_rp_ns=18, t_cl_ns=15, burst_length=8,
+        )
+        assert t.cycles(0.0) == 0
+        assert t.cycles(1.25) == 1
+        assert t.cycles(1.3) == 2
+
+    def test_cycles_rejects_negative(self):
+        t = TimingParameters(
+            v_supply=1.35, clock_ns=1.25, t_rcd_ns=18, t_ras_ns=42,
+            t_rp_ns=18, t_cl_ns=15, burst_length=8,
+        )
+        with pytest.raises(ValueError):
+            t.cycles(-1.0)

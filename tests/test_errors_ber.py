@@ -1,0 +1,80 @@
+"""Tests of the BER-versus-voltage curve (Fig. 2c)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors.ber import BerVoltageCurve, DEFAULT_BER_CURVE
+
+
+class TestDefaultCurve:
+    def test_zero_errors_at_safe_voltage(self):
+        assert DEFAULT_BER_CURVE.ber_at(1.35) == 0.0
+        assert DEFAULT_BER_CURVE.ber_at(1.40) == 0.0
+
+    def test_anchor_points_exact(self):
+        for v, ber in DEFAULT_BER_CURVE.anchors:
+            assert DEFAULT_BER_CURVE.ber_at(v) == pytest.approx(ber, rel=1e-9)
+
+    def test_monotone_decreasing_in_voltage(self):
+        # Fig. 2(c): bit error rate increases as the supply decreases.
+        voltages = np.linspace(1.0, 1.34, 50)
+        bers = DEFAULT_BER_CURVE.ber_array(voltages)
+        assert np.all(np.diff(bers) < 0)
+
+    def test_span_matches_figure(self):
+        # Fig. 2(c) spans roughly 1e-8 (high V) to 1e-2 (low V).
+        assert DEFAULT_BER_CURVE.ber_at(1.325) <= 1e-8
+        assert DEFAULT_BER_CURVE.ber_at(1.025) >= 1e-4
+
+    def test_extrapolation_below_range_grows(self):
+        assert DEFAULT_BER_CURVE.ber_at(1.0) > DEFAULT_BER_CURVE.ber_at(1.025)
+
+    def test_invalid_voltage_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_BER_CURVE.ber_at(0.0)
+
+
+class TestInverse:
+    def test_voltage_for_zero_ber_is_safe_voltage(self):
+        assert DEFAULT_BER_CURVE.voltage_for_ber(0.0) == DEFAULT_BER_CURVE.v_safe
+
+    def test_inverse_of_anchor(self):
+        for v, ber in DEFAULT_BER_CURVE.anchors:
+            assert DEFAULT_BER_CURVE.voltage_for_ber(ber) == pytest.approx(v, abs=1e-9)
+
+    @settings(max_examples=100, deadline=None)
+    @given(v=st.floats(min_value=1.03, max_value=1.32))
+    def test_roundtrip_property(self, v):
+        ber = DEFAULT_BER_CURVE.ber_at(v)
+        assert DEFAULT_BER_CURVE.voltage_for_ber(ber) == pytest.approx(v, abs=1e-6)
+
+    def test_threshold_semantics(self):
+        # voltage_for_ber returns the lowest voltage whose BER does not
+        # exceed the threshold.
+        v = DEFAULT_BER_CURVE.voltage_for_ber(1e-6)
+        assert DEFAULT_BER_CURVE.ber_at(v) <= 1e-6 * (1 + 1e-9)
+        assert DEFAULT_BER_CURVE.ber_at(v - 0.01) > 1e-6
+
+
+class TestValidation:
+    def test_requires_two_anchors(self):
+        with pytest.raises(ValueError):
+            BerVoltageCurve(anchors=((1.0, 1e-3),))
+
+    def test_rejects_nonincreasing_voltages(self):
+        with pytest.raises(ValueError):
+            BerVoltageCurve(anchors=((1.1, 1e-3), (1.1, 1e-5)))
+
+    def test_rejects_nondecreasing_bers(self):
+        with pytest.raises(ValueError):
+            BerVoltageCurve(anchors=((1.0, 1e-5), (1.1, 1e-3)))
+
+    def test_rejects_zero_ber_anchor(self):
+        with pytest.raises(ValueError):
+            BerVoltageCurve(anchors=((1.0, 1e-3), (1.1, 0.0)))
+
+    def test_rejects_anchor_at_or_above_safe(self):
+        with pytest.raises(ValueError):
+            BerVoltageCurve(anchors=((1.0, 1e-3), (1.35, 1e-9)), v_safe=1.35)

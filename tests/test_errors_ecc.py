@@ -1,0 +1,121 @@
+"""Tests of the SEC-DED ECC comparator."""
+
+import numpy as np
+import pytest
+
+from repro.errors.ecc import (
+    CODE_BITS,
+    DATA_BITS,
+    ECC_OVERHEAD,
+    EccProtectedRepresentation,
+    decode_words,
+    encode_words,
+)
+from repro.snn.quantization import FixedPointRepresentation, Float32Representation
+
+
+@pytest.fixture
+def data(rng):
+    return rng.integers(0, 2**63, size=32, dtype=np.uint64)
+
+
+class TestCode:
+    def test_overhead_is_one_eighth(self):
+        assert ECC_OVERHEAD == pytest.approx(0.125)
+
+    def test_clean_roundtrip(self, data):
+        code = encode_words(data)
+        decoded, report = decode_words(code)
+        assert np.array_equal(decoded, data)
+        assert report.corrected_words == 0
+        assert report.uncorrectable_words == 0
+
+    def test_codeword_shape(self, data):
+        code = encode_words(data)
+        assert code.shape == (data.size, CODE_BITS)
+        assert set(np.unique(code)) <= {0, 1}
+
+    def test_single_bit_error_corrected_any_position(self, data):
+        code = encode_words(data)
+        for bit in (0, 1, 31, DATA_BITS - 1, DATA_BITS, CODE_BITS - 1):
+            corrupted = code.copy()
+            corrupted[0, bit] ^= 1
+            decoded, report = decode_words(corrupted)
+            assert np.array_equal(decoded, data), f"bit {bit} not corrected"
+            assert report.corrected_words == 1
+
+    def test_double_bit_error_detected_not_miscorrected(self, data):
+        code = encode_words(data)
+        corrupted = code.copy()
+        corrupted[0, 3] ^= 1
+        corrupted[0, 47] ^= 1
+        decoded, report = decode_words(corrupted)
+        assert report.uncorrectable_words == 1
+        assert report.corrected_words == 0
+
+    def test_independent_words_corrected_independently(self, data):
+        code = encode_words(data)
+        corrupted = code.copy()
+        corrupted[0, 5] ^= 1
+        corrupted[1, 9] ^= 1
+        decoded, report = decode_words(corrupted)
+        assert np.array_equal(decoded, data)
+        assert report.corrected_words == 2
+
+    def test_decode_validates_shape(self):
+        with pytest.raises(ValueError):
+            decode_words(np.zeros((4, 10), dtype=np.uint8))
+
+
+class TestProtectedRepresentation:
+    def test_bits_per_weight_includes_overhead(self):
+        rep = EccProtectedRepresentation(Float32Representation())
+        assert rep.bits_per_weight == pytest.approx(32 * 9 / 8)
+
+    def test_clean_roundtrip_fp32(self, rng):
+        weights = rng.random(100).astype(np.float32)
+        rep = EccProtectedRepresentation(Float32Representation())
+        restored, report = rep.protected_roundtrip(weights, np.array([], dtype=np.int64))
+        assert np.array_equal(restored, weights)
+        assert report.corrected_words == 0
+
+    def test_clean_roundtrip_int8(self, rng):
+        weights = rng.random(64).astype(np.float32)
+        inner = FixedPointRepresentation(bits=8)
+        rep = EccProtectedRepresentation(inner)
+        restored, _ = rep.protected_roundtrip(weights, np.array([], dtype=np.int64))
+        assert np.array_equal(restored, inner.roundtrip(weights))
+
+    def test_sparse_flips_fully_corrected(self, rng):
+        # one flip per codeword at most -> everything corrected
+        weights = rng.random(16).astype(np.float32)  # 8 codewords
+        rep = EccProtectedRepresentation(Float32Representation())
+        flips = np.array([w * CODE_BITS + int(rng.integers(CODE_BITS)) for w in range(8)])
+        restored, report = rep.protected_roundtrip(weights, flips)
+        assert np.array_equal(restored, weights)
+        assert report.corrected_words == 8
+
+    def test_dense_flips_break_through(self, rng):
+        # two flips in the same codeword are uncorrectable
+        weights = rng.random(2).astype(np.float32)  # one codeword
+        rep = EccProtectedRepresentation(Float32Representation(sanitize=False))
+        restored, report = rep.protected_roundtrip(weights, np.array([3, 40]))
+        assert report.uncorrectable_words == 1
+
+    def test_incompatible_inner_width_rejected(self):
+        class Odd:
+            bits_per_weight = 24
+
+        with pytest.raises(ValueError):
+            EccProtectedRepresentation(Odd())
+
+    def test_works_through_error_injector(self, rng):
+        from repro.errors.injection import ErrorInjector
+
+        weights = rng.random(128).astype(np.float32)
+        rep = EccProtectedRepresentation(Float32Representation())
+        injector = ErrorInjector(rep, seed=0)
+        # at low BER, nearly all flips are singletons per 72-bit word
+        out, _report = injector.inject_uniform(weights, 1e-4)
+        out = out.ravel()[: weights.size]
+        assert np.count_nonzero(out != weights) <= 2

@@ -1,0 +1,150 @@
+"""Tests of bit-error injection into weight tensors."""
+
+import numpy as np
+import pytest
+
+from repro.errors.injection import ErrorInjector
+from repro.errors.models import ErrorModel3, make_error_model
+from repro.snn.quantization import FixedPointRepresentation, Float32Representation
+
+
+@pytest.fixture
+def weights(rng):
+    return rng.random((50, 40)).astype(np.float32)
+
+
+class TestUniformInjection:
+    def test_zero_ber_is_identity(self, weights):
+        injector = ErrorInjector(Float32Representation(), seed=0)
+        out, report = injector.inject_uniform(weights, 0.0)
+        assert np.array_equal(out, weights)
+        assert report.flipped_bits == 0
+        assert report.achieved_ber == 0.0
+
+    def test_achieved_ber_close_to_requested(self, weights):
+        injector = ErrorInjector(Float32Representation(sanitize=False), seed=0)
+        out, report = injector.inject_uniform(weights, 0.01)
+        assert report.total_bits == weights.size * 32
+        assert report.achieved_ber == pytest.approx(0.01, rel=0.5)
+
+    def test_flip_count_matches_bit_difference(self, weights):
+        injector = ErrorInjector(Float32Representation(sanitize=False), seed=1)
+        out, report = injector.inject_uniform(weights, 0.005)
+        diff = np.bitwise_xor(weights.view(np.uint32), out.view(np.uint32))
+        assert int(np.unpackbits(diff.view(np.uint8)).sum()) == report.flipped_bits
+
+    def test_input_untouched(self, weights):
+        original = weights.copy()
+        ErrorInjector(Float32Representation(), seed=0).inject_uniform(weights, 0.01)
+        assert np.array_equal(weights, original)
+
+    def test_shape_preserved(self, weights):
+        out, _ = ErrorInjector(Float32Representation(), seed=0).inject_uniform(
+            weights, 0.01
+        )
+        assert out.shape == weights.shape
+
+    def test_deterministic_with_explicit_rng(self, weights):
+        injector = ErrorInjector(Float32Representation(), seed=0)
+        a, _ = injector.inject_uniform(weights, 0.01, rng=np.random.default_rng(9))
+        b, _ = injector.inject_uniform(weights, 0.01, rng=np.random.default_rng(9))
+        assert np.array_equal(a, b)
+
+    def test_internal_stream_advances(self, weights):
+        injector = ErrorInjector(Float32Representation(), seed=0)
+        a, _ = injector.inject_uniform(weights, 0.01)
+        b, _ = injector.inject_uniform(weights, 0.01)
+        assert not np.array_equal(a, b)
+
+    def test_sanitize_removes_nonfinite(self, weights):
+        injector = ErrorInjector(Float32Representation(sanitize=True), seed=0)
+        out, _ = injector.inject_uniform(weights, 0.05)
+        assert np.all(np.isfinite(out))
+
+    def test_clip_range_respected(self, weights):
+        rep = Float32Representation(clip_range=(0.0, 1.0))
+        out, _ = ErrorInjector(rep, seed=0).inject_uniform(weights, 0.05)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+class TestFixedPointInjection:
+    def test_int8_flip_bounded_damage(self, rng):
+        weights = rng.random(1000).astype(np.float32)
+        rep = FixedPointRepresentation(bits=8, w_min=0.0, w_max=1.0)
+        injector = ErrorInjector(rep, seed=0)
+        out, report = injector.inject_uniform(weights, 0.01)
+        clean = rep.roundtrip(weights)
+        # any single int8 bit flip moves a weight by at most the MSB step
+        assert np.max(np.abs(out - clean)) <= rep.max_flip_error() * 2 + 1e-6
+        assert report.total_bits == weights.size * 8
+
+
+class TestRegionInjection:
+    def test_region_rates_respected(self, rng):
+        weights = rng.random(20_000).astype(np.float32)
+        regions = (np.arange(weights.size) >= weights.size // 2).astype(np.int64)
+        rates = np.array([0.0, 0.02])
+        injector = ErrorInjector(Float32Representation(sanitize=False), seed=0)
+        out, report = injector.inject_by_region(weights, regions, rates)
+        first_half = slice(0, weights.size // 2)
+        second_half = slice(weights.size // 2, None)
+        assert np.array_equal(out.ravel()[first_half], weights[first_half])
+        assert not np.array_equal(out.ravel()[second_half], weights[second_half])
+        assert report.per_region_flips[0] == 0
+        assert report.per_region_flips[1] > 0
+
+    def test_region_index_validation(self, rng):
+        weights = rng.random(10).astype(np.float32)
+        injector = ErrorInjector(Float32Representation(), seed=0)
+        with pytest.raises(IndexError):
+            injector.inject_by_region(
+                weights, np.full(10, 3, dtype=np.int64), np.array([0.1])
+            )
+
+    def test_region_shape_validation(self, rng):
+        weights = rng.random(10).astype(np.float32)
+        injector = ErrorInjector(Float32Representation(), seed=0)
+        with pytest.raises(ValueError):
+            injector.inject_by_region(
+                weights, np.zeros(5, dtype=np.int64), np.array([0.1])
+            )
+
+    def test_rate_range_validation(self, rng):
+        weights = rng.random(10).astype(np.float32)
+        injector = ErrorInjector(Float32Representation(), seed=0)
+        with pytest.raises(ValueError):
+            injector.inject_by_region(
+                weights, np.zeros(10, dtype=np.int64), np.array([1.5])
+            )
+
+
+class TestStructuredModels:
+    def test_model3_uses_stored_values(self, rng):
+        # Data-dependent model: all-zero words can only see 0->1 flips.
+        weights = np.zeros(5000, dtype=np.float32)
+        injector = ErrorInjector(
+            Float32Representation(sanitize=False),
+            model=ErrorModel3(one_to_zero_ratio=4.0),
+            seed=0,
+        )
+        out, report = injector.inject_uniform(weights, 0.01)
+        assert report.flipped_bits > 0
+        assert np.any(out != 0.0)
+
+    @pytest.mark.parametrize("name", ["model0", "model1", "model2", "model3"])
+    def test_all_models_work_through_injector(self, name, rng):
+        weights = rng.random(4096).astype(np.float32)
+        injector = ErrorInjector(
+            Float32Representation(),
+            model=make_error_model(name),
+            lane_bits=64,
+            row_bits=8192,
+            seed=0,
+        )
+        out, report = injector.inject_uniform(weights, 0.01)
+        assert out.shape == weights.shape
+        assert report.flipped_bits >= 0
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorInjector(Float32Representation(), lane_bits=0)

@@ -1,0 +1,45 @@
+"""Every example must at least parse and expose a main() entry point."""
+
+import ast
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    # the deliverable requires at least three runnable examples
+    assert len(EXAMPLE_FILES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_has_main_guard_and_docstring(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path.name} needs a module docstring"
+    has_main = any(
+        isinstance(node, ast.FunctionDef) and node.name == "main"
+        for node in tree.body
+    )
+    assert has_main, f"{path.name} needs a main() function"
+    source = path.read_text()
+    assert '__name__ == "__main__"' in source
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_imports_only_the_public_package(path):
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            root = node.module.split(".")[0]
+            assert root in ("repro", "argparse", "numpy"), (
+                f"{path.name} imports {node.module}; examples should "
+                "exercise the public API"
+            )

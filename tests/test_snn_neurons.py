@@ -1,0 +1,143 @@
+"""Tests of the adaptive LIF neuron layer."""
+
+import numpy as np
+import pytest
+
+from repro.snn.neurons import AdaptiveLIFLayer, LIFParameters
+
+
+@pytest.fixture
+def layer():
+    return AdaptiveLIFLayer(n_neurons=5)
+
+
+class TestParameters:
+    def test_defaults_valid(self):
+        LIFParameters().validate()
+
+    def test_bad_time_constant_rejected(self):
+        with pytest.raises(ValueError):
+            LIFParameters(tau_membrane_ms=0).validate()
+
+    def test_reset_above_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            LIFParameters(v_reset=0.0, v_threshold=-52.0).validate()
+
+    def test_layer_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            AdaptiveLIFLayer(0)
+        with pytest.raises(ValueError):
+            AdaptiveLIFLayer(5, dt_ms=0)
+
+
+class TestDynamics:
+    def test_starts_at_rest(self, layer):
+        assert np.all(layer.v == layer.parameters.v_rest)
+        assert np.all(layer.theta == 0.0)
+
+    def test_decays_toward_rest_without_input(self, layer):
+        layer.v[:] = -55.0
+        zero = np.zeros(5)
+        layer.step(zero, zero)
+        assert np.all(layer.v < -55.0)
+        assert np.all(layer.v > layer.parameters.v_rest)
+
+    def test_excitation_raises_potential(self, layer):
+        v0 = layer.v.copy()
+        layer.step(np.full(5, 0.5), np.zeros(5))
+        assert np.all(layer.v > v0)
+
+    def test_inhibition_lowers_potential(self, layer):
+        zero = np.zeros(5)
+        layer.step(zero, np.full(5, 0.5))
+        assert np.all(layer.v < layer.parameters.v_rest)
+
+    def test_strong_input_fires_and_resets(self, layer):
+        spikes = layer.step(np.full(5, 100.0), np.zeros(5))
+        assert np.all(spikes)
+        assert np.all(layer.v == layer.parameters.v_reset)
+
+    def test_membrane_decay_is_exponential_shape(self):
+        # Fig. 4(b): potential decreases exponentially without input.
+        layer = AdaptiveLIFLayer(1, LIFParameters(tau_membrane_ms=10.0))
+        layer.v[:] = -55.0
+        zero = np.zeros(1)
+        gaps = []
+        for _ in range(3):
+            before = layer.v[0] - layer.parameters.v_rest
+            layer.step(zero, zero)
+            after = layer.v[0] - layer.parameters.v_rest
+            gaps.append(after / before)
+        assert gaps[0] == pytest.approx(gaps[1], rel=1e-6)
+        assert gaps[1] == pytest.approx(gaps[2], rel=1e-6)
+
+
+class TestRefractory:
+    def test_refractory_blocks_integration(self, layer):
+        layer.step(np.full(5, 100.0), np.zeros(5))  # fire
+        v_after = layer.v.copy()
+        spikes = layer.step(np.full(5, 100.0), np.zeros(5))
+        assert not np.any(spikes)
+        assert np.array_equal(layer.v, v_after)
+
+    def test_refractory_expires(self):
+        params = LIFParameters(refractory_ms=2.0)
+        layer = AdaptiveLIFLayer(1, params)
+        layer.step(np.array([100.0]), np.zeros(1))  # fire at t=0
+        for _ in range(2):
+            layer.step(np.array([100.0]), np.zeros(1))
+        spikes = layer.step(np.array([100.0]), np.zeros(1))
+        assert spikes[0]
+
+
+class TestAdaptiveThreshold:
+    def test_theta_grows_on_spike(self, layer):
+        layer.step(np.full(5, 100.0), np.zeros(5))
+        assert np.all(layer.theta == pytest.approx(layer.parameters.theta_plus))
+
+    def test_theta_frozen_when_adapt_false(self, layer):
+        layer.step(np.full(5, 100.0), np.zeros(5), adapt=False)
+        assert np.all(layer.theta == 0.0)
+
+    def test_theta_raises_effective_threshold(self):
+        params = LIFParameters(theta_plus=100.0, refractory_ms=0.0)
+        layer = AdaptiveLIFLayer(1, params)
+        layer.step(np.array([100.0]), np.zeros(1))  # fire, theta jumps
+        fired = []
+        for _ in range(10):
+            fired.append(layer.step(np.array([10.0]), np.zeros(1))[0])
+        assert not any(fired)  # theta now too high for this drive
+
+    def test_theta_decays_slowly(self, layer):
+        layer.theta[:] = 1.0
+        layer.step(np.zeros(5), np.zeros(5))
+        assert np.all(layer.theta < 1.0)
+        assert np.all(layer.theta > 0.999)
+
+
+class TestStateManagement:
+    def test_reset_keeps_theta_by_default(self, layer):
+        layer.step(np.full(5, 100.0), np.zeros(5))
+        theta = layer.theta.copy()
+        layer.reset_state()
+        assert np.array_equal(layer.theta, theta)
+        assert np.all(layer.v == layer.parameters.v_rest)
+
+    def test_reset_can_clear_theta(self, layer):
+        layer.step(np.full(5, 100.0), np.zeros(5))
+        layer.reset_state(keep_theta=False)
+        assert np.all(layer.theta == 0.0)
+
+    def test_snapshot_roundtrip(self, layer):
+        layer.step(np.full(5, 100.0), np.zeros(5))
+        snap = layer.state_snapshot()
+        layer.step(np.full(5, 3.0), np.zeros(5))
+        layer.load_state(snap)
+        assert np.array_equal(layer.v, snap["v"])
+        assert np.array_equal(layer.theta, snap["theta"])
+
+    def test_load_state_validates_shape(self, layer):
+        snap = layer.state_snapshot()
+        snap["v"] = np.zeros(3)
+        with pytest.raises(ValueError):
+            layer.load_state(snap)

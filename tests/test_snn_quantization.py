@@ -1,0 +1,126 @@
+"""Tests of weight storage representations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.snn.quantization import (
+    FixedPointRepresentation,
+    Float32Representation,
+    make_representation,
+    quantization_error,
+)
+
+
+class TestFloat32:
+    def test_roundtrip_exact(self, rng):
+        weights = rng.random(100).astype(np.float32)
+        rep = Float32Representation()
+        assert np.array_equal(rep.roundtrip(weights), weights)
+
+    def test_bits_per_weight(self):
+        assert Float32Representation().bits_per_weight == 32
+
+    def test_sanitize_flushes_nonfinite(self):
+        rep = Float32Representation(sanitize=True)
+        words = np.array([0x7FC00000, 0x7F800000, 0x3F800000], dtype=np.uint32)
+        decoded = rep.decode(words)  # NaN, +Inf, 1.0
+        assert decoded[0] == 0.0
+        assert decoded[1] == 0.0
+        assert decoded[2] == 1.0
+
+    def test_no_sanitize_keeps_nan(self):
+        rep = Float32Representation(sanitize=False)
+        decoded = rep.decode(np.array([0x7FC00000], dtype=np.uint32))
+        assert np.isnan(decoded[0])
+
+    def test_clip_range_saturates(self):
+        rep = Float32Representation(clip_range=(0.0, 1.0))
+        words = rep.encode(np.array([-3.0, 0.5, 7.0], dtype=np.float32))
+        decoded = rep.decode(words)
+        assert decoded.tolist() == [0.0, 0.5, 1.0]
+
+    def test_invalid_clip_range_rejected(self):
+        with pytest.raises(ValueError):
+            Float32Representation(clip_range=(1.0, 0.0))
+
+    def test_flip_bits_changes_one_bit(self):
+        rep = Float32Representation()
+        words = rep.encode(np.array([1.0], dtype=np.float32))
+        flipped = rep.flip_bits(words, np.array([0]))
+        assert np.bitwise_xor(words, flipped)[0] == 1
+
+    def test_storage_bits(self):
+        assert Float32Representation().storage_bits(100) == 3200
+        with pytest.raises(ValueError):
+            Float32Representation().storage_bits(-1)
+
+
+class TestFixedPoint:
+    def test_int8_roundtrip_within_step(self, rng):
+        weights = rng.random(200)
+        rep = FixedPointRepresentation(bits=8)
+        restored = rep.roundtrip(weights)
+        assert np.max(np.abs(restored - weights)) <= rep.step / 2 + 1e-9
+
+    def test_extremes_exact(self):
+        rep = FixedPointRepresentation(bits=8, w_min=0.0, w_max=1.0)
+        assert rep.roundtrip(np.array([0.0]))[0] == 0.0
+        assert rep.roundtrip(np.array([1.0]))[0] == 1.0
+
+    def test_encode_clips_out_of_range(self):
+        rep = FixedPointRepresentation(bits=8)
+        words = rep.encode(np.array([-5.0, 5.0]))
+        assert words[0] == 0
+        assert words[1] == 255
+
+    def test_step_and_max_flip_error(self):
+        rep = FixedPointRepresentation(bits=8, w_min=0.0, w_max=1.0)
+        assert rep.step == pytest.approx(1 / 255)
+        assert rep.max_flip_error() == pytest.approx(128 / 255)
+
+    def test_int16_has_finer_step(self):
+        assert (
+            FixedPointRepresentation(bits=16).step
+            < FixedPointRepresentation(bits=8).step
+        )
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPointRepresentation(bits=7)
+        with pytest.raises(ValueError):
+            FixedPointRepresentation(w_min=1.0, w_max=0.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_quantisation_idempotent_property(self, value):
+        # decode(encode(x)) is a fixed point of the quantiser.
+        rep = FixedPointRepresentation(bits=8)
+        once = rep.roundtrip(np.array([value]))
+        twice = rep.roundtrip(once)
+        assert np.array_equal(once, twice)
+
+
+class TestFactoryAndErrors:
+    @pytest.mark.parametrize(
+        "name,bits", [("float32", 32), ("fp32", 32), ("int8", 8), ("int16", 16)]
+    )
+    def test_factory(self, name, bits):
+        assert make_representation(name).bits_per_weight == bits
+
+    def test_factory_unknown(self):
+        with pytest.raises(ValueError):
+            make_representation("int4")
+
+    def test_quantization_error_zero_for_float32(self, rng):
+        weights = rng.random(50).astype(np.float32)
+        max_err, rms = quantization_error(weights, Float32Representation())
+        assert max_err == 0.0
+        assert rms == 0.0
+
+    def test_quantization_error_bounded_for_int8(self, rng):
+        weights = rng.random(50)
+        rep = FixedPointRepresentation(bits=8)
+        max_err, rms = quantization_error(weights, rep)
+        assert 0 < rms <= max_err <= rep.step / 2 + 1e-9

@@ -1,0 +1,61 @@
+"""Tests of model save/load."""
+
+import numpy as np
+import pytest
+
+from repro.snn.serialization import load_model, save_model
+from repro.snn.training import TrainedModel
+
+
+@pytest.fixture
+def model(rng):
+    return TrainedModel(
+        weights=rng.random((16, 4)),
+        theta=rng.random(4),
+        assignments=np.array([0, 3, -1, 7], dtype=np.int64),
+        n_input=16,
+        n_neurons=4,
+        accuracy=0.875,
+        metadata={"epochs": 2, "fault_aware": True},
+    )
+
+
+class TestRoundTrip:
+    def test_all_fields_preserved(self, model, tmp_path):
+        path = save_model(model, tmp_path / "model.npz")
+        loaded = load_model(path)
+        assert np.array_equal(loaded.weights, model.weights)
+        assert np.array_equal(loaded.theta, model.theta)
+        assert np.array_equal(loaded.assignments, model.assignments)
+        assert loaded.n_input == 16
+        assert loaded.n_neurons == 4
+        assert loaded.accuracy == pytest.approx(0.875)
+        assert loaded.metadata == model.metadata
+
+    def test_suffix_appended(self, model, tmp_path):
+        path = save_model(model, tmp_path / "model")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_parent_directories_created(self, model, tmp_path):
+        path = save_model(model, tmp_path / "a" / "b" / "model.npz")
+        assert path.exists()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model(tmp_path / "nope.npz")
+
+    def test_corrupt_shape_rejected(self, model, tmp_path):
+        path = save_model(model, tmp_path / "model.npz")
+        with np.load(path) as archive:
+            payload = dict(archive)
+        payload["theta"] = np.zeros(99)
+        np.savez(path, **payload)
+        with pytest.raises(ValueError):
+            load_model(path)
+
+    def test_no_pickle_on_load(self, model, tmp_path):
+        # the loader must not enable pickle (code-execution surface)
+        path = save_model(model, tmp_path / "model.npz")
+        loaded = load_model(path)  # would raise if any field needed pickle
+        assert loaded.metadata["fault_aware"] is True

@@ -1,0 +1,74 @@
+"""Tests of the conductance-based synapse model."""
+
+import numpy as np
+import pytest
+
+from repro.snn.synapses import ConductanceParameters, SynapticConductance
+
+
+class TestParameters:
+    def test_defaults_valid(self):
+        ConductanceParameters().validate()
+
+    def test_bad_tau_rejected(self):
+        with pytest.raises(ValueError):
+            ConductanceParameters(tau_excitatory_ms=0).validate()
+
+
+class TestConductance:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            SynapticConductance(0, tau_ms=1.0)
+        with pytest.raises(ValueError):
+            SynapticConductance(5, tau_ms=-1.0)
+
+    def test_starts_at_zero(self):
+        g = SynapticConductance(4, tau_ms=2.0)
+        assert np.all(g.g == 0.0)
+
+    def test_injection_adds(self):
+        g = SynapticConductance(4, tau_ms=2.0)
+        g.step(np.full(4, 0.5))
+        assert np.all(g.g == pytest.approx(0.5))
+
+    def test_exponential_decay(self):
+        # Section II-A: the conductance decreases exponentially between
+        # presynaptic spikes.
+        g = SynapticConductance(1, tau_ms=2.0, dt_ms=1.0)
+        g.step(np.array([1.0]))
+        v1 = g.step()[0]
+        v2 = g.step()[0]
+        assert v1 == pytest.approx(np.exp(-0.5))
+        assert v2 / v1 == pytest.approx(np.exp(-0.5))
+
+    def test_reset_state(self):
+        g = SynapticConductance(3, tau_ms=1.0)
+        g.step(np.ones(3))
+        g.reset_state()
+        assert np.all(g.g == 0.0)
+
+
+class TestWeightInjection:
+    def test_spike_adds_weight_column_sums(self):
+        # Section II-A: conductance "increases by weight w when a
+        # presynaptic spike arrives".
+        g = SynapticConductance(2, tau_ms=1.0)
+        weights = np.array([[0.1, 0.2], [0.3, 0.4], [0.5, 0.6]])
+        spikes = np.array([1.0, 0.0, 1.0])
+        g.inject_through_weights(weights, spikes)
+        assert g.g[0] == pytest.approx(0.1 + 0.5)
+        assert g.g[1] == pytest.approx(0.2 + 0.6)
+
+    def test_no_spikes_only_decays(self):
+        g = SynapticConductance(2, tau_ms=1.0)
+        g.g[:] = 1.0
+        weights = np.ones((3, 2))
+        g.inject_through_weights(weights, np.zeros(3))
+        assert np.all(g.g == pytest.approx(np.exp(-1.0)))
+
+    def test_shape_validation(self):
+        g = SynapticConductance(2, tau_ms=1.0)
+        with pytest.raises(ValueError):
+            g.inject_through_weights(np.ones((3, 5)), np.zeros(3))
+        with pytest.raises(ValueError):
+            g.inject_through_weights(np.ones((3, 2)), np.zeros(4))

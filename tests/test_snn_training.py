@@ -1,0 +1,159 @@
+"""Tests of unsupervised training, label assignment and evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.snn.network import DiehlCookNetwork, NetworkParameters
+from repro.snn.training import (
+    TrainedModel,
+    assign_labels,
+    evaluate_accuracy,
+    predict,
+    run_spike_counts,
+    train_unsupervised,
+)
+
+
+class TestAssignLabels:
+    def test_assigns_strongest_class(self):
+        counts = np.array([[10, 0], [9, 1], [0, 10], [1, 8]])
+        labels = np.array([0, 0, 1, 1])
+        assignments = assign_labels(counts, labels, n_classes=2)
+        assert assignments.tolist() == [0, 1]
+
+    def test_silent_neurons_get_minus_one(self):
+        counts = np.zeros((4, 3), dtype=int)
+        counts[:, 0] = 1
+        assignments = assign_labels(counts, np.array([0, 1, 0, 1]), n_classes=2)
+        assert assignments[1] == -1
+        assert assignments[2] == -1
+
+    def test_label_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            assign_labels(np.zeros((3, 2)), np.zeros(4), n_classes=2)
+
+
+class TestPredict:
+    def test_majority_vote(self):
+        counts = np.array([[5, 0, 1], [0, 6, 0]])
+        assignments = np.array([0, 1, 1])
+        preds = predict(counts, assignments, n_classes=2)
+        assert preds.tolist() == [0, 1]
+
+    def test_votes_normalised_by_class_size(self):
+        # Two neurons assigned to class 0, one to class 1; raw sums would
+        # favour class 0, per-neuron averages must not.
+        counts = np.array([[2, 2, 5]])
+        assignments = np.array([0, 0, 1])
+        preds = predict(counts, assignments, n_classes=2)
+        assert preds[0] == 1
+
+    def test_unassigned_neurons_never_vote(self):
+        counts = np.array([[100, 1]])
+        assignments = np.array([-1, 1])
+        preds = predict(counts, assignments, n_classes=2)
+        assert preds[0] == 1
+
+
+class TestTrainedModel:
+    def test_copy_is_deep(self):
+        model = TrainedModel(
+            weights=np.ones((4, 2)),
+            theta=np.zeros(2),
+            assignments=np.zeros(2, dtype=np.int64),
+            n_input=4,
+            n_neurons=2,
+        )
+        clone = model.copy()
+        clone.weights[0, 0] = 9.0
+        clone.metadata["x"] = 1
+        assert model.weights[0, 0] == 1.0
+        assert "x" not in model.metadata
+
+    def test_install_into_network(self, rng):
+        params = NetworkParameters(n_input=4, n_neurons=2)
+        net = DiehlCookNetwork(params, rng=rng)
+        model = TrainedModel(
+            weights=np.full((4, 2), 0.25),
+            theta=np.array([1.0, 2.0]),
+            assignments=np.zeros(2, dtype=np.int64),
+            n_input=4,
+            n_neurons=2,
+        )
+        model.install_into(net)
+        assert np.array_equal(net.weights, model.weights)
+        assert np.array_equal(net.neurons.theta, model.theta)
+
+
+class TestTrainingLoop:
+    def test_training_beats_chance_on_mini_dataset(self, mini_mnist, rng):
+        params = NetworkParameters(n_neurons=40)
+        net = DiehlCookNetwork(params, rng=rng)
+        model = train_unsupervised(
+            net,
+            mini_mnist.train_images,
+            mini_mnist.train_labels,
+            n_steps=60,
+            epochs=1,
+            rng=rng,
+        )
+        accuracy = evaluate_accuracy(
+            net,
+            mini_mnist.test_images,
+            mini_mnist.test_labels,
+            model.assignments,
+            n_steps=60,
+            rng=rng,
+        )
+        assert accuracy > 0.3  # 10 classes -> chance is 0.1
+
+    def test_trained_model_fields(self, mini_mnist, rng):
+        params = NetworkParameters(n_neurons=20)
+        net = DiehlCookNetwork(params, rng=rng)
+        model = train_unsupervised(
+            net,
+            mini_mnist.train_images[:30],
+            mini_mnist.train_labels[:30],
+            n_steps=40,
+            rng=rng,
+        )
+        assert model.weights.shape == (784, 20)
+        assert model.theta.shape == (20,)
+        assert model.assignments.shape == (20,)
+        assert 0.0 <= model.accuracy <= 1.0
+        assert model.metadata["epochs"] == 1
+
+    def test_mismatched_labels_rejected(self, mini_mnist, rng):
+        net = DiehlCookNetwork(NetworkParameters(n_neurons=10), rng=rng)
+        with pytest.raises(ValueError):
+            train_unsupervised(
+                net, mini_mnist.train_images[:10], mini_mnist.train_labels[:5], rng=rng
+            )
+
+    def test_corrupt_weights_hook_runs_and_keeps_weights_finite(
+        self, mini_mnist, rng
+    ):
+        net = DiehlCookNetwork(NetworkParameters(n_neurons=10), rng=rng)
+        calls = []
+
+        def corrupt(weights):
+            calls.append(1)
+            noisy = weights + rng.normal(0, 0.01, weights.shape)
+            return np.clip(noisy, 0.0, 1.0)
+
+        train_unsupervised(
+            net,
+            mini_mnist.train_images[:10],
+            mini_mnist.train_labels[:10],
+            n_steps=30,
+            rng=rng,
+            corrupt_weights=corrupt,
+        )
+        assert len(calls) == 10
+        assert np.all(np.isfinite(net.weights))
+        assert net.weights.min() >= 0.0
+
+    def test_run_spike_counts_shape(self, mini_mnist, rng):
+        net = DiehlCookNetwork(NetworkParameters(n_neurons=10), rng=rng)
+        counts = run_spike_counts(net, mini_mnist.test_images[:5], 30, rng)
+        assert counts.shape == (5, 10)

@@ -1,0 +1,98 @@
+"""Tests of inference trace generation and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.dram.controller import DramController
+from repro.dram.organization import DramOrganization
+from repro.dram.specs import tiny_spec
+from repro.trace.generator import (
+    InferenceTraceSpec,
+    chunks_for_weights,
+    inference_read_trace,
+)
+from repro.trace.stats import summarize_trace
+
+
+@pytest.fixture
+def org():
+    return DramOrganization(tiny_spec())
+
+
+class TestChunks:
+    def test_chunk_count_math(self, org):
+        # tiny spec: 32-bit slots -> one int8 chunk holds 4 weights
+        assert chunks_for_weights(org, 4, 8) == 1
+        assert chunks_for_weights(org, 5, 8) == 2
+        assert chunks_for_weights(org, 2, 32) == 2
+
+    def test_zero_weights(self, org):
+        assert chunks_for_weights(org, 0, 8) == 0
+
+    def test_validation(self, org):
+        with pytest.raises(ValueError):
+            chunks_for_weights(org, -1, 8)
+        with pytest.raises(ValueError):
+            chunks_for_weights(org, 4, 0)
+
+
+class TestTraceSpec:
+    def test_total_bits(self):
+        spec = InferenceTraceSpec(n_weights=10, bits_per_weight=8)
+        assert spec.total_bits() == 80
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_weights": 0, "bits_per_weight": 8},
+            {"n_weights": 4, "bits_per_weight": 0},
+            {"n_weights": 4, "bits_per_weight": 8, "refetch_passes": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            InferenceTraceSpec(**kwargs)
+
+
+class TestTraceGeneration:
+    def test_trace_matches_mapping_order(self, org):
+        spec = InferenceTraceSpec(n_weights=8, bits_per_weight=32)
+        slots = np.array([5, 3, 9, 1, 0, 2, 7, 4], dtype=np.int64)
+        trace = inference_read_trace(spec, slots, org)
+        assert np.array_equal(trace, slots)
+
+    def test_refetch_tiles_the_trace(self, org):
+        spec = InferenceTraceSpec(n_weights=4, bits_per_weight=32, refetch_passes=3)
+        slots = np.array([0, 1, 2, 3], dtype=np.int64)
+        trace = inference_read_trace(spec, slots, org)
+        assert trace.shape == (12,)
+        assert np.array_equal(trace[4:8], slots)
+
+    def test_wrong_chunk_count_rejected(self, org):
+        spec = InferenceTraceSpec(n_weights=8, bits_per_weight=32)
+        with pytest.raises(ValueError, match="chunks"):
+            inference_read_trace(spec, np.arange(3), org)
+
+    def test_out_of_device_slot_rejected(self, org):
+        spec = InferenceTraceSpec(n_weights=1, bits_per_weight=32)
+        with pytest.raises(IndexError):
+            inference_read_trace(spec, np.array([org.total_slots]), org)
+
+    def test_duplicate_slots_rejected(self, org):
+        spec = InferenceTraceSpec(n_weights=2, bits_per_weight=32)
+        with pytest.raises(ValueError, match="same DRAM slot"):
+            inference_read_trace(spec, np.array([3, 3]), org)
+
+
+class TestSummary:
+    def test_summary_fields_consistent(self, org):
+        controller = DramController(org.spec)
+        result = controller.execute(list(range(10)), 1.35)
+        summary = summarize_trace(result)
+        assert summary.accesses == 10
+        assert summary.hit_rate + summary.miss_rate + summary.conflict_rate == pytest.approx(1.0)
+        assert summary.total_energy_mj == pytest.approx(result.energy.total_nj * 1e-6)
+        assert summary.energy_per_access_nj == pytest.approx(
+            result.energy.total_nj / 10
+        )
+        assert "1.350V" in str(summary)
