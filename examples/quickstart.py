@@ -11,6 +11,10 @@ Runs the full Fig. 7 pipeline on a sub-minute configuration:
 4. map the weights to safe DRAM subarrays with Algorithm 2 and measure
    the DRAM energy at every reduced supply voltage (Section IV-D).
 
+``SparkXD.run()`` is a facade over the staged pipeline
+(:mod:`repro.pipeline`); see ``examples/staged_sweep.py`` for running
+the stages with artifact caching and sweeping grids without retraining.
+
 Usage::
 
     python examples/quickstart.py

@@ -12,19 +12,45 @@ depends on:
   injection (:mod:`repro.errors`),
 - synthetic MNIST / Fashion-MNIST workloads (:mod:`repro.datasets`),
 - SNN-inference-to-DRAM-trace generation (:mod:`repro.trace`),
-- and the SparkXD framework itself (:mod:`repro.core`): fault-aware
-  training, error-tolerance analysis, and fault/energy-aware DRAM mapping.
+- the SparkXD framework itself (:mod:`repro.core`): fault-aware
+  training, error-tolerance analysis, and fault/energy-aware DRAM
+  mapping,
+- and a staged experiment pipeline (:mod:`repro.pipeline`): the Fig. 7
+  flow as composable stages with content-addressed artifact caching and
+  a parallel grid-sweep runner.
 
-Quickstart::
+Quickstart — one run, classic facade::
 
     from repro import SparkXD, SparkXDConfig
-    frame = SparkXD(SparkXDConfig.small())
-    result = frame.run()
+    result = SparkXD(SparkXDConfig.small()).run()
     print(result.summary())
+
+Quickstart — staged, cached, swept::
+
+    from repro import SparkXDConfig
+    from repro.pipeline import ArtifactStore, ExperimentPipeline, Runner
+
+    store = ArtifactStore()          # ArtifactStore("cache/") persists to disk
+    config = SparkXDConfig.small()
+    result = ExperimentPipeline(config, store=store).run()   # trains once
+
+    records = Runner(config, store=store, max_workers=4).run({
+        "voltages": [(1.325,), (1.175,), (1.025,)],          # BER rises as V drops
+        "mapping_policy": ["sparkxd", "baseline"],
+    })                               # 6 points, zero retraining: cache hits
+    for record in records:
+        print(record.run_id, record.mean_energy_saving)
+
+New scenarios plug in by name, without core edits: register workloads in
+``repro.datasets.DATASETS``, error models in
+``repro.errors.ERROR_MODELS``, weight-mapping policies in
+``repro.core.mapping_policy.MAPPING_POLICIES`` and devices in
+``repro.dram.specs.DRAM_SPECS``.  See ``docs/pipeline.md`` for the full
+tour, and ``python -m repro stages`` for a live inventory.
 """
 
 from repro.core.config import SparkXDConfig
-from repro.core.framework import SparkXD, SparkXDResult
+from repro.core.framework import SparkXD, SparkXDResult, VoltageOutcome
 
-__all__ = ["SparkXD", "SparkXDConfig", "SparkXDResult"]
-__version__ = "1.0.0"
+__all__ = ["SparkXD", "SparkXDConfig", "SparkXDResult", "VoltageOutcome"]
+__version__ = "1.1.0"

@@ -12,6 +12,8 @@ from repro.analysis.sweeps import (
     AccuracySweepPoint,
     accuracy_vs_ber_sweep,
     energy_vs_voltage_sweep,
+    per_voltage_axis,
+    sparkxd_grid_sweep,
 )
 from repro.analysis.reporting import format_table, format_percent_row
 from repro.analysis.pareto import ParetoPoint, tolerance_frontier, frontier_is_monotone
@@ -23,9 +25,13 @@ from repro.analysis.sensitivity import (
 
 from repro.analysis.export import (
     export_accuracy_curve,
+    export_run_records,
     export_sparkxd_result,
     export_tolerance_report,
+    load_run_records,
+    run_records_to_json,
     write_rows,
+    write_run_records_json,
 )
 
 __all__ = [
@@ -48,6 +54,12 @@ __all__ = [
     "AccuracySweepPoint",
     "accuracy_vs_ber_sweep",
     "energy_vs_voltage_sweep",
+    "per_voltage_axis",
+    "sparkxd_grid_sweep",
+    "export_run_records",
+    "load_run_records",
+    "run_records_to_json",
+    "write_run_records_json",
     "format_table",
     "format_percent_row",
 ]

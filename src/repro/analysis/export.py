@@ -1,19 +1,26 @@
-"""CSV export of experiment results.
+"""CSV / JSON export of experiment results.
 
 The benchmark harness prints human-readable tables; downstream plotting
 or regression tracking wants machine-readable files.  These helpers
-write the core result objects as plain CSV (stdlib ``csv``, no pandas).
+write the core result objects as plain CSV (stdlib ``csv``, no pandas)
+and round-trip the staged pipeline's :class:`RunRecord` sweeps through
+JSON (:func:`write_run_records_json` / :func:`load_run_records`).
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
-from typing import Iterable, Sequence, Union
+from typing import TYPE_CHECKING, Iterable, Sequence, Union
 
 from repro.analysis.sweeps import AccuracySweepPoint
 from repro.core.framework import SparkXDResult
 from repro.core.tolerance_analysis import ToleranceReport
+from repro.pipeline.store import canonical_form
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.pipeline.runner import RunRecord
 
 PathLike = Union[str, Path]
 
@@ -85,3 +92,86 @@ def export_sparkxd_result(path: PathLike, result: SparkXDResult) -> Path:
         ["v_supply", "mapping", "feasible", "energy_saving", "speedup", "energy_mj"],
         rows,
     )
+
+
+# ----------------------------------------------------------------------
+# RunRecord serialisation (the staged pipeline's sweep output).
+
+RUN_RECORD_CSV_HEADERS = [
+    "run_id",
+    "params_json",
+    "dataset",
+    "n_neurons",
+    "seed",
+    "representation",
+    "mapping_policy",
+    "baseline_accuracy",
+    "improved_accuracy",
+    "ber_threshold",
+    "mean_energy_saving",
+    "v_supply",
+    "device_ber",
+    "feasible",
+    "energy_saving",
+    "speedup",
+    "energy_mj",
+]
+
+
+def export_run_records(path: PathLike, records: Sequence["RunRecord"]) -> Path:
+    """Sweep records as flat CSV: one row per (record, voltage) pair.
+
+    Records without any voltage outcome still contribute one row (with
+    the per-voltage columns empty), so every run appears in the file.
+    """
+    rows = []
+    for record in records:
+        head = [
+            record.run_id,
+            json.dumps(canonical_form(record.params), sort_keys=True),
+            record.dataset,
+            record.n_neurons,
+            record.seed,
+            record.representation,
+            record.mapping_policy,
+            record.baseline_accuracy,
+            record.improved_accuracy,
+            "" if record.ber_threshold is None else record.ber_threshold,
+            record.mean_energy_saving,
+        ]
+        if not record.voltages:
+            rows.append(head + [""] * 6)
+            continue
+        for point in record.voltages:
+            rows.append(head + [
+                point.v_supply,
+                point.device_ber,
+                int(point.feasible),
+                point.energy_saving,
+                point.speedup,
+                "" if point.energy_mj is None else point.energy_mj,
+            ])
+    return write_rows(path, RUN_RECORD_CSV_HEADERS, rows)
+
+
+def run_records_to_json(records: Sequence["RunRecord"], indent: int = 2) -> str:
+    """Serialise sweep records to a JSON array string."""
+    return json.dumps([r.to_dict() for r in records], indent=indent, sort_keys=True)
+
+
+def write_run_records_json(path: PathLike, records: Sequence["RunRecord"]) -> Path:
+    """Write :func:`run_records_to_json` output to ``path`` (``.json``)."""
+    path = Path(path)
+    if path.suffix != ".json":
+        path = path.with_suffix(".json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(run_records_to_json(records) + "\n")
+    return path
+
+
+def load_run_records(path: PathLike) -> list:
+    """Read back a JSON file written by :func:`write_run_records_json`."""
+    from repro.pipeline.runner import RunRecord
+
+    data = json.loads(Path(path).read_text())
+    return [RunRecord.from_dict(entry) for entry in data]

@@ -93,3 +93,36 @@ def energy_vs_voltage_sweep(
     trace = inference_read_trace(trace_spec, mapping.slot_of_chunk, organization)
     results = controller.execute_at_voltages(trace, list(voltages))
     return {r.v_supply: r.energy.total_mj for r in results}
+
+
+def sparkxd_grid_sweep(
+    grid,
+    base_config=None,
+    store=None,
+    max_workers: int = 1,
+):
+    """Run a config grid through the staged pipeline's :class:`Runner`.
+
+    ``grid`` maps :class:`~repro.core.config.SparkXDConfig` field names
+    to value sequences (e.g. ``{"voltages": [(1.325,), (1.025,)],
+    "mapping_policy": ["sparkxd", "baseline"]}``).  Grid points sharing
+    training-side fields reuse one trained model through the shared
+    artifact store, so DRAM-side sweeps never retrain; pass
+    ``max_workers > 1`` to fan unique jobs out over processes.  Returns
+    the structured :class:`~repro.pipeline.runner.RunRecord` list, which
+    :mod:`repro.analysis.export` serialises to CSV/JSON.
+    """
+    from repro.pipeline.runner import Runner
+
+    runner = Runner(base_config=base_config, store=store, max_workers=max_workers)
+    return runner.run(grid)
+
+
+def per_voltage_axis(voltages) -> list:
+    """Turn a voltage list into a sweep axis of single-voltage configs.
+
+    ``SparkXDConfig.voltages`` is a tuple evaluated inside one run;
+    sweeping instead makes each voltage its own grid point (its own
+    :class:`RunRecord`), e.g. ``{"voltages": per_voltage_axis(PAPER_VOLTAGES)}``.
+    """
+    return [(float(v),) for v in voltages]

@@ -4,24 +4,36 @@ Commands
 --------
 ``run``
     Execute the full SparkXD pipeline (Fig. 7) and print the summary.
+``sweep``
+    Run a grid of pipeline configs through the parallel sweep runner,
+    reusing trained models across DRAM-side grid points.
+``stages``
+    Show the pipeline stages and every pluggable registry (datasets,
+    error models, mapping policies, DRAM specs).
 ``dram``
     Print the DRAM-side studies (Fig. 2b, Table I) for a device.
 ``tolerance``
     Train a model, analyse its error tolerance and print the curve.
+
+Every data-producing command accepts ``--json`` for machine-readable
+output on stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
 import numpy as np
 
+REPRESENTATIONS = ("float32", "int8", "int16")
+
 
 def _add_run_parser(subparsers) -> None:
     p = subparsers.add_parser("run", help="run the full SparkXD pipeline")
-    p.add_argument("--dataset", default="mnist", choices=["mnist", "fashion"])
+    p.add_argument("--dataset", default="mnist")
     p.add_argument("--neurons", type=int, default=60)
     p.add_argument("--train", type=int, default=150)
     p.add_argument("--test", type=int, default=80)
@@ -29,8 +41,58 @@ def _add_run_parser(subparsers) -> None:
     p.add_argument("--bound", type=float, default=0.05,
                    help="accuracy bound (paper: 0.01)")
     p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--voltages", type=float, nargs="+", metavar="V",
+                   help="reduced supply voltages to evaluate "
+                        "(default: the paper's Fig. 12a set)")
+    p.add_argument("--representation", choices=REPRESENTATIONS,
+                   default="float32", help="weight storage representation")
+    p.add_argument("--mapping", default="sparkxd",
+                   help="weight mapping policy (see 'stages' for choices)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="artifact-store directory; repeated runs with the "
+                        "same config reuse cached stages")
+    p.add_argument("--json", action="store_true",
+                   help="print the run record as JSON instead of the summary")
     p.add_argument("--save-model", metavar="PATH",
                    help="write the improved model to an .npz file")
+
+
+def _add_sweep_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "sweep",
+        help="grid sweep through the staged pipeline (cached, parallel)",
+    )
+    p.add_argument("--dataset", dest="datasets", nargs="+", default=["mnist"],
+                   metavar="NAME", help="dataset axis")
+    p.add_argument("--seeds", type=int, nargs="+", default=[42], metavar="S",
+                   help="training-seed axis (each seed retrains)")
+    p.add_argument("--sigmas", type=float, nargs="+", default=None, metavar="SIG",
+                   help="weak-cell sigma axis (DRAM-side, no retraining)")
+    p.add_argument("--mappings", nargs="+", default=None, metavar="POLICY",
+                   help="mapping-policy axis (DRAM-side, no retraining)")
+    p.add_argument("--voltages", type=float, nargs="+", default=None, metavar="V",
+                   help="voltage axis: each voltage becomes its own grid "
+                        "point (DRAM-side, no retraining)")
+    p.add_argument("--neurons", type=int, default=60)
+    p.add_argument("--train", type=int, default=150)
+    p.add_argument("--test", type=int, default=80)
+    p.add_argument("--steps", type=int, default=80)
+    p.add_argument("--bound", type=float, default=0.05)
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-parallel workers (1 = serial)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="artifact-store directory shared across sweeps")
+    p.add_argument("--csv", metavar="PATH", help="also write records as CSV")
+    p.add_argument("--out", metavar="PATH", help="also write records as JSON")
+    p.add_argument("--json", action="store_true",
+                   help="print the records as JSON instead of the table")
+
+
+def _add_stages_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "stages", help="list pipeline stages and pluggable registries"
+    )
+    p.add_argument("--json", action="store_true")
 
 
 def _add_dram_parser(subparsers) -> None:
@@ -39,11 +101,14 @@ def _add_dram_parser(subparsers) -> None:
         "--voltages", type=float, nargs="+",
         default=[1.325, 1.250, 1.175, 1.100, 1.025],
     )
+    p.add_argument("--spec", default="lpddr3-1600-4gb", metavar="NAME",
+                   help="DRAM device spec (see 'stages' for choices)")
+    p.add_argument("--json", action="store_true")
 
 
 def _add_tolerance_parser(subparsers) -> None:
     p = subparsers.add_parser("tolerance", help="error-tolerance analysis")
-    p.add_argument("--dataset", default="mnist", choices=["mnist", "fashion"])
+    p.add_argument("--dataset", default="mnist")
     p.add_argument("--neurons", type=int, default=60)
     p.add_argument("--train", type=int, default=150)
     p.add_argument("--test", type=int, default=80)
@@ -51,6 +116,7 @@ def _add_tolerance_parser(subparsers) -> None:
     p.add_argument("--rates", type=float, nargs="+",
                    default=[1e-9, 1e-7, 1e-5, 1e-3])
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,30 +127,150 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_run_parser(subparsers)
+    _add_sweep_parser(subparsers)
+    _add_stages_parser(subparsers)
     _add_dram_parser(subparsers)
     _add_tolerance_parser(subparsers)
     return parser
 
 
-def _cmd_run(args) -> int:
-    from repro import SparkXD, SparkXDConfig
+def _base_config(args):
+    from repro import SparkXDConfig
 
-    config = SparkXDConfig.small(
-        dataset=args.dataset,
+    overrides = dict(
         n_neurons=args.neurons,
         n_train=args.train,
         n_test=args.test,
         n_steps=args.steps,
         accuracy_bound=args.bound,
-        seed=args.seed,
     )
-    result = SparkXD(config).run()
-    print(result.summary())
+    if getattr(args, "dataset", None) is not None:
+        overrides["dataset"] = args.dataset
+    if getattr(args, "seed", None) is not None:
+        overrides["seed"] = args.seed
+    return SparkXDConfig.small(**overrides)
+
+
+def _cmd_run(args) -> int:
+    from repro.pipeline import ArtifactStore, ExperimentPipeline
+    from repro.pipeline.runner import RunRecord
+
+    config = _base_config(args).with_overrides(
+        representation=args.representation,
+        mapping_policy=args.mapping,
+    )
+    if args.voltages:
+        config = config.with_overrides(voltages=tuple(args.voltages))
+    store = ArtifactStore(args.cache_dir) if args.cache_dir else ArtifactStore()
+    result = ExperimentPipeline(config, store=store).run()
+    if args.json:
+        record = RunRecord.from_result(
+            result,
+            cache_hits=store.stats.hits,
+            cache_misses=store.stats.misses,
+        )
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.summary())
     if args.save_model:
         from repro.snn.serialization import save_model
 
         path = save_model(result.improved_model, args.save_model)
-        print(f"improved model written to {path}")
+        if not args.json:
+            print(f"improved model written to {path}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.analysis.export import (
+        export_run_records,
+        run_records_to_json,
+        write_run_records_json,
+    )
+    from repro.analysis.reporting import format_table
+    from repro.analysis.sweeps import per_voltage_axis
+    from repro.pipeline import ArtifactStore, Runner
+
+    base = _base_config(args)
+    grid = {}
+    if args.datasets != ["mnist"]:
+        grid["dataset"] = list(args.datasets)
+    if args.seeds and args.seeds != [base.seed]:
+        grid["seed"] = list(args.seeds)
+    if args.voltages:
+        grid["voltages"] = per_voltage_axis(args.voltages)
+    if args.sigmas:
+        grid["weak_cell_sigma"] = list(args.sigmas)
+    if args.mappings:
+        grid["mapping_policy"] = list(args.mappings)
+    store = ArtifactStore(args.cache_dir) if args.cache_dir else ArtifactStore()
+    runner = Runner(base, store=store, max_workers=args.workers)
+    records = runner.run(grid)
+
+    if args.json:
+        print(run_records_to_json(records))
+    else:
+        rows = []
+        for record in records:
+            rows.append([
+                record.run_id,
+                json.dumps(record.params, default=str),
+                f"{record.baseline_accuracy:.3f}",
+                f"{record.improved_accuracy:.3f}",
+                f"{record.ber_threshold}",
+                f"{record.mean_energy_saving:.1%}",
+                f"{record.cache_hits}/{record.cache_hits + record.cache_misses}",
+            ])
+        print(format_table(
+            ["run", "params", "base acc", "impr acc", "BER_th",
+             "mean saving", "cache"],
+            rows,
+            title=f"sweep: {len(records)} grid points",
+        ))
+    if args.csv:
+        path = export_run_records(args.csv, records)
+        if not args.json:
+            print(f"records written to {path}")
+    if args.out:
+        path = write_run_records_json(args.out, records)
+        if not args.json:
+            print(f"records written to {path}")
+    return 0
+
+
+def _cmd_stages(args) -> int:
+    from repro.core.mapping_policy import MAPPING_POLICIES
+    from repro.datasets import DATASETS
+    from repro.dram.specs import DRAM_SPECS
+    from repro.errors.models import ERROR_MODELS
+    from repro.pipeline import default_stages
+
+    stages = [
+        {
+            "name": stage.name,
+            "requires": list(stage.requires),
+            "provides": stage.provides,
+            "config_fields": list(stage.fields),
+        }
+        for stage in default_stages()
+    ]
+    registries = {
+        "datasets": list(DATASETS.names()),
+        "error_models": list(ERROR_MODELS.names()),
+        "mapping_policies": list(MAPPING_POLICIES.names()),
+        "dram_specs": list(DRAM_SPECS.names()),
+    }
+    if args.json:
+        print(json.dumps({"stages": stages, "registries": registries},
+                         indent=2, sort_keys=True))
+        return 0
+    print("pipeline stages (execution order):")
+    for stage in stages:
+        requires = ", ".join(stage["requires"]) or "-"
+        print(f"  {stage['name']:<20} requires: {requires:<22} "
+              f"provides: {stage['provides']}")
+    for kind, names in registries.items():
+        print(f"{kind.replace('_', ' ')}: {', '.join(names)}")
     return 0
 
 
@@ -92,22 +278,40 @@ def _cmd_dram(args) -> int:
     from repro.analysis.reporting import format_table
     from repro.dram.commands import AccessCondition
     from repro.dram.energy import DramEnergyModel
-    from repro.dram.specs import LPDDR3_1600_4GB
+    from repro.dram.specs import get_dram_spec
 
-    model = DramEnergyModel(LPDDR3_1600_4GB)
+    spec = get_dram_spec(args.spec)
+    model = DramEnergyModel(spec)
     rows = []
     for condition in AccessCondition:
         row = [condition.value]
         for v in args.voltages:
             row.append(f"{model.access_energy(condition, v).total_nj:.2f}")
         rows.append(row)
+    savings = [model.energy_per_access_saving(v) for v in args.voltages]
+    if args.json:
+        payload = {
+            "spec": spec.name,
+            "voltages": list(args.voltages),
+            "access_energy_nj": {
+                condition.value: [
+                    model.access_energy(condition, v).total_nj
+                    for v in args.voltages
+                ]
+                for condition in AccessCondition
+            },
+            "per_access_savings": savings,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(format_table(
         ["condition"] + [f"{v:.3f}V [nJ]" for v in args.voltages],
         rows,
-        title=f"Access energy - {LPDDR3_1600_4GB.name}",
+        title=f"Access energy - {spec.name}",
     ))
-    savings = [f"{model.energy_per_access_saving(v):.2%}" for v in args.voltages]
-    print("\nper-access savings vs 1.350V: " + "  ".join(savings))
+    nominal = spec.electrical.v_nominal_volts
+    print(f"\nper-access savings vs {nominal:.3f}V: "
+          + "  ".join(f"{s:.2%}" for s in savings))
     return 0
 
 
@@ -120,14 +324,25 @@ def _cmd_tolerance(args) -> int:
 
     rng = np.random.default_rng(args.seed)
     dataset = load_dataset(args.dataset, args.train, args.test)
-    print(f"training baseline ({args.neurons} neurons on {dataset.name})...")
+    if not args.json:
+        print(f"training baseline ({args.neurons} neurons on {dataset.name})...")
     model = train_baseline(dataset, args.neurons, epochs=2, rng=rng)
-    print(f"baseline accuracy: {model.accuracy:.1%}")
+    if not args.json:
+        print(f"baseline accuracy: {model.accuracy:.1%}")
     injector = ErrorInjector(Float32Representation(clip_range=(0, 1)), seed=1)
     report = analyze_error_tolerance(
         model, dataset, injector, rates=args.rates,
         baseline_accuracy=model.accuracy, accuracy_bound=args.bound, rng=rng,
     )
+    if args.json:
+        payload = {
+            "baseline_accuracy": model.accuracy,
+            "curve": [{"ber": ber, "accuracy": acc} for ber, acc in report.curve],
+            "ber_threshold": report.ber_threshold,
+            "min_voltage": report.min_voltage(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     for ber, accuracy in report.curve:
         marker = "  <= tolerable" if report.meets_target(ber) else ""
         print(f"  BER {ber:.0e}: {accuracy:.1%}{marker}")
@@ -139,8 +354,20 @@ def _cmd_tolerance(args) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Parse ``argv`` (default: process args) and run the subcommand."""
     args = build_parser().parse_args(argv)
-    handlers = {"run": _cmd_run, "dram": _cmd_dram, "tolerance": _cmd_tolerance}
-    return handlers[args.command](args)
+    handlers = {
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "stages": _cmd_stages,
+        "dram": _cmd_dram,
+        "tolerance": _cmd_tolerance,
+    }
+    try:
+        return handlers[args.command](args)
+    except ValueError as error:
+        # Config validation and registry lookups raise ValueError with
+        # user-actionable messages (unknown names list the choices).
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -16,6 +16,7 @@ Three mechanisms (Fig. 7):
 
 from repro.core.config import SparkXDConfig
 from repro.core.mapping_policy import (
+    MAPPING_POLICIES,
     WeightMapping,
     baseline_mapping,
     sparkxd_mapping,
@@ -30,10 +31,14 @@ from repro.core.tolerance_analysis import (
     ToleranceReport,
     analyze_error_tolerance,
 )
-from repro.core.framework import SparkXD, SparkXDResult
+from repro.core.dram_eval import evaluate_dram
+from repro.core.framework import SparkXD, SparkXDResult, VoltageOutcome
 from repro.core.voltage_selection import VoltageDecision, select_operating_voltage
 
 __all__ = [
+    "MAPPING_POLICIES",
+    "evaluate_dram",
+    "VoltageOutcome",
     "VoltageDecision",
     "select_operating_voltage",
     "SparkXDConfig",

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Tuple
 
+from repro.core.mapping_policy import MAPPING_POLICIES
 from repro.dram.specs import DramSpec, LPDDR3_1600_4GB
 
 #: The reduced supply voltages of the paper's Fig. 12(a).
@@ -45,6 +46,7 @@ class SparkXDConfig:
     representation: str = "float32"
     dram_spec: DramSpec = field(default_factory=lambda: LPDDR3_1600_4GB)
     voltages: Tuple[float, ...] = PAPER_VOLTAGES
+    mapping_policy: str = "sparkxd"
     weak_cell_sigma: float = 0.8
     weak_cell_seed: int = 0
     refetch_passes: int = 1
@@ -70,6 +72,7 @@ class SparkXDConfig:
         v_nom = self.dram_spec.electrical.v_nominal_volts
         if any(v <= 0 or v > v_nom for v in self.voltages):
             raise ValueError(f"voltages must lie in (0, {v_nom}]")
+        MAPPING_POLICIES.canonical_name(self.mapping_policy)  # raises if unknown
 
     # ------------------------------------------------------------------
     @property

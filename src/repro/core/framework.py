@@ -12,153 +12,54 @@ configuration and its reduced supply voltage(s).  Steps:
    error profile at each reduced voltage, then execute the inference
    read trace to obtain energy and throughput versus the accurate-DRAM
    baseline (Section IV-D + Section VI).
+
+Since the staged-pipeline redesign, :class:`SparkXD` is a thin facade
+over :class:`repro.pipeline.ExperimentPipeline`: the four steps above
+are the pipeline's four stages, results are byte-identical at a fixed
+seed, and passing an :class:`~repro.pipeline.ArtifactStore` lets
+repeated runs reuse cached stage artifacts (e.g. a sweep over voltages
+trains the SNN once).  The result types (:class:`SparkXDResult`,
+:class:`VoltageOutcome`) now live in :mod:`repro.core.results` and are
+re-exported here for backward compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Optional
 
-import numpy as np
-
+from repro.core import dram_eval
 from repro.core.config import SparkXDConfig
-from repro.core.fault_aware_training import (
-    FaultAwareTrainingResult,
-    improve_error_tolerance,
-    train_baseline,
-)
-from repro.core.mapping_policy import (
-    InsufficientSafeCapacityError,
-    WeightMapping,
-    baseline_mapping,
-    sparkxd_mapping,
-)
-from repro.core.tolerance_analysis import ToleranceReport, analyze_error_tolerance
-from repro.datasets import load_dataset
-from repro.dram.controller import DramController, TraceExecutionResult
-from repro.dram.organization import DramOrganization
-from repro.errors.ber import DEFAULT_BER_CURVE
-from repro.errors.injection import ErrorInjector
-from repro.errors.weak_cells import WeakCellMap
-from repro.snn.quantization import make_representation
-from repro.snn.training import TrainedModel
-from repro.trace.generator import InferenceTraceSpec, inference_read_trace
+from repro.core.results import SparkXDResult, VoltageOutcome
 
-
-@dataclass(frozen=True)
-class VoltageOutcome:
-    """Energy/latency of SparkXD at one reduced supply voltage."""
-
-    v_supply: float
-    device_ber: float
-    feasible: bool
-    mapping_policy: str
-    result: Optional[TraceExecutionResult]
-    energy_saving: float
-    speedup: float
-
-
-@dataclass
-class SparkXDResult:
-    """Everything a SparkXD run produced."""
-
-    config: SparkXDConfig
-    baseline_model: TrainedModel
-    improved_model: TrainedModel
-    training: FaultAwareTrainingResult
-    tolerance: ToleranceReport
-    baseline_dram: TraceExecutionResult
-    outcomes: Dict[float, VoltageOutcome] = field(default_factory=dict)
-
-    @property
-    def ber_threshold(self) -> Optional[float]:
-        return self.tolerance.ber_threshold
-
-    def mean_energy_saving(self) -> float:
-        feasible = [o.energy_saving for o in self.outcomes.values() if o.feasible]
-        return float(np.mean(feasible)) if feasible else 0.0
-
-    def summary(self) -> str:
-        lines = [
-            f"SparkXD run: {self.config.dataset}, N{self.config.n_neurons}",
-            f"  baseline accuracy (accurate DRAM): {self.baseline_model.accuracy:.3f}",
-            f"  improved accuracy (max-BER DRAM):  {self.improved_model.accuracy:.3f}",
-            f"  max tolerable BER: {self.ber_threshold}",
-            f"  baseline DRAM energy: {self.baseline_dram.energy.total_mj:.4f} mJ @ "
-            f"{self.baseline_dram.v_supply:.3f} V",
-        ]
-        for v, outcome in sorted(self.outcomes.items(), reverse=True):
-            if outcome.feasible:
-                lines.append(
-                    f"  {v:.3f} V: energy saving {outcome.energy_saving:.1%}, "
-                    f"speed-up {outcome.speedup:.2f}x"
-                )
-            else:
-                lines.append(f"  {v:.3f} V: infeasible (BER above tolerance)")
-        lines.append(f"  mean energy saving: {self.mean_energy_saving():.1%}")
-        return "\n".join(lines)
+__all__ = ["SparkXD", "SparkXDResult", "VoltageOutcome"]
 
 
 class SparkXD:
-    """Run the complete SparkXD framework from one config."""
+    """Run the complete SparkXD framework from one config.
 
-    def __init__(self, config: SparkXDConfig | None = None):
+    Parameters
+    ----------
+    config:
+        The run configuration; defaults to :class:`SparkXDConfig`'s
+        paper-flavoured defaults.
+    store:
+        Optional :class:`repro.pipeline.ArtifactStore`.  When given,
+        stage artifacts (trained models, tolerance reports, DRAM
+        evaluations) are cached by config fingerprint and reused by any
+        later run — through this facade or the staged API — whose
+        config matches.
+    """
+
+    def __init__(self, config: SparkXDConfig | None = None, store=None):
         self.config = config or SparkXDConfig()
+        self.store = store
 
     # ------------------------------------------------------------------
     def run(self) -> SparkXDResult:
-        cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
-        dataset = load_dataset(cfg.dataset, cfg.n_train, cfg.n_test, cfg.dataset_seed)
-        if cfg.representation in ("float32", "fp32"):
-            # Decoded weights saturate into the synapse's physical range.
-            representation = make_representation(cfg.representation, clip_range=(0.0, 1.0))
-        else:
-            representation = make_representation(cfg.representation)
-        injector = ErrorInjector(representation, seed=cfg.seed + 1)
+        """Execute all four stages and assemble a :class:`SparkXDResult`."""
+        from repro.pipeline import ExperimentPipeline
 
-        baseline_model = train_baseline(
-            dataset,
-            cfg.n_neurons,
-            epochs=cfg.baseline_epochs,
-            n_steps=cfg.n_steps,
-            rng=rng,
-        )
-        training = improve_error_tolerance(
-            baseline_model,
-            dataset,
-            injector,
-            rates=cfg.ber_rates,
-            epochs_per_rate=cfg.epochs_per_rate,
-            n_steps=cfg.n_steps,
-            accuracy_bound=cfg.accuracy_bound,
-            rng=rng,
-        )
-        tolerance = analyze_error_tolerance(
-            training.model,
-            dataset,
-            injector,
-            rates=cfg.ber_rates,
-            baseline_accuracy=baseline_model.accuracy,
-            accuracy_bound=cfg.accuracy_bound,
-            n_steps=cfg.n_steps,
-            trials=cfg.tolerance_trials,
-            rng=rng,
-        )
-        baseline_dram, outcomes = self.evaluate_dram(
-            n_weights=baseline_model.weights.size,
-            bits_per_weight=representation.bits_per_weight,
-            ber_threshold=tolerance.ber_threshold,
-        )
-        return SparkXDResult(
-            config=cfg,
-            baseline_model=baseline_model,
-            improved_model=training.model,
-            training=training,
-            tolerance=tolerance,
-            baseline_dram=baseline_dram,
-            outcomes=outcomes,
-        )
+        return ExperimentPipeline(self.config, store=self.store).run()
 
     # ------------------------------------------------------------------
     def evaluate_dram(
@@ -172,53 +73,6 @@ class SparkXD:
         Exposed separately so the energy experiments (Figs. 12a/12b,
         Table I) can run without retraining an SNN.
         """
-        cfg = self.config
-        controller = DramController(cfg.dram_spec)
-        organization = controller.organization
-        weak_cells = WeakCellMap(
-            organization, sigma=cfg.weak_cell_sigma, seed=cfg.weak_cell_seed
+        return dram_eval.evaluate_dram(
+            self.config, n_weights, bits_per_weight, ber_threshold
         )
-        trace_spec = InferenceTraceSpec(
-            n_weights=n_weights,
-            bits_per_weight=bits_per_weight,
-            refetch_passes=cfg.refetch_passes,
-        )
-
-        base_map = baseline_mapping(organization, n_weights, bits_per_weight)
-        base_trace = inference_read_trace(trace_spec, base_map.slot_of_chunk, organization)
-        baseline_dram = controller.execute(base_trace, cfg.v_nominal)
-
-        outcomes: Dict[float, VoltageOutcome] = {}
-        for v in cfg.voltages:
-            device_ber = DEFAULT_BER_CURVE.ber_at(v)
-            profile = weak_cells.profile_at(v)
-            threshold = ber_threshold if ber_threshold is not None else -1.0
-            try:
-                mapping = sparkxd_mapping(
-                    organization, n_weights, bits_per_weight, profile, threshold
-                )
-            except InsufficientSafeCapacityError:
-                outcomes[v] = VoltageOutcome(
-                    v_supply=v,
-                    device_ber=device_ber,
-                    feasible=False,
-                    mapping_policy="sparkxd-algorithm2",
-                    result=None,
-                    energy_saving=0.0,
-                    speedup=0.0,
-                )
-                continue
-            trace = inference_read_trace(trace_spec, mapping.slot_of_chunk, organization)
-            result = controller.execute(trace, v)
-            saving = 1.0 - result.energy.total_nj / baseline_dram.energy.total_nj
-            speedup = baseline_dram.stats.total_time_ns / result.stats.total_time_ns
-            outcomes[v] = VoltageOutcome(
-                v_supply=v,
-                device_ber=device_ber,
-                feasible=True,
-                mapping_policy=mapping.policy,
-                result=result,
-                energy_saving=saving,
-                speedup=speedup,
-            )
-        return baseline_dram, outcomes

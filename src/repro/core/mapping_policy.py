@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.dram.organization import DramCoordinate, DramOrganization
 from repro.errors.weak_cells import SubarrayErrorProfile
+from repro.registry import Registry
 
 
 class InsufficientSafeCapacityError(RuntimeError):
@@ -187,3 +188,49 @@ def _row_base_slot(g, channel, rank, chip, bank, subarray, row) -> int:
     slot = slot * g.rows_per_subarray + row
     slot = slot * g.columns_per_row
     return slot
+
+
+# ----------------------------------------------------------------------
+# Mapping-policy registry
+#
+# Every registered policy shares one adapter signature so the framework
+# (and sweeps over policies) can select them by name:
+#
+#     policy(organization, n_weights, bits_per_weight, profile,
+#            ber_threshold) -> WeightMapping
+#
+# ``profile``/``ber_threshold`` may be ignored by policies that do not
+# use the error profile (the baseline does).
+MAPPING_POLICIES = Registry("mapping policy")
+
+
+@MAPPING_POLICIES.register("baseline", aliases=("baseline-sequential", "sequential"))
+def _baseline_policy(
+    organization: DramOrganization,
+    n_weights: int,
+    bits_per_weight: int,
+    profile: SubarrayErrorProfile,
+    ber_threshold: float,
+) -> WeightMapping:
+    return baseline_mapping(organization, n_weights, bits_per_weight)
+
+
+#: Label a WeightMapping produced by this policy carries; used so
+#: infeasible outcomes report the same name feasible ones would.
+_baseline_policy.label = "baseline-sequential"
+
+
+@MAPPING_POLICIES.register("sparkxd", aliases=("sparkxd-algorithm2", "algorithm2"))
+def _sparkxd_policy(
+    organization: DramOrganization,
+    n_weights: int,
+    bits_per_weight: int,
+    profile: SubarrayErrorProfile,
+    ber_threshold: float,
+) -> WeightMapping:
+    return sparkxd_mapping(
+        organization, n_weights, bits_per_weight, profile, ber_threshold
+    )
+
+
+_sparkxd_policy.label = "sparkxd-algorithm2"

@@ -25,6 +25,8 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+from repro.registry import Registry
+
 
 @dataclass(frozen=True)
 class DramGeometry:
@@ -187,3 +189,20 @@ def tiny_spec(name: str = "tiny-test-dram") -> DramSpec:
         timings=NominalTimings(),
         electrical=ElectricalParameters(),
     )
+
+
+#: Registry of DRAM devices selectable by name (CLI ``--spec``, sweep
+#: axes).  Entries are zero-argument factories so registration stays
+#: cheap and mutable specs are never shared.
+DRAM_SPECS = Registry("dram spec")
+DRAM_SPECS.register(
+    "lpddr3-1600-4gb",
+    lambda: LPDDR3_1600_4GB,
+    aliases=("lpddr3",),
+)
+DRAM_SPECS.register("tiny", tiny_spec, aliases=("tiny-test-dram",))
+
+
+def get_dram_spec(name: str) -> DramSpec:
+    """Look up a device spec by registered name."""
+    return DRAM_SPECS.get(name)()

@@ -21,6 +21,7 @@ from repro.errors.models import (
     ErrorModel1,
     ErrorModel2,
     ErrorModel3,
+    ERROR_MODELS,
     make_error_model,
 )
 from repro.errors.injection import ErrorInjector, InjectionReport
@@ -49,6 +50,7 @@ __all__ = [
     "ErrorModel1",
     "ErrorModel2",
     "ErrorModel3",
+    "ERROR_MODELS",
     "make_error_model",
     "ErrorInjector",
     "InjectionReport",

@@ -32,6 +32,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.registry import Registry
+
 
 @dataclass(frozen=True)
 class BitContext:
@@ -192,19 +194,19 @@ class ErrorModel3(ErrorModel):
         return np.sort(flips.astype(np.int64))
 
 
-_MODEL_FACTORIES = {
-    "model0": ErrorModel0,
-    "model1": ErrorModel1,
-    "model2": ErrorModel2,
-    "model3": ErrorModel3,
-}
+#: Registry of the Section III error models; new spatial structures
+#: plug in with ``@ERROR_MODELS.register("model4")`` and are then
+#: constructible by name everywhere (CLI, sweeps, ablations).
+ERROR_MODELS = Registry("error model")
+ERROR_MODELS.register("model0", ErrorModel0, aliases=("uniform",))
+ERROR_MODELS.register("model1", ErrorModel1, aliases=("bitline", "vertical"))
+ERROR_MODELS.register("model2", ErrorModel2, aliases=("wordline", "horizontal"))
+ERROR_MODELS.register("model3", ErrorModel3, aliases=("data-dependent",))
 
 
 def make_error_model(name: str, **kwargs) -> ErrorModel:
     """Construct an error model by its paper name ('model0' … 'model3')."""
     key = name.lower().replace("-", "").replace("_", "").replace("errormodel", "model")
-    if key not in _MODEL_FACTORIES:
-        raise ValueError(
-            f"unknown error model {name!r}; choose from {sorted(_MODEL_FACTORIES)}"
-        )
-    return _MODEL_FACTORIES[key](**kwargs)
+    if key not in ERROR_MODELS:
+        key = name
+    return ERROR_MODELS.get(key)(**kwargs)

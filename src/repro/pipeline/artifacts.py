@@ -1,0 +1,67 @@
+"""Typed artifacts exchanged between pipeline stages.
+
+Each stage consumes the artifacts of its prerequisites and produces one
+artifact of its own.  Artifacts are plain picklable dataclasses so the
+:class:`~repro.pipeline.store.ArtifactStore` can cache them (in memory
+or on disk) and the :class:`~repro.pipeline.runner.Runner` can ship
+them across worker processes.
+
+Reproducibility note: the classic monolithic run threads one
+``numpy.random.Generator`` through training, fault-aware fine-tuning
+and tolerance analysis in sequence.  To keep staged execution
+*byte-identical* with that flow — including when a stage is restored
+from cache and only its successors re-run — every training-side
+artifact records the generator state (``rng_state``) at the moment the
+stage finished, and the next stage resumes from exactly that state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.fault_aware_training import FaultAwareTrainingResult
+from repro.core.results import VoltageOutcome
+from repro.core.tolerance_analysis import ToleranceReport
+from repro.dram.controller import TraceExecutionResult
+from repro.snn.training import TrainedModel
+
+
+@dataclass
+class BaselineArtifact:
+    """Output of ``train-baseline``: the error-free model (``model0``)."""
+
+    model: TrainedModel
+    rng_state: dict
+
+
+@dataclass
+class TrainingArtifact:
+    """Output of ``fault-aware-train``: Algorithm 1's improved model."""
+
+    training: FaultAwareTrainingResult
+    rng_state: dict
+
+    @property
+    def model(self) -> TrainedModel:
+        return self.training.model
+
+
+@dataclass
+class ToleranceArtifact:
+    """Output of ``tolerance-analysis``: the Section IV-C report."""
+
+    report: ToleranceReport
+    rng_state: dict
+
+    @property
+    def ber_threshold(self):
+        return self.report.ber_threshold
+
+
+@dataclass
+class DramArtifact:
+    """Output of ``dram-eval``: trace executions at every voltage."""
+
+    baseline_dram: TraceExecutionResult
+    outcomes: Dict[float, VoltageOutcome] = field(default_factory=dict)

@@ -1,0 +1,395 @@
+"""Grid sweeps over configs with artifact reuse and process parallelism.
+
+A sweep is a cartesian grid of :class:`~repro.core.config.SparkXDConfig`
+field overrides::
+
+    runner = Runner(SparkXDConfig.small())
+    records = runner.run({
+        "voltages": [(1.325,), (1.175,), (1.025,)],
+        "mapping_policy": ["sparkxd", "baseline"],
+    })
+
+Every grid point runs through the staged pipeline against one shared
+:class:`~repro.pipeline.store.ArtifactStore`, so points that agree on
+the training-side fields share the trained model: the voltage × BER ×
+mapping-policy sweep above trains the SNN exactly once and only re-runs
+the cheap DRAM evaluation per point.
+
+With ``max_workers > 1`` the expensive work is fanned out over a
+:class:`concurrent.futures.ProcessPoolExecutor` in stage-aligned waves
+— one job per *unique missing* fingerprint at each training depth
+(upstream artifacts shipped into the workers), then one DRAM evaluation
+per unique DRAM fingerprint — before the records are assembled
+(deterministically, in grid order) from the warmed cache.  All result
+values are identical to serial execution; only the execution-dependent
+``wall_time_s`` / ``cache_hits`` / ``cache_misses`` record fields vary
+with worker count.
+
+Each grid point yields a structured :class:`RunRecord` that serialises
+to JSON/CSV via :mod:`repro.analysis.export`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.config import SparkXDConfig
+from repro.core.results import SparkXDResult
+from repro.pipeline.artifacts import DramArtifact
+from repro.pipeline.stages import (
+    DRAM_FIELDS,
+    DramEvalStage,
+    ExperimentPipeline,
+    FaultAwareTrainStage,
+    StageContext,
+    ToleranceStage,
+    TrainBaselineStage,
+)
+from repro.pipeline.store import MISS, ArtifactStore, canonical_form, config_fingerprint
+
+
+def sweep_grid(axes: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Expand ``{field: values}`` axes into the cartesian list of points.
+
+    Axis order follows the mapping's insertion order; the last axis
+    varies fastest (like nested for-loops).
+    """
+    if not axes:
+        return [{}]
+    names = list(axes)
+    for name in names:
+        if not axes[name]:
+            raise ValueError(f"sweep axis {name!r} has no values")
+    return [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(axes[name] for name in names))
+    ]
+
+
+@dataclass(frozen=True)
+class VoltagePoint:
+    """One per-voltage outcome of a run, in plain-scalar form."""
+
+    v_supply: float
+    device_ber: float
+    feasible: bool
+    mapping_policy: str
+    energy_saving: float
+    speedup: float
+    energy_mj: Optional[float]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "v_supply": self.v_supply,
+            "device_ber": self.device_ber,
+            "feasible": self.feasible,
+            "mapping_policy": self.mapping_policy,
+            "energy_saving": self.energy_saving,
+            "speedup": self.speedup,
+            "energy_mj": self.energy_mj,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "VoltagePoint":
+        return cls(
+            v_supply=float(data["v_supply"]),
+            device_ber=float(data["device_ber"]),
+            feasible=bool(data["feasible"]),
+            mapping_policy=str(data["mapping_policy"]),
+            energy_saving=float(data["energy_saving"]),
+            speedup=float(data["speedup"]),
+            energy_mj=None if data["energy_mj"] is None else float(data["energy_mj"]),
+        )
+
+
+@dataclass
+class RunRecord:
+    """Structured summary of one grid point's full pipeline run."""
+
+    run_id: str
+    params: Dict[str, Any]
+    dataset: str
+    n_neurons: int
+    seed: int
+    representation: str
+    mapping_policy: str
+    baseline_accuracy: float
+    improved_accuracy: float
+    ber_threshold: Optional[float]
+    mean_energy_saving: float
+    voltages: Tuple[VoltagePoint, ...]
+    wall_time_s: float
+    cache_hits: int
+    cache_misses: int
+    #: The full result object; present on freshly-computed records, not
+    #: restored by deserialisation (it is not part of the record schema).
+    result: Optional[SparkXDResult] = field(default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_result(
+        cls,
+        result: SparkXDResult,
+        params: Optional[Mapping[str, Any]] = None,
+        wall_time_s: float = 0.0,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
+    ) -> "RunRecord":
+        """Summarise a :class:`SparkXDResult` into a record."""
+        cfg = result.config
+        points = tuple(
+            VoltagePoint(
+                v_supply=o.v_supply,
+                device_ber=o.device_ber,
+                feasible=o.feasible,
+                mapping_policy=o.mapping_policy,
+                energy_saving=o.energy_saving,
+                speedup=o.speedup,
+                energy_mj=o.result.energy.total_mj if o.result else None,
+            )
+            for _, o in sorted(result.outcomes.items(), reverse=True)
+        )
+        return cls(
+            run_id=config_fingerprint(cfg, DRAM_FIELDS)[:12],
+            params=dict(params or {}),
+            dataset=cfg.dataset,
+            n_neurons=cfg.n_neurons,
+            seed=cfg.seed,
+            representation=cfg.representation,
+            mapping_policy=cfg.mapping_policy,
+            baseline_accuracy=result.baseline_model.accuracy,
+            improved_accuracy=result.improved_model.accuracy,
+            ber_threshold=result.ber_threshold,
+            mean_energy_saving=result.mean_energy_saving(),
+            voltages=points,
+            wall_time_s=wall_time_s,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            result=result,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict form (drops the heavyweight ``result``)."""
+        return {
+            "run_id": self.run_id,
+            "params": canonical_form(self.params),
+            "dataset": self.dataset,
+            "n_neurons": self.n_neurons,
+            "seed": self.seed,
+            "representation": self.representation,
+            "mapping_policy": self.mapping_policy,
+            "baseline_accuracy": self.baseline_accuracy,
+            "improved_accuracy": self.improved_accuracy,
+            "ber_threshold": self.ber_threshold,
+            "mean_energy_saving": self.mean_energy_saving,
+            "voltages": [p.to_dict() for p in self.voltages],
+            "wall_time_s": self.wall_time_s,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
+        return cls(
+            run_id=str(data["run_id"]),
+            params=dict(data["params"]),
+            dataset=str(data["dataset"]),
+            n_neurons=int(data["n_neurons"]),
+            seed=int(data["seed"]),
+            representation=str(data["representation"]),
+            mapping_policy=str(data["mapping_policy"]),
+            baseline_accuracy=float(data["baseline_accuracy"]),
+            improved_accuracy=float(data["improved_accuracy"]),
+            ber_threshold=(
+                None if data["ber_threshold"] is None else float(data["ber_threshold"])
+            ),
+            mean_energy_saving=float(data["mean_energy_saving"]),
+            voltages=tuple(VoltagePoint.from_dict(p) for p in data["voltages"]),
+            wall_time_s=float(data["wall_time_s"]),
+            cache_hits=int(data["cache_hits"]),
+            cache_misses=int(data["cache_misses"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker-process entry points (module-level so they pickle).
+_TRAINING_STAGES = (TrainBaselineStage, FaultAwareTrainStage, ToleranceStage)
+
+
+def _compute_stage_chain(config: SparkXDConfig, depth: int, preload=()):
+    """Run the training chain up to ``depth`` (inclusive) in a worker.
+
+    ``preload`` entries (``(stage, digest, artifact)``) seed the worker's
+    local store so already-computed upstream artifacts are not redone.
+    Returns every ``(stage, digest, artifact)`` the worker now holds, so
+    the parent can cache prerequisites the worker had to recompute (e.g.
+    after partial disk-cache eviction) along with the target artifact.
+    """
+    chain = tuple(cls() for cls in _TRAINING_STAGES[: depth + 1])
+    local = ArtifactStore()
+    for stage_name, digest, artifact in preload:
+        local.put(stage_name, digest, artifact)
+    ExperimentPipeline(config, stages=chain, store=local).run_stages()
+    entries = []
+    for stage in chain:
+        digest = stage.cache_key(config)
+        artifact = local.get(stage.name, digest)
+        if artifact is not MISS:
+            entries.append((stage.name, digest, artifact))
+    return entries
+
+
+def _compute_dram_artifact(
+    config: SparkXDConfig,
+    n_weights: int,
+    bits_per_weight: int,
+    ber_threshold: Optional[float],
+) -> DramArtifact:
+    from repro.core.dram_eval import evaluate_dram
+
+    baseline_dram, outcomes = evaluate_dram(
+        config, n_weights, bits_per_weight, ber_threshold
+    )
+    return DramArtifact(baseline_dram=baseline_dram, outcomes=outcomes)
+
+
+class Runner:
+    """Execute a grid of experiments with shared caching.
+
+    Parameters
+    ----------
+    base_config:
+        The config every grid point starts from (overridden per point).
+    store:
+        Shared artifact store; defaults to a fresh in-memory store.
+        Pass a disk-backed store to reuse artifacts across sweeps.
+    max_workers:
+        ``1`` (default) runs serially in-process; larger values fan the
+        unique training jobs and DRAM evaluations out over a process
+        pool.  Result values are bit-identical either way (the timing
+        and cache-statistics record fields are execution-dependent).
+    """
+
+    def __init__(
+        self,
+        base_config: SparkXDConfig | None = None,
+        store: Optional[ArtifactStore] = None,
+        max_workers: int = 1,
+    ):
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.base_config = base_config or SparkXDConfig()
+        self.store = store if store is not None else ArtifactStore()
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------
+    def configs_for(self, grid: Mapping[str, Sequence[Any]]) -> List[SparkXDConfig]:
+        return [
+            self.base_config.with_overrides(**params) for params in sweep_grid(grid)
+        ]
+
+    def run(self, grid: Mapping[str, Sequence[Any]]) -> List[RunRecord]:
+        """Run every grid point; return records in grid order."""
+        param_sets = sweep_grid(grid)
+        configs = [self.base_config.with_overrides(**p) for p in param_sets]
+        if self.max_workers > 1 and len(configs) > 1:
+            self._prefill_parallel(configs)
+        records: List[RunRecord] = []
+        for params, config in zip(param_sets, configs):
+            started = time.perf_counter()
+            before = self.store.stats.snapshot()
+            result = ExperimentPipeline(config, store=self.store).run()
+            after = self.store.stats
+            records.append(
+                RunRecord.from_result(
+                    result,
+                    params=params,
+                    wall_time_s=time.perf_counter() - started,
+                    cache_hits=after.hits - before.hits,
+                    cache_misses=after.misses - before.misses,
+                )
+            )
+        return records
+
+    # ------------------------------------------------------------------
+    def _prefill_parallel(self, configs: Sequence[SparkXDConfig]) -> None:
+        """Warm the store: one wave per training stage, then a DRAM wave.
+
+        Each wave computes only the *unique missing* fingerprints at
+        that depth, with every cached upstream artifact shipped into the
+        worker — so e.g. a ``ber_rates`` sweep trains the shared
+        baseline once, and a ``tolerance_trials`` sweep re-runs only the
+        tolerance analysis.  A config whose prerequisites cannot be
+        assembled (partially evicted disk cache) is simply left for the
+        assembly loop, which recomputes missing stages in-process.
+        """
+        training_chain = tuple(cls() for cls in _TRAINING_STAGES)
+        baseline, _, tolerance = training_chain
+        dram = DramEvalStage()
+
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            for depth, stage in enumerate(training_chain):
+                jobs: Dict[str, SparkXDConfig] = {}
+                for config in configs:
+                    digest = stage.cache_key(config)
+                    if digest not in jobs and ((stage.name, digest) not in self.store):
+                        jobs[digest] = config
+                if not jobs:
+                    continue
+                preloads = []
+                for config in jobs.values():
+                    entries = []
+                    for prior in training_chain[:depth]:
+                        prior_digest = prior.cache_key(config)
+                        artifact = self.store.get(prior.name, prior_digest)
+                        if artifact is not MISS:
+                            entries.append((prior.name, prior_digest, artifact))
+                    preloads.append(entries)
+                for entries in pool.map(
+                    _compute_stage_chain,
+                    jobs.values(),
+                    [depth] * len(jobs),
+                    preloads,
+                ):
+                    for stage_name, digest, artifact in entries:
+                        # Preloaded upstream artifacts come back with each
+                        # job; only store what is actually new (a target or
+                        # a recomputed-after-eviction prerequisite).
+                        if (stage_name, digest) not in self.store:
+                            self.store.put(stage_name, digest, artifact)
+
+            dram_inputs = []
+            dram_digests = []
+            seen: set = set()
+            for config in configs:
+                digest = dram.cache_key(config)
+                if digest in seen or ((dram.name, digest) in self.store):
+                    continue
+                seen.add(digest)
+                baseline_artifact = self.store.get(
+                    baseline.name, baseline.cache_key(config)
+                )
+                tolerance_artifact = self.store.get(
+                    tolerance.name, tolerance.cache_key(config)
+                )
+                if baseline_artifact is MISS or tolerance_artifact is MISS:
+                    continue  # assembly loop recomputes this point serially
+                dram_inputs.append(
+                    (
+                        config,
+                        baseline_artifact.model.weights.size,
+                        StageContext(config).representation.bits_per_weight,
+                        tolerance_artifact.ber_threshold,
+                    )
+                )
+                dram_digests.append(digest)
+            if dram_inputs:
+                for digest, artifact in zip(
+                    dram_digests,
+                    pool.map(_compute_dram_artifact, *zip(*dram_inputs)),
+                ):
+                    self.store.put(dram.name, digest, artifact)

@@ -1,0 +1,143 @@
+"""Content-addressed artifact caching.
+
+An :class:`ArtifactStore` maps ``(stage name, config fingerprint)`` keys
+to stage artifacts.  The fingerprint hashes exactly the configuration
+fields the stage's computation depends on (each stage declares them),
+so:
+
+- a sweep over DRAM-side knobs (voltages, weak-cell sigma, mapping
+  policy, device spec) hits the cached training artifacts and only the
+  cheap ``dram-eval`` stage re-runs;
+- changing any training-side field (dataset, seed, BER schedule, …)
+  changes the fingerprint and transparently invalidates everything
+  downstream.
+
+The store is in-memory by default; give it a ``root`` directory to
+persist artifacts across processes and sessions.  Disk persistence uses
+``pickle`` — only point ``root`` at a directory you trust, exactly like
+any other local build cache.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
+
+#: Sentinel distinguishing "no cached artifact" from a cached ``None``.
+MISS = object()
+
+
+def canonical_form(value: Any) -> Any:
+    """Reduce a config value to JSON-serialisable canonical form."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: canonical_form(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (tuple, list)):
+        return [canonical_form(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): canonical_form(v) for k, v in sorted(value.items())}
+    return value
+
+
+def fingerprint(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``payload``."""
+    text = json.dumps(canonical_form(payload), sort_keys=True, default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def config_fingerprint(config: Any, fields: Sequence[str]) -> str:
+    """Fingerprint of the named ``config`` attributes only."""
+    return fingerprint({name: getattr(config, name) for name in sorted(fields)})
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`ArtifactStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(hits=self.hits, misses=self.misses, puts=self.puts)
+
+
+class ArtifactStore:
+    """In-memory (optionally disk-backed) artifact cache.
+
+    Keys are ``(stage_name, fingerprint)`` pairs.  All artifacts must be
+    picklable when ``root`` is set.
+    """
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.root = Path(root) if root is not None else None
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+        self._memory: Dict[Tuple[str, str], Any] = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _path(self, key: Tuple[str, str]) -> Path:
+        stage, digest = key
+        return self.root / stage / f"{digest}.pkl"
+
+    def get(self, stage: str, digest: str) -> Any:
+        """Return the cached artifact or the :data:`MISS` sentinel."""
+        key = (stage, digest)
+        if key in self._memory:
+            self.stats.hits += 1
+            return self._memory[key]
+        if self.root is not None:
+            path = self._path(key)
+            if path.exists():
+                with open(path, "rb") as handle:
+                    artifact = pickle.load(handle)
+                self._memory[key] = artifact
+                self.stats.hits += 1
+                return artifact
+        self.stats.misses += 1
+        return MISS
+
+    def put(self, stage: str, digest: str, artifact: Any) -> None:
+        key = (stage, digest)
+        self._memory[key] = artifact
+        self.stats.puts += 1
+        if self.root is not None:
+            path = self._path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Write to a per-writer temp file, then atomically publish:
+            # concurrent processes sharing the cache dir never observe a
+            # partial pickle, even when racing on the same key.
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{digest[:8]}-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(artifact, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, path)
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp_name)
+                raise
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        if key in self._memory:
+            return True
+        return self.root is not None and self._path(key).exists()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (disk entries are left alone)."""
+        self._memory.clear()

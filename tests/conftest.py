@@ -35,3 +35,35 @@ def mini_mnist():
 @pytest.fixture(scope="session")
 def mini_fashion():
     return load_dataset("fashion", n_train=80, n_test=50, seed=13)
+
+
+@pytest.fixture
+def run_record_factory():
+    """Factory for hand-built RunRecords (no training) in serialisation tests."""
+    from repro.pipeline import RunRecord, VoltagePoint
+
+    def make(run_id="abc123", **overrides):
+        base = dict(
+            run_id=run_id,
+            params={"voltages": (1.175,)},
+            dataset="mnist",
+            n_neurons=12,
+            seed=42,
+            representation="float32",
+            mapping_policy="sparkxd",
+            baseline_accuracy=0.5,
+            improved_accuracy=0.48,
+            ber_threshold=1e-3,
+            mean_energy_saving=0.2,
+            voltages=(
+                VoltagePoint(1.175, 1e-6, True, "sparkxd-algorithm2", 0.2, 1.01, 0.014),
+                VoltagePoint(1.025, 1e-3, False, "sparkxd", 0.0, 0.0, None),
+            ),
+            wall_time_s=1.5,
+            cache_hits=3,
+            cache_misses=1,
+        )
+        base.update(overrides)
+        return RunRecord(**base)
+
+    return make

@@ -61,3 +61,40 @@ class TestDomainExports:
         kinds = [r[0] for r in rows[1:]]
         assert kinds == ["point", "target_accuracy", "ber_threshold"]
         assert float(rows[1][1]) == 1e-5
+
+
+class TestRunRecordExports:
+    def test_csv_one_row_per_voltage(self, tmp_path, run_record_factory):
+        from repro.analysis.export import RUN_RECORD_CSV_HEADERS, export_run_records
+
+        path = export_run_records(tmp_path / "sweep.csv", [run_record_factory()])
+        rows = read_csv(path)
+        assert rows[0] == RUN_RECORD_CSV_HEADERS
+        assert len(rows) == 3  # header + two voltage points
+        assert rows[1][0] == "abc123"
+        assert float(rows[1][rows[0].index("v_supply")]) == 1.175
+        assert rows[2][rows[0].index("energy_mj")] == ""  # infeasible point
+
+    def test_csv_record_without_voltages_still_appears(self, tmp_path, run_record_factory):
+        from repro.analysis.export import export_run_records
+
+        path = export_run_records(
+            tmp_path / "sweep.csv",
+            [run_record_factory(voltages=(), mean_energy_saving=0.0)],
+        )
+        rows = read_csv(path)
+        assert len(rows) == 2
+        assert rows[1][0] == "abc123"
+
+    def test_json_round_trip(self, tmp_path, run_record_factory):
+        from repro.analysis.export import load_run_records, write_run_records_json
+
+        records = [
+            run_record_factory(),
+            run_record_factory(run_id="def456", ber_threshold=None),
+        ]
+        path = write_run_records_json(tmp_path / "sweep", records)
+        assert path.suffix == ".json"
+        loaded = load_run_records(path)
+        assert [r.to_dict() for r in loaded] == [r.to_dict() for r in records]
+        assert loaded[1].ber_threshold is None

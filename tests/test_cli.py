@@ -54,3 +54,88 @@ class TestRunCommand:
         assert exit_code == 0
         assert "baseline accuracy" in out
         assert (tmp_path / "m.npz").exists()
+
+
+class TestNewRunFlags:
+    def test_run_accepts_voltages_and_representation(self):
+        args = build_parser().parse_args([
+            "run", "--voltages", "1.325", "1.025",
+            "--representation", "int8", "--mapping", "baseline",
+        ])
+        assert args.voltages == [1.325, 1.025]
+        assert args.representation == "int8"
+        assert args.mapping == "baseline"
+
+    def test_run_rejects_unknown_representation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--representation", "int64"])
+
+
+class TestStagesCommand:
+    def test_lists_stages_and_registries(self, capsys):
+        assert main(["stages"]) == 0
+        out = capsys.readouterr().out
+        for needle in (
+            "train-baseline", "fault-aware-train", "tolerance-analysis",
+            "dram-eval", "mnist", "model0", "sparkxd", "lpddr3-1600-4gb",
+        ):
+            assert needle in out
+
+    def test_json_output_parses(self, capsys):
+        import json
+
+        assert main(["stages", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [s["name"] for s in payload["stages"]] == [
+            "train-baseline", "fault-aware-train",
+            "tolerance-analysis", "dram-eval",
+        ]
+        assert "baseline" in payload["registries"]["mapping_policies"]
+
+
+class TestDramSpecFlag:
+    def test_dram_accepts_registered_spec(self, capsys):
+        assert main(["dram", "--spec", "tiny", "--voltages", "1.35"]) == 0
+        assert "tiny-test-dram" in capsys.readouterr().out
+
+    def test_dram_unknown_spec_fails_cleanly(self, capsys):
+        assert main(["dram", "--spec", "ddr9"]) == 2
+        assert "unknown dram spec" in capsys.readouterr().err
+
+    def test_dram_json_output(self, capsys):
+        import json
+
+        assert main(["dram", "--json", "--voltages", "1.35", "1.025"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"] == "LPDDR3-1600 4Gb"
+        assert len(payload["per_access_savings"]) == 2
+
+
+class TestSweepCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.datasets == ["mnist"]
+        assert args.workers == 1
+        assert args.voltages is None
+
+    @pytest.mark.slow
+    def test_tiny_sweep_end_to_end(self, capsys, tmp_path):
+        exit_code = main([
+            "sweep", "--neurons", "12", "--train", "40", "--test", "25",
+            "--steps", "30", "--bound", "0.5",
+            "--voltages", "1.325", "1.025",
+            "--csv", str(tmp_path / "sweep.csv"),
+            "--out", str(tmp_path / "sweep.json"),
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "2 grid points" in out
+        assert (tmp_path / "sweep.csv").exists()
+        assert (tmp_path / "sweep.json").exists()
+
+        from repro.analysis.export import load_run_records
+
+        records = load_run_records(tmp_path / "sweep.json")
+        assert len(records) == 2
+        # one training shared across both voltage points
+        assert records[1].cache_hits >= 3

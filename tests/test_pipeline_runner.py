@@ -1,0 +1,122 @@
+"""Tests of the sweep runner: grids, caching across points, parallelism."""
+
+import pytest
+
+from repro import SparkXDConfig
+from repro.pipeline import ArtifactStore, Runner, RunRecord, sweep_grid
+
+TINY = SparkXDConfig.small(
+    n_train=40,
+    n_test=25,
+    n_neurons=12,
+    n_steps=30,
+    baseline_epochs=1,
+    ber_rates=(1e-5, 1e-3),
+    accuracy_bound=0.5,
+)
+
+
+class TestSweepGrid:
+    def test_empty_grid_is_single_point(self):
+        assert sweep_grid({}) == [{}]
+
+    def test_cartesian_product_order(self):
+        grid = sweep_grid({"a": [1, 2], "b": ["x", "y"]})
+        assert grid == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="has no values"):
+            sweep_grid({"a": []})
+
+
+class TestRunRecordSerialisation:
+    def test_round_trip_via_dict(self, run_record_factory):
+        record = run_record_factory()
+        clone = RunRecord.from_dict(record.to_dict())
+        assert clone.to_dict() == record.to_dict()
+        assert clone.voltages == record.voltages
+        assert clone.result is None
+
+    def test_none_threshold_round_trips(self, run_record_factory):
+        record = run_record_factory(ber_threshold=None)
+        assert RunRecord.from_dict(record.to_dict()).ber_threshold is None
+
+
+class TestRunnerValidation:
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            Runner(TINY, max_workers=0)
+
+    def test_configs_for_expands_grid(self):
+        runner = Runner(TINY)
+        configs = runner.configs_for({"seed": [1, 2], "mapping_policy": ["baseline"]})
+        assert [c.seed for c in configs] == [1, 2]
+        assert all(c.mapping_policy == "baseline" for c in configs)
+
+
+@pytest.mark.slow
+class TestRunnerExecution:
+    def test_voltage_ber_sweep_trains_exactly_once(self, monkeypatch):
+        """The acceptance check: a voltage x BER(-via-voltage) x policy
+        sweep reuses one trained model for every grid point."""
+        import repro.pipeline.stages as stages_module
+
+        calls = {"train_baseline": 0, "improve": 0}
+        orig_train = stages_module.train_baseline
+        orig_improve = stages_module.improve_error_tolerance
+
+        def counting_train(*args, **kwargs):
+            calls["train_baseline"] += 1
+            return orig_train(*args, **kwargs)
+
+        def counting_improve(*args, **kwargs):
+            calls["improve"] += 1
+            return orig_improve(*args, **kwargs)
+
+        monkeypatch.setattr(stages_module, "train_baseline", counting_train)
+        monkeypatch.setattr(
+            stages_module, "improve_error_tolerance", counting_improve
+        )
+
+        runner = Runner(TINY, store=ArtifactStore())
+        # Each voltage point implies a different device BER (Fig. 2c),
+        # so this is the paper's voltage x BER grid, crossed with the
+        # mapping-policy axis.
+        records = runner.run({
+            "voltages": [(1.325,), (1.175,), (1.025,)],
+            "mapping_policy": ["sparkxd", "baseline"],
+        })
+        assert len(records) == 6
+        assert calls["train_baseline"] == 1
+        assert calls["improve"] == 1
+        # identical training -> identical accuracies everywhere
+        assert len({r.baseline_accuracy for r in records}) == 1
+        assert len({r.improved_accuracy for r in records}) == 1
+        # ...but six distinct run ids and per-point params
+        assert len({r.run_id for r in records}) == 6
+        assert records[0].params == {
+            "voltages": (1.325,),
+            "mapping_policy": "sparkxd",
+        }
+        # later grid points hit the three cached training stages
+        assert all(r.cache_hits >= 3 for r in records[1:])
+        for record in records:
+            (point,) = record.voltages
+            assert point.v_supply == record.params["voltages"][0]
+
+    def test_parallel_matches_serial(self):
+        grid = {"voltages": [(1.325,), (1.025,)]}
+        serial = Runner(TINY, store=ArtifactStore()).run(grid)
+        parallel = Runner(TINY, store=ArtifactStore(), max_workers=2).run(grid)
+        assert len(serial) == len(parallel) == 2
+        for a, b in zip(serial, parallel):
+            da, db = a.to_dict(), b.to_dict()
+            for volatile in ("wall_time_s", "cache_hits", "cache_misses"):
+                da.pop(volatile)
+                db.pop(volatile)
+            assert da == db

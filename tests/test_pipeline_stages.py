@@ -1,0 +1,127 @@
+"""Tests of the staged pipeline: stages, caching, facade equivalence."""
+
+import numpy as np
+import pytest
+
+from repro import SparkXD, SparkXDConfig
+from repro.pipeline import (
+    ArtifactStore,
+    DramEvalStage,
+    ExperimentPipeline,
+    PIPELINE_STAGES,
+    default_stages,
+)
+
+TINY = SparkXDConfig.small(
+    n_train=40,
+    n_test=25,
+    n_neurons=12,
+    n_steps=30,
+    baseline_epochs=1,
+    ber_rates=(1e-5, 1e-3),
+    accuracy_bound=0.5,
+)
+
+
+@pytest.fixture(scope="module")
+def warm_store():
+    """One trained run shared by every test in this module."""
+    store = ArtifactStore()
+    ExperimentPipeline(TINY, store=store).run()
+    return store
+
+
+class TestStageChain:
+    def test_default_chain_order(self):
+        names = [stage.name for stage in default_stages()]
+        assert names == [
+            "train-baseline",
+            "fault-aware-train",
+            "tolerance-analysis",
+            "dram-eval",
+        ]
+
+    def test_every_requirement_is_provided_upstream(self):
+        provided = set()
+        for stage in default_stages():
+            assert set(stage.requires) <= provided, stage.name
+            provided.add(stage.provides)
+
+    def test_stages_are_registered(self):
+        assert set(PIPELINE_STAGES.names()) == {
+            "train-baseline",
+            "fault-aware-train",
+            "tolerance-analysis",
+            "dram-eval",
+        }
+
+    def test_missing_prerequisite_raises(self):
+        pipeline = ExperimentPipeline(TINY, stages=[DramEvalStage()])
+        with pytest.raises(ValueError, match="requires artifacts"):
+            pipeline.run_stages()
+
+    def test_partial_chain_rejected_by_run(self, warm_store):
+        pipeline = ExperimentPipeline(
+            TINY, stages=default_stages()[:2], store=warm_store
+        )
+        with pytest.raises(ValueError, match="produced no"):
+            pipeline.run()
+
+
+@pytest.mark.slow
+class TestFacadeEquivalence:
+    def test_facade_equals_staged_pipeline_at_fixed_seed(self, warm_store):
+        staged = ExperimentPipeline(TINY, store=warm_store).run()
+        facade = SparkXD(TINY).run()  # fresh store: recomputes from scratch
+        assert np.array_equal(
+            staged.baseline_model.weights, facade.baseline_model.weights
+        )
+        assert np.array_equal(
+            staged.improved_model.weights, facade.improved_model.weights
+        )
+        assert staged.baseline_model.accuracy == facade.baseline_model.accuracy
+        assert staged.tolerance == facade.tolerance
+        assert staged.training.accuracy_per_rate == facade.training.accuracy_per_rate
+        assert set(staged.outcomes) == set(facade.outcomes)
+        for v in staged.outcomes:
+            assert staged.outcomes[v] == facade.outcomes[v]
+        assert staged.summary() == facade.summary()
+
+    def test_facade_accepts_shared_store(self, warm_store):
+        before = warm_store.stats.snapshot()
+        result = SparkXD(TINY, store=warm_store).run()
+        assert warm_store.stats.hits - before.hits == 4
+        assert warm_store.stats.misses == before.misses
+        assert result.summary()
+
+
+@pytest.mark.slow
+class TestCaching:
+    def test_full_rerun_hits_every_stage(self, warm_store):
+        before = warm_store.stats.snapshot()
+        ExperimentPipeline(TINY, store=warm_store).run()
+        assert warm_store.stats.hits - before.hits == 4
+        assert warm_store.stats.misses == before.misses
+
+    def test_dram_override_reuses_training(self, warm_store):
+        swept = TINY.with_overrides(voltages=(1.175,), mapping_policy="baseline")
+        before = warm_store.stats.snapshot()
+        result = ExperimentPipeline(swept, store=warm_store).run()
+        # three training-side hits, one dram-eval miss
+        assert warm_store.stats.hits - before.hits == 3
+        assert warm_store.stats.misses - before.misses == 1
+        assert set(result.outcomes) == {1.175}
+        assert result.outcomes[1.175].mapping_policy in (
+            "baseline-sequential",
+            "baseline",
+        )
+
+    def test_training_override_invalidates(self, warm_store):
+        from repro.pipeline.store import MISS
+
+        changed = TINY.with_overrides(seed=TINY.seed + 1)
+        # Different seed: every stage fingerprint changes, so nothing
+        # cached for TINY applies (checked via keys, not a retrain).
+        for stage in default_stages():
+            assert stage.cache_key(changed) != stage.cache_key(TINY)
+            assert warm_store.get(stage.name, stage.cache_key(changed)) is MISS

@@ -1,0 +1,114 @@
+"""Tests of the content-addressed artifact store and config fingerprints."""
+
+import pytest
+
+from repro import SparkXDConfig
+from repro.pipeline.stages import (
+    BASELINE_FIELDS,
+    DRAM_FIELDS,
+    TOLERANCE_FIELDS,
+    TRAINING_FIELDS,
+)
+from repro.pipeline.store import (
+    MISS,
+    ArtifactStore,
+    config_fingerprint,
+    fingerprint,
+)
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        assert fingerprint({"a": 1, "b": (2, 3)}) == fingerprint({"a": 1, "b": (2, 3)})
+
+    def test_key_order_irrelevant(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_value_change_changes_digest(self):
+        assert fingerprint({"a": 1}) != fingerprint({"a": 2})
+
+    def test_dataclasses_are_canonicalised(self):
+        cfg = SparkXDConfig.small()
+        a = config_fingerprint(cfg, ("dram_spec",))
+        b = config_fingerprint(cfg.with_overrides(seed=99), ("dram_spec",))
+        assert a == b  # dram_spec unchanged -> same digest
+
+
+class TestStageFieldGroups:
+    """The cache-soundness invariants the stage chain relies on."""
+
+    def test_fields_grow_monotonically(self):
+        assert set(BASELINE_FIELDS) < set(TRAINING_FIELDS)
+        assert set(TRAINING_FIELDS) < set(TOLERANCE_FIELDS)
+        assert set(TOLERANCE_FIELDS) < set(DRAM_FIELDS)
+
+    def test_dram_fields_cover_every_config_field(self):
+        import dataclasses
+
+        assert set(DRAM_FIELDS) == {
+            f.name for f in dataclasses.fields(SparkXDConfig)
+        }
+
+    def test_dram_side_override_keeps_training_fingerprint(self):
+        cfg = SparkXDConfig.small()
+        swept = cfg.with_overrides(
+            voltages=(1.175,), weak_cell_sigma=0.3, mapping_policy="baseline"
+        )
+        assert config_fingerprint(cfg, TOLERANCE_FIELDS) == config_fingerprint(
+            swept, TOLERANCE_FIELDS
+        )
+        assert config_fingerprint(cfg, DRAM_FIELDS) != config_fingerprint(
+            swept, DRAM_FIELDS
+        )
+
+    def test_training_side_override_invalidates(self):
+        cfg = SparkXDConfig.small()
+        for override in ({"seed": 99}, {"ber_rates": (1e-4,)}, {"dataset": "fashion"}):
+            changed = cfg.with_overrides(**override)
+            assert config_fingerprint(cfg, TRAINING_FIELDS) != config_fingerprint(
+                changed, TRAINING_FIELDS
+            ), override
+
+
+class TestArtifactStore:
+    def test_miss_then_hit(self):
+        store = ArtifactStore()
+        assert store.get("stage", "abc") is MISS
+        store.put("stage", "abc", {"x": 1})
+        assert store.get("stage", "abc") == {"x": 1}
+        assert store.stats.misses == 1
+        assert store.stats.hits == 1
+        assert store.stats.puts == 1
+
+    def test_contains_does_not_touch_stats(self):
+        store = ArtifactStore()
+        store.put("stage", "abc", 1)
+        assert ("stage", "abc") in store
+        assert ("stage", "zzz") not in store
+        assert store.stats.hits == 0
+        assert store.stats.misses == 0
+
+    def test_different_digest_misses(self):
+        store = ArtifactStore()
+        store.put("stage", "abc", 1)
+        assert store.get("stage", "def") is MISS
+
+    def test_clear_drops_memory(self):
+        store = ArtifactStore()
+        store.put("stage", "abc", 1)
+        store.clear()
+        assert store.get("stage", "abc") is MISS
+
+    def test_disk_persistence_across_instances(self, tmp_path):
+        first = ArtifactStore(tmp_path / "cache")
+        first.put("stage", "abc", {"weights": [1, 2, 3]})
+        second = ArtifactStore(tmp_path / "cache")
+        assert second.get("stage", "abc") == {"weights": [1, 2, 3]}
+        assert second.stats.hits == 1
+
+    def test_disk_store_contains_without_loading(self, tmp_path):
+        first = ArtifactStore(tmp_path / "cache")
+        first.put("stage", "abc", 1)
+        second = ArtifactStore(tmp_path / "cache")
+        assert ("stage", "abc") in second
+        assert len(second) == 0  # not loaded into memory yet
