@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Engine throughput benchmark: sequential vs batched samples/sec.
+
+Measures how many (sample x error-realization) evaluations per second
+each engine sustains on two network sizes, double-checks that both
+engines produced identical spike counts, and writes the results to
+``BENCH_engine.json`` — the repo's performance trajectory artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_engine.py           # full run
+    PYTHONPATH=src python benchmarks/perf_engine.py --quick   # CI smoke
+
+The workload mirrors the paper's evaluation loop (Fig. 8 / Fig. 11):
+one trained-like network, a stack of E bit-error-corrupted weight
+copies, B evaluation images, n_steps of Poisson-coded simulation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine import BatchedEvaluator
+from repro.errors.injection import ErrorInjector
+from repro.snn.network import DiehlCookNetwork, NetworkParameters
+from repro.snn.quantization import Float32Representation
+
+FULL_SCENARIOS = (
+    {"n_neurons": 100, "n_samples": 40, "n_realizations": 4, "n_steps": 100,
+     "dtype": "float64"},
+    {"n_neurons": 400, "n_samples": 40, "n_realizations": 4, "n_steps": 100,
+     "dtype": "float64"},
+    {"n_neurons": 400, "n_samples": 20, "n_realizations": 8, "n_steps": 100,
+     "dtype": "float32"},
+)
+QUICK_SCENARIOS = (
+    {"n_neurons": 60, "n_samples": 8, "n_realizations": 2, "n_steps": 30,
+     "dtype": "float64"},
+    {"n_neurons": 100, "n_samples": 8, "n_realizations": 2, "n_steps": 30,
+     "dtype": "float32"},
+)
+
+
+def _build_workload(scenario: dict, n_input: int = 784):
+    """A trained-like network, corrupted weight stack and image batch."""
+    rng = np.random.default_rng(1234)
+    params = NetworkParameters(n_input=n_input, n_neurons=scenario["n_neurons"])
+    network = DiehlCookNetwork(params, rng=rng)
+    network.neurons.theta = rng.uniform(0.0, 2.0, params.n_neurons)
+    injector = ErrorInjector(Float32Representation(clip_range=(0, 1)), seed=7)
+    stack, _ = injector.inject_stack(
+        network.weights, 1e-3, n_realizations=scenario["n_realizations"], rng=rng
+    )
+    # MNIST-like sparse images: most pixels dark, a bright blob.
+    images = np.clip(rng.random((scenario["n_samples"], n_input)) - 0.55, 0.0, 0.45) * 2
+    return network, stack, images
+
+
+def _time_engine(network, stack, images, n_steps, engine, dtype, repeats):
+    best = np.inf
+    counts = None
+    for _ in range(repeats):
+        evaluator = BatchedEvaluator.for_network(
+            network, engine=engine, dtype=np.dtype(dtype)
+        )
+        started = time.perf_counter()
+        counts = evaluator.spike_counts(
+            images, n_steps, np.random.default_rng(99), weights=stack
+        )
+        best = min(best, time.perf_counter() - started)
+    return best, counts
+
+
+def run_benchmark(quick: bool, repeats: int) -> dict:
+    scenarios = QUICK_SCENARIOS if quick else FULL_SCENARIOS
+    results = []
+    for scenario in scenarios:
+        network, stack, images = _build_workload(scenario)
+        evaluations = stack.shape[0] * images.shape[0]
+        row = dict(scenario, n_input=network.n_input, evaluations=evaluations)
+        reference = {}
+        for engine in ("sequential", "batched"):
+            seconds, counts = _time_engine(
+                network, stack, images, scenario["n_steps"], engine,
+                scenario["dtype"], repeats,
+            )
+            row[f"{engine}_seconds"] = seconds
+            row[f"{engine}_samples_per_sec"] = evaluations / seconds
+            reference[engine] = counts
+        row["speedup"] = (
+            row["batched_samples_per_sec"] / row["sequential_samples_per_sec"]
+        )
+        row["identical_counts"] = bool(
+            np.array_equal(reference["sequential"], reference["batched"])
+        )
+        results.append(row)
+        print(
+            f"N{scenario['n_neurons']:<4} {scenario['dtype']:<8} "
+            f"{evaluations:>4} evaluations | "
+            f"sequential {row['sequential_samples_per_sec']:8.1f}/s | "
+            f"batched {row['batched_samples_per_sec']:8.1f}/s | "
+            f"speedup {row['speedup']:5.2f}x | "
+            f"identical={row['identical_counts']}"
+        )
+    return {
+        "benchmark": "repro.engine sequential-vs-batched throughput",
+        "quick": quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "scenarios": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small scenarios for CI smoke runs")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timing repeats; the best run is reported")
+    parser.add_argument("--out", default="BENCH_engine.json", metavar="PATH",
+                        help="output JSON path (default: ./BENCH_engine.json)")
+    args = parser.parse_args(argv)
+    if args.repeats <= 0:
+        parser.error("--repeats must be > 0")
+
+    payload = run_benchmark(args.quick, args.repeats)
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"results written to {out}")
+
+    if not all(row["identical_counts"] for row in payload["scenarios"]):
+        print("ERROR: engines disagreed on spike counts", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,9 +15,13 @@ depends on:
 - the SparkXD framework itself (:mod:`repro.core`): fault-aware
   training, error-tolerance analysis, and fault/energy-aware DRAM
   mapping,
-- and a staged experiment pipeline (:mod:`repro.pipeline`): the Fig. 7
+- a staged experiment pipeline (:mod:`repro.pipeline`): the Fig. 7
   flow as composable stages with content-addressed artifact caching and
-  a parallel grid-sweep runner.
+  a parallel grid-sweep runner,
+- and a batched vectorized evaluation engine (:mod:`repro.engine`):
+  one simulation pass scores a whole evaluation set under a stack of
+  corrupted-weight realizations, bit-identical to the sequential
+  per-sample loop (see ``docs/engine.md``).
 
 Quickstart — one run, classic facade::
 

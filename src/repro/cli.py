@@ -14,6 +14,9 @@ Commands
     Print the DRAM-side studies (Fig. 2b, Table I) for a device.
 ``tolerance``
     Train a model, analyse its error tolerance and print the curve.
+``cache``
+    Manage the artifact disk cache (``cache prune`` evicts
+    least-recently-used artifacts down to a byte budget).
 
 Every data-producing command accepts ``--json`` for machine-readable
 output on stdout.
@@ -48,6 +51,13 @@ def _add_run_parser(subparsers) -> None:
                    default="float32", help="weight storage representation")
     p.add_argument("--mapping", default="sparkxd",
                    help="weight mapping policy (see 'stages' for choices)")
+    p.add_argument("--error-model", default="model0", metavar="NAME",
+                   help="DRAM error model injected during training "
+                        "(see 'stages' for choices)")
+    p.add_argument("--engine", choices=("batched", "sequential"),
+                   default="batched",
+                   help="simulation engine (results are identical; "
+                        "batched is the fast path)")
     p.add_argument("--cache-dir", metavar="DIR",
                    help="artifact-store directory; repeated runs with the "
                         "same config reuse cached stages")
@@ -70,6 +80,12 @@ def _add_sweep_parser(subparsers) -> None:
                    help="weak-cell sigma axis (DRAM-side, no retraining)")
     p.add_argument("--mappings", nargs="+", default=None, metavar="POLICY",
                    help="mapping-policy axis (DRAM-side, no retraining)")
+    p.add_argument("--error-models", nargs="+", default=None, metavar="NAME",
+                   help="error-model axis (training-side: each model "
+                        "retrains, see 'stages' for choices)")
+    p.add_argument("--engine", choices=("batched", "sequential"),
+                   default="batched",
+                   help="simulation engine for every grid point")
     p.add_argument("--voltages", type=float, nargs="+", default=None, metavar="V",
                    help="voltage axis: each voltage becomes its own grid "
                         "point (DRAM-side, no retraining)")
@@ -119,6 +135,31 @@ def _add_tolerance_parser(subparsers) -> None:
     p.add_argument("--json", action="store_true")
 
 
+def _parse_size(text: str) -> int:
+    """Parse a byte size with an optional K/M/G suffix (e.g. ``500M``)."""
+    text = str(text).strip()
+    multipliers = {"k": 1024, "m": 1024**2, "g": 1024**3}
+    suffix = text[-1:].lower()
+    if suffix in multipliers:
+        return int(float(text[:-1]) * multipliers[suffix])
+    return int(text)
+
+
+def _add_cache_parser(subparsers) -> None:
+    p = subparsers.add_parser("cache", help="manage the artifact disk cache")
+    cache_commands = p.add_subparsers(dest="cache_command", required=True)
+    prune = cache_commands.add_parser(
+        "prune",
+        help="evict least-recently-used artifacts down to a byte budget",
+    )
+    prune.add_argument("--cache-dir", required=True, metavar="DIR",
+                       help="artifact-store directory to prune")
+    prune.add_argument("--max-bytes", required=True, metavar="SIZE",
+                       help="byte budget to shrink the cache to "
+                            "(K/M/G suffixes allowed, e.g. 500M)")
+    prune.add_argument("--json", action="store_true")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser with all subcommands attached."""
     parser = argparse.ArgumentParser(
@@ -131,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_stages_parser(subparsers)
     _add_dram_parser(subparsers)
     _add_tolerance_parser(subparsers)
+    _add_cache_parser(subparsers)
     return parser
 
 
@@ -158,16 +200,20 @@ def _cmd_run(args) -> int:
     config = _base_config(args).with_overrides(
         representation=args.representation,
         mapping_policy=args.mapping,
+        error_model=args.error_model,
+        engine=args.engine,
     )
     if args.voltages:
         config = config.with_overrides(voltages=tuple(args.voltages))
     store = ArtifactStore(args.cache_dir) if args.cache_dir else ArtifactStore()
-    result = ExperimentPipeline(config, store=store).run()
+    pipeline = ExperimentPipeline(config, store=store)
+    result = pipeline.run()
     if args.json:
         record = RunRecord.from_result(
             result,
             cache_hits=store.stats.hits,
             cache_misses=store.stats.misses,
+            stage_timings=pipeline.stage_timings,
         )
         print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
     else:
@@ -191,7 +237,7 @@ def _cmd_sweep(args) -> int:
     from repro.analysis.sweeps import per_voltage_axis
     from repro.pipeline import ArtifactStore, Runner
 
-    base = _base_config(args)
+    base = _base_config(args).with_overrides(engine=args.engine)
     grid = {}
     if args.datasets != ["mnist"]:
         grid["dataset"] = list(args.datasets)
@@ -203,6 +249,8 @@ def _cmd_sweep(args) -> int:
         grid["weak_cell_sigma"] = list(args.sigmas)
     if args.mappings:
         grid["mapping_policy"] = list(args.mappings)
+    if args.error_models:
+        grid["error_model"] = list(args.error_models)
     store = ArtifactStore(args.cache_dir) if args.cache_dir else ArtifactStore()
     runner = Runner(base, store=store, max_workers=args.workers)
     records = runner.run(grid)
@@ -351,6 +399,25 @@ def _cmd_tolerance(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from repro.pipeline import ArtifactStore
+
+    if args.cache_command == "prune":
+        store = ArtifactStore(args.cache_dir)
+        report = store.prune(_parse_size(args.max_bytes))
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(
+                f"pruned {report.removed_files} artifact(s), "
+                f"freed {report.freed_bytes} bytes; "
+                f"{report.kept_files} artifact(s) "
+                f"({report.kept_bytes} bytes) remain"
+            )
+        return 0
+    raise ValueError(f"unknown cache command {args.cache_command!r}")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Parse ``argv`` (default: process args) and run the subcommand."""
     args = build_parser().parse_args(argv)
@@ -360,6 +427,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "stages": _cmd_stages,
         "dram": _cmd_dram,
         "tolerance": _cmd_tolerance,
+        "cache": _cmd_cache,
     }
     try:
         return handlers[args.command](args)

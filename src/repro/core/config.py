@@ -7,6 +7,11 @@ from typing import Tuple
 
 from repro.core.mapping_policy import MAPPING_POLICIES
 from repro.dram.specs import DramSpec, LPDDR3_1600_4GB
+from repro.errors.models import ERROR_MODELS
+
+#: Valid values of the ``engine`` switch (mirrors ``repro.engine.ENGINES``;
+#: duplicated here so the config layer stays import-light).
+ENGINE_CHOICES = ("batched", "sequential")
 
 #: The reduced supply voltages of the paper's Fig. 12(a).
 PAPER_VOLTAGES = (1.325, 1.250, 1.175, 1.100, 1.025)
@@ -41,6 +46,16 @@ class SparkXDConfig:
     ber_rates: Tuple[float, ...] = PAPER_BER_RATES
     accuracy_bound: float = 0.01
     tolerance_trials: int = 1
+    #: DRAM error model injected during training/tolerance analysis
+    #: (a :data:`repro.errors.models.ERROR_MODELS` name).
+    error_model: str = "model0"
+
+    #: Simulation engine: "batched" evaluates whole sample sets (and
+    #: error-realization stacks) in vectorized passes; "sequential" is
+    #: the reference per-sample loop.  Results are identical (the
+    #: :mod:`repro.engine` equivalence guarantee), so this switch is
+    #: deliberately *not* part of any stage cache fingerprint.
+    engine: str = "batched"
 
     # storage + DRAM
     representation: str = "float32"
@@ -73,6 +88,11 @@ class SparkXDConfig:
         if any(v <= 0 or v > v_nom for v in self.voltages):
             raise ValueError(f"voltages must lie in (0, {v_nom}]")
         MAPPING_POLICIES.canonical_name(self.mapping_policy)  # raises if unknown
+        ERROR_MODELS.canonical_name(self.error_model)  # raises if unknown
+        if self.engine not in ENGINE_CHOICES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose from {list(ENGINE_CHOICES)}"
+            )
 
     # ------------------------------------------------------------------
     @property

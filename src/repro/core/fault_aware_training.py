@@ -84,6 +84,7 @@ def improve_error_tolerance(
     stdp_parameters: Optional[STDPParameters] = None,
     rng: Optional[np.random.Generator] = None,
     n_classes: int = 10,
+    engine: str = "batched",
 ) -> FaultAwareTrainingResult:
     """Algorithm 1: progressive fault-aware retraining of a baseline SNN.
 
@@ -100,6 +101,10 @@ def improve_error_tolerance(
         Ascending BER schedule; Step-1 of Section IV-B.
     epochs_per_rate:
         Training epochs spent at each BER stage.
+    engine:
+        Evaluation path for the per-stage accuracy measurements
+        (``"batched"`` default / ``"sequential"``); both yield the same
+        numbers (see :mod:`repro.engine`).
     """
     rng = rng or np.random.default_rng()
     rates = tuple(sorted(float(r) for r in rates))
@@ -137,13 +142,16 @@ def improve_error_tolerance(
             rng=rng,
             corrupt_weights=corrupt,
             n_classes=n_classes,
+            engine=engine,
         )
         # Deployment reads corrupted weights, so both the neuron→class
         # assignment and the stage accuracy are measured under fresh
         # error injection at this stage's BER.
         corrupted_weights, _ = injector.inject_uniform(model.weights, rate, rng=rng)
         network.set_weights(corrupted_weights)
-        counts = run_spike_counts(network, dataset.train_images, n_steps, rng)
+        counts = run_spike_counts(
+            network, dataset.train_images, n_steps, rng, engine=engine
+        )
         model.assignments = assign_labels(counts, dataset.train_labels, n_classes)
         accuracy = evaluate_accuracy(
             network,
@@ -153,6 +161,7 @@ def improve_error_tolerance(
             n_steps,
             rng,
             n_classes=n_classes,
+            engine=engine,
         )
         network.set_weights(model.weights)
         accuracy_per_rate[rate] = accuracy
@@ -193,6 +202,7 @@ def train_baseline(
     stdp_parameters: Optional[STDPParameters] = None,
     rng: Optional[np.random.Generator] = None,
     n_classes: int = 10,
+    engine: str = "batched",
 ) -> TrainedModel:
     """Train the error-free baseline SNN (``model0``)."""
     rng = rng or np.random.default_rng()
@@ -209,9 +219,12 @@ def train_baseline(
         stdp_parameters=stdp_parameters,
         rng=rng,
         n_classes=n_classes,
+        engine=engine,
     )
     # Report accuracy on the held-out test split.
-    counts = run_spike_counts(network, dataset.train_images, n_steps, rng)
+    counts = run_spike_counts(
+        network, dataset.train_images, n_steps, rng, engine=engine
+    )
     model.assignments = assign_labels(counts, dataset.train_labels, n_classes)
     model.accuracy = evaluate_accuracy(
         network,
@@ -221,5 +234,6 @@ def train_baseline(
         n_steps,
         rng,
         n_classes=n_classes,
+        engine=engine,
     )
     return model

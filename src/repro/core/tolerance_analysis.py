@@ -20,10 +20,11 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.datasets.base import Dataset
+from repro.engine import BatchedEvaluator, ChunkPolicy
 from repro.errors.ber import BerVoltageCurve, DEFAULT_BER_CURVE
 from repro.errors.injection import ErrorInjector
-from repro.snn.network import DiehlCookNetwork, NetworkParameters
-from repro.snn.training import TrainedModel, evaluate_accuracy
+from repro.snn.network import NetworkParameters
+from repro.snn.training import TrainedModel
 
 
 @dataclass(frozen=True)
@@ -71,8 +72,18 @@ def analyze_error_tolerance(
     network_parameters: Optional[NetworkParameters] = None,
     rng: Optional[np.random.Generator] = None,
     n_classes: int = 10,
+    engine: str = "batched",
+    chunk_policy: Optional[ChunkPolicy] = None,
 ) -> ToleranceReport:
     """Linear search for the maximum tolerable BER (Section IV-C).
+
+    Each rate is measured in one engine pass: the injector produces
+    that rate's ``trials`` corrupted-weight stack in a single call, the
+    test set is encoded once per rate, and the
+    :class:`~repro.engine.BatchedEvaluator` scores all realizations
+    against the shared spike trains.  ``engine="sequential"`` runs the
+    reference per-sample loop over the same stacks and trains,
+    producing identical accuracies.
 
     Parameters
     ----------
@@ -85,6 +96,11 @@ def analyze_error_tolerance(
     trials:
         Error masks are random; averaging over multiple injections per
         rate reduces evaluation noise.
+    engine:
+        Evaluation path, ``"batched"`` (default) or ``"sequential"``.
+    chunk_policy:
+        Optional :class:`~repro.engine.ChunkPolicy` bounding the peak
+        memory of the batched pass.
     """
     if accuracy_bound < 0:
         raise ValueError(f"accuracy_bound must be >= 0, got {accuracy_bound}")
@@ -97,33 +113,34 @@ def analyze_error_tolerance(
     params = network_parameters or NetworkParameters(
         n_input=model.n_input, n_neurons=model.n_neurons
     )
-    network = DiehlCookNetwork(params, rng=rng)
-    model.install_into(network)
+    evaluator = BatchedEvaluator(
+        params, theta=model.theta, engine=engine, chunk_policy=chunk_policy
+    )
 
     points = []
     ber_threshold: Optional[float] = None
+    # One realization stack *per rate* (not rates x trials at once):
+    # bounds resident corrupted copies to ``trials`` weight tensors
+    # while still amortising encoding and simulation across the trials
+    # of each rate.
     for rate in rates:
-        accuracies = []
-        for _trial in range(trials):
-            corrupted, _report = injector.inject_uniform(model.weights, rate, rng=rng)
-            network.set_weights(corrupted)
-            accuracies.append(
-                evaluate_accuracy(
-                    network,
-                    dataset.test_images,
-                    dataset.test_labels,
-                    model.assignments,
-                    n_steps,
-                    rng,
-                    n_classes=n_classes,
-                )
-            )
-        accuracy = float(np.mean(accuracies))
+        stack, _reports = injector.inject_stack(
+            model.weights, rate, n_realizations=trials, rng=rng
+        )
+        accuracies = evaluator.accuracies(
+            dataset.test_images,
+            dataset.test_labels,
+            model.assignments,
+            n_steps,
+            rng,
+            weights=stack,
+            n_classes=n_classes,
+        )
+        accuracy = float(np.mean(np.atleast_1d(accuracies)))
         points.append(TolerancePoint(ber=rate, accuracy=accuracy, trials=trials))
         if accuracy >= target:
             ber_threshold = rate  # linear search keeps the largest passing rate
 
-    network.set_weights(model.weights)
     return ToleranceReport(
         points=tuple(points),
         target_accuracy=target,

@@ -172,6 +172,46 @@ LPDDR3_1600_4GB = DramSpec(
 )
 
 
+#: A DDR5-4800 8Gb x8 device, the mainstream successor generation.
+#: DDR5 runs at a 1.1 V nominal supply (vs LPDDR3's 1.35 V), doubles
+#: the burst length to 16, and splits the die into more, smaller banks.
+#: Geometry: 32 banks x 8 subarrays x 2048 rows x (512 cols x 32 bit)
+#: = 8 Gb.  Timing/current values are representative, not
+#: datasheet-exact (the framework reports *relative* savings).  Note
+#: the reduced-voltage sweep for this device must stay at or below
+#: 1.1 V — the paper's LPDDR3 voltage set does not apply.
+DDR5_4800_8GB = DramSpec(
+    name="DDR5-4800 8Gb",
+    geometry=DramGeometry(
+        channels=1,
+        ranks_per_channel=1,
+        chips_per_rank=1,
+        banks_per_chip=32,
+        subarrays_per_bank=8,
+        rows_per_subarray=2048,
+        columns_per_row=512,
+        column_width_bits=32,
+    ),
+    timings=NominalTimings(
+        clock_ns=0.417,  # DDR5-4800: 2400 MHz DDR -> 0.417 ns cycle
+        t_rcd_ns=16.0,
+        t_ras_ns=32.0,
+        t_rp_ns=16.0,
+        t_cl_ns=13.75,
+        burst_length=16,
+    ),
+    electrical=ElectricalParameters(
+        v_nominal_volts=1.1,
+        v_min_volts=0.85,
+        idd0_ma=62.0,
+        idd2n_ma=1.2,
+        idd3n_ma=2.6,
+        idd4r_ma=520.0,
+        idd4w_ma=545.0,
+    ),
+)
+
+
 def tiny_spec(name: str = "tiny-test-dram") -> DramSpec:
     """A miniature device for fast unit tests (a few KiB total)."""
     return DramSpec(
@@ -199,6 +239,11 @@ DRAM_SPECS.register(
     "lpddr3-1600-4gb",
     lambda: LPDDR3_1600_4GB,
     aliases=("lpddr3",),
+)
+DRAM_SPECS.register(
+    "ddr5-4800-8gb",
+    lambda: DDR5_4800_8GB,
+    aliases=("ddr5",),
 )
 DRAM_SPECS.register("tiny", tiny_spec, aliases=("tiny-test-dram",))
 

@@ -1,0 +1,23 @@
+"""Batched vectorized evaluation engine.
+
+One simulation pass for many samples and many error realizations: the
+paper's tolerance curves (Fig. 8) and accuracy-vs-BER sweeps (Fig. 11)
+evaluate one trained network under dozens of corrupted weight copies —
+this package turns those N independent slow loops into a single
+vectorized pass over ``(E, B, n_neurons)`` state, with chunking to
+bound peak memory and a sequential fallback that is bit-identical at
+the same seed.
+
+See ``docs/engine.md`` for the batching model and knobs.
+"""
+
+from repro.engine.chunking import ChunkPolicy
+from repro.engine.encoding import encode_spike_trains
+from repro.engine.evaluator import ENGINES, BatchedEvaluator
+
+__all__ = [
+    "BatchedEvaluator",
+    "ChunkPolicy",
+    "ENGINES",
+    "encode_spike_trains",
+]

@@ -18,7 +18,7 @@ Two operating modes cover the paper's uses:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -92,6 +92,44 @@ class ErrorInjector:
             region_rates=np.array([ber], dtype=float),
             rng=rng,
         )
+
+    def inject_stack(
+        self,
+        weights: np.ndarray,
+        bers,
+        n_realizations: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[np.ndarray, List[InjectionReport]]:
+        """Produce a stack of independently corrupted weight copies.
+
+        The E-axis the batched engine consumes in one call: for every
+        BER in ``bers`` (a scalar or a sequence), ``n_realizations``
+        independent error masks are sampled, giving a stack of shape
+        ``(len(bers) * n_realizations, *weights.shape)`` in BER-major
+        order (all realizations of ``bers[0]`` first).  Random draws
+        happen in exactly that order from ``rng`` (or the injector's own
+        stream), so the stack matches an equivalent sequence of
+        :meth:`inject_uniform` calls bit for bit.
+
+        Returns ``(stack, reports)`` with one
+        :class:`InjectionReport` per stack entry.
+        """
+        if n_realizations <= 0:
+            raise ValueError(f"n_realizations must be > 0, got {n_realizations}")
+        bers = np.atleast_1d(np.asarray(bers, dtype=float))
+        if bers.ndim != 1 or bers.size == 0:
+            raise ValueError("bers must be a scalar or a non-empty 1-D sequence")
+        weights = np.asarray(weights)
+        stack = np.empty((bers.size * n_realizations,) + weights.shape, dtype=np.float64)
+        reports: List[InjectionReport] = []
+        index = 0
+        for ber in bers:
+            for _ in range(n_realizations):
+                corrupted, report = self.inject_uniform(weights, float(ber), rng=rng)
+                stack[index] = corrupted
+                reports.append(report)
+                index += 1
+        return stack, reports
 
     def inject_by_region(
         self,
@@ -172,9 +210,10 @@ class ErrorInjector:
     ) -> BitContext:
         """Build the BitContext one region's bits present to the model."""
         n_bits = members.size * bpw
-        needs_lanes = self.model.name == "model1"
-        needs_rows = self.model.name == "model2"
-        needs_values = self.model.name == "model3"
+        fields = getattr(self.model, "context_fields", ())
+        needs_lanes = "bitline_of" in fields
+        needs_rows = "wordline_of" in fields
+        needs_values = "values" in fields
         bitline_of = wordline_of = values = None
         if needs_lanes or needs_rows:
             # Bits of consecutive member weights stream into consecutive

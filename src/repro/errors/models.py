@@ -66,6 +66,10 @@ class ErrorModel(abc.ABC):
     """Base class: sample the flat indices of flipped bits in a region."""
 
     name: str = "base"
+    #: Optional :class:`BitContext` fields this model reads
+    #: (``"bitline_of"``, ``"wordline_of"``, ``"values"``).  The
+    #: injector only materialises what the model declares.
+    context_fields: tuple = ()
 
     @abc.abstractmethod
     def sample_flips(self, context: BitContext, rng: np.random.Generator) -> np.ndarray:
@@ -145,6 +149,7 @@ class ErrorModel1(_StructuredModel):
     """Vertical distribution: severity varies across bitlines."""
 
     name = "model1"
+    context_fields = ("bitline_of",)
 
     def sample_flips(self, context: BitContext, rng: np.random.Generator) -> np.ndarray:
         if context.bitline_of is None:
@@ -156,6 +161,7 @@ class ErrorModel2(_StructuredModel):
     """Horizontal distribution: severity varies across wordlines."""
 
     name = "model2"
+    context_fields = ("wordline_of",)
 
     def sample_flips(self, context: BitContext, rng: np.random.Generator) -> np.ndarray:
         if context.wordline_of is None:
@@ -172,6 +178,7 @@ class ErrorModel3(ErrorModel):
     """
 
     name = "model3"
+    context_fields = ("values",)
 
     def __init__(self, one_to_zero_ratio: float = 4.0):
         if one_to_zero_ratio <= 0:
@@ -194,6 +201,59 @@ class ErrorModel3(ErrorModel):
         return np.sort(flips.astype(np.int64))
 
 
+class ErrorModelEden(_StructuredModel):
+    """EDEN-style composite variant: row severity × cell asymmetry.
+
+    The EDEN characterisation observes that real reduced-voltage DRAM
+    combines *both* spatial structure (weak rows concentrate failures)
+    and data dependence (true-cells holding ``1`` fail more often than
+    anti-cells holding ``0``).  This model composes Model-2's
+    per-wordline lognormal severity with Model-3's value asymmetry,
+    normalised so the expected BER on balanced data stays at the base
+    rate — structure redistributes errors, it does not add them.
+    """
+
+    name = "eden"
+    context_fields = ("wordline_of", "values")
+
+    def __init__(
+        self,
+        sigma: float = 0.6,
+        structure_seed: int = 0,
+        one_to_zero_ratio: float = 4.0,
+    ):
+        super().__init__(sigma=sigma, structure_seed=structure_seed)
+        if one_to_zero_ratio <= 0:
+            raise ValueError(f"ratio must be > 0, got {one_to_zero_ratio}")
+        self.one_to_zero_ratio = one_to_zero_ratio
+
+    def sample_flips(self, context: BitContext, rng: np.random.Generator) -> np.ndarray:
+        if context.wordline_of is None:
+            raise ValueError("ErrorModelEden requires BitContext.wordline_of")
+        if context.values is None:
+            raise ValueError("ErrorModelEden requires BitContext.values")
+        if context.n_bits == 0 or context.base_rate <= 0:
+            return np.empty(0, dtype=np.int64)
+        r = self.one_to_zero_ratio
+        value_factor = np.where(
+            context.values != 0, 2.0 * r / (r + 1.0), 2.0 / (r + 1.0)
+        )
+        probabilities = np.clip(
+            context.base_rate
+            * self._unit_factors(context.wordline_of)
+            * value_factor,
+            0.0,
+            1.0,
+        )
+        # Thinning: draw from the max rate, then accept proportionally.
+        p_max = float(probabilities.max())
+        candidates = self._binomial_positions(context.n_bits, p_max, rng)
+        if candidates.size == 0:
+            return candidates
+        accept = rng.random(candidates.size) < probabilities[candidates] / p_max
+        return candidates[accept]
+
+
 #: Registry of the Section III error models; new spatial structures
 #: plug in with ``@ERROR_MODELS.register("model4")`` and are then
 #: constructible by name everywhere (CLI, sweeps, ablations).
@@ -202,6 +262,7 @@ ERROR_MODELS.register("model0", ErrorModel0, aliases=("uniform",))
 ERROR_MODELS.register("model1", ErrorModel1, aliases=("bitline", "vertical"))
 ERROR_MODELS.register("model2", ErrorModel2, aliases=("wordline", "horizontal"))
 ERROR_MODELS.register("model3", ErrorModel3, aliases=("data-dependent",))
+ERROR_MODELS.register("eden", ErrorModelEden, aliases=("model4", "eden-composite"))
 
 
 def make_error_model(name: str, **kwargs) -> ErrorModel:

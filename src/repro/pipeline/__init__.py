@@ -45,6 +45,7 @@ from repro.pipeline.stages import (
 from repro.pipeline.store import (
     ArtifactStore,
     CacheStats,
+    PruneReport,
     canonical_form,
     config_fingerprint,
     fingerprint,
@@ -60,6 +61,7 @@ __all__ = [
     "ExperimentPipeline",
     "FaultAwareTrainStage",
     "PIPELINE_STAGES",
+    "PruneReport",
     "Runner",
     "RunRecord",
     "Stage",

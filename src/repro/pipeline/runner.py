@@ -22,8 +22,8 @@ With ``max_workers > 1`` the expensive work is fanned out over a
 per unique DRAM fingerprint — before the records are assembled
 (deterministically, in grid order) from the warmed cache.  All result
 values are identical to serial execution; only the execution-dependent
-``wall_time_s`` / ``cache_hits`` / ``cache_misses`` record fields vary
-with worker count.
+``wall_time_s`` / ``cache_hits`` / ``cache_misses`` / ``stage_timings``
+record fields vary with worker count.
 
 Each grid point yields a structured :class:`RunRecord` that serialises
 to JSON/CSV via :mod:`repro.analysis.export`.
@@ -125,6 +125,9 @@ class RunRecord:
     wall_time_s: float
     cache_hits: int
     cache_misses: int
+    #: Wall-clock seconds per pipeline stage *executed* for this record
+    #: (stages restored from cache are absent).
+    stage_timings: Dict[str, float] = field(default_factory=dict)
     #: The full result object; present on freshly-computed records, not
     #: restored by deserialisation (it is not part of the record schema).
     result: Optional[SparkXDResult] = field(default=None, repr=False, compare=False)
@@ -138,6 +141,7 @@ class RunRecord:
         wall_time_s: float = 0.0,
         cache_hits: int = 0,
         cache_misses: int = 0,
+        stage_timings: Optional[Mapping[str, float]] = None,
     ) -> "RunRecord":
         """Summarise a :class:`SparkXDResult` into a record."""
         cfg = result.config
@@ -169,6 +173,7 @@ class RunRecord:
             wall_time_s=wall_time_s,
             cache_hits=cache_hits,
             cache_misses=cache_misses,
+            stage_timings=dict(stage_timings or {}),
             result=result,
         )
 
@@ -190,6 +195,10 @@ class RunRecord:
             "wall_time_s": self.wall_time_s,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "stage_timings": {
+                name: float(seconds)
+                for name, seconds in sorted(self.stage_timings.items())
+            },
         }
 
     @classmethod
@@ -212,6 +221,10 @@ class RunRecord:
             wall_time_s=float(data["wall_time_s"]),
             cache_hits=int(data["cache_hits"]),
             cache_misses=int(data["cache_misses"]),
+            stage_timings={
+                str(name): float(seconds)
+                for name, seconds in dict(data.get("stage_timings", {})).items()
+            },
         )
 
 
@@ -302,7 +315,8 @@ class Runner:
         for params, config in zip(param_sets, configs):
             started = time.perf_counter()
             before = self.store.stats.snapshot()
-            result = ExperimentPipeline(config, store=self.store).run()
+            pipeline = ExperimentPipeline(config, store=self.store)
+            result = pipeline.run()
             after = self.store.stats
             records.append(
                 RunRecord.from_result(
@@ -311,6 +325,7 @@ class Runner:
                     wall_time_s=time.perf_counter() - started,
                     cache_hits=after.hits - before.hits,
                     cache_misses=after.misses - before.misses,
+                    stage_timings=pipeline.stage_timings,
                 )
             )
         return records

@@ -24,6 +24,7 @@ monolithic ``SparkXD.run()``.
 from __future__ import annotations
 
 import abc
+import time
 from functools import cached_property
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -36,6 +37,7 @@ from repro.core.results import SparkXDResult
 from repro.core.tolerance_analysis import analyze_error_tolerance
 from repro.datasets import load_dataset
 from repro.errors.injection import ErrorInjector
+from repro.errors.models import make_error_model
 from repro.pipeline.artifacts import (
     BaselineArtifact,
     DramArtifact,
@@ -60,6 +62,7 @@ TRAINING_FIELDS: Tuple[str, ...] = BASELINE_FIELDS + (
     "ber_rates",
     "epochs_per_rate",
     "accuracy_bound",
+    "error_model",
 )
 TOLERANCE_FIELDS: Tuple[str, ...] = TRAINING_FIELDS + ("tolerance_trials",)
 DRAM_FIELDS: Tuple[str, ...] = TOLERANCE_FIELDS + (
@@ -104,7 +107,11 @@ class StageContext:
 
     @cached_property
     def injector(self) -> ErrorInjector:
-        return ErrorInjector(self.representation, seed=self.config.seed + 1)
+        return ErrorInjector(
+            self.representation,
+            model=make_error_model(self.config.error_model),
+            seed=self.config.seed + 1,
+        )
 
 
 class Stage(abc.ABC):
@@ -150,6 +157,7 @@ class TrainBaselineStage(Stage):
             epochs=cfg.baseline_epochs,
             n_steps=cfg.n_steps,
             rng=rng,
+            engine=cfg.engine,
         )
         return BaselineArtifact(model=model, rng_state=rng.bit_generator.state)
 
@@ -176,6 +184,7 @@ class FaultAwareTrainStage(Stage):
             n_steps=cfg.n_steps,
             accuracy_bound=cfg.accuracy_bound,
             rng=rng,
+            engine=cfg.engine,
         )
         return TrainingArtifact(training=training, rng_state=rng.bit_generator.state)
 
@@ -204,6 +213,7 @@ class ToleranceStage(Stage):
             n_steps=cfg.n_steps,
             trials=cfg.tolerance_trials,
             rng=rng,
+            engine=cfg.engine,
         )
         return ToleranceArtifact(report=report, rng_state=rng.bit_generator.state)
 
@@ -259,12 +269,17 @@ class ExperimentPipeline:
         self.config = config or SparkXDConfig()
         self.stages = tuple(stages) if stages is not None else default_stages()
         self.store = store if store is not None else ArtifactStore()
+        #: Wall-clock seconds per *executed* stage of the latest
+        #: :meth:`run_stages` call (cache hits don't appear: restoring
+        #: an artifact costs no stage time worth recording).
+        self.stage_timings: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     def run_stages(self) -> Dict[str, object]:
         """Run (or restore) every stage; return artifacts by key."""
         artifacts: Dict[str, object] = {}
         context: Optional[StageContext] = None
+        self.stage_timings = {}
         for stage in self.stages:
             digest = stage.cache_key(self.config)
             cached = self.store.get(stage.name, digest)
@@ -279,7 +294,9 @@ class ExperimentPipeline:
                 )
             if context is None:
                 context = StageContext(self.config)
+            started = time.perf_counter()
             artifact = stage.run(context, artifacts)
+            self.stage_timings[stage.name] = time.perf_counter() - started
             self.store.put(stage.name, digest, artifact)
             artifacts[stage.provides] = artifact
         return artifacts

@@ -72,6 +72,24 @@ class CacheStats:
         return CacheStats(hits=self.hits, misses=self.misses, puts=self.puts)
 
 
+@dataclass(frozen=True)
+class PruneReport:
+    """What one :meth:`ArtifactStore.prune` pass evicted and kept."""
+
+    removed_files: int
+    freed_bytes: int
+    kept_files: int
+    kept_bytes: int
+
+    def to_dict(self) -> dict:
+        return {
+            "removed_files": self.removed_files,
+            "freed_bytes": self.freed_bytes,
+            "kept_files": self.kept_files,
+            "kept_bytes": self.kept_bytes,
+        }
+
+
 class ArtifactStore:
     """In-memory (optionally disk-backed) artifact cache.
 
@@ -96,12 +114,21 @@ class ArtifactStore:
         key = (stage, digest)
         if key in self._memory:
             self.stats.hits += 1
+            if self.root is not None:
+                # Keep prune()'s LRU ranking honest for artifacts served
+                # from memory: their disk twin is still "in use".
+                with contextlib.suppress(OSError):
+                    os.utime(self._path(key), None)
             return self._memory[key]
         if self.root is not None:
             path = self._path(key)
             if path.exists():
                 with open(path, "rb") as handle:
                     artifact = pickle.load(handle)
+                # Refresh the mtime so prune()'s LRU ordering reflects
+                # use, not just creation.
+                with contextlib.suppress(OSError):
+                    os.utime(path, None)
                 self._memory[key] = artifact
                 self.stats.hits += 1
                 return artifact
@@ -129,6 +156,44 @@ class ArtifactStore:
                 with contextlib.suppress(OSError):
                     os.unlink(tmp_name)
                 raise
+
+    def prune(self, max_bytes: int) -> PruneReport:
+        """Evict least-recently-used disk artifacts down to a byte budget.
+
+        Artifact files are ranked by mtime (refreshed on every disk
+        read, so ranking is least-recently-*used*) and deleted oldest
+        first until the total size is at most ``max_bytes``.  Evicted
+        artifacts are also dropped from the in-memory map, so the store
+        behaves as if they were never cached.  Requires a disk-backed
+        store (``root`` set).
+        """
+        if self.root is None:
+            raise ValueError("prune() requires a disk-backed store (root=...)")
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = []
+        for path in self.root.glob("*/*.pkl"):
+            with contextlib.suppress(OSError):
+                stat = path.stat()
+                entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort(key=lambda item: item[0])
+        total = sum(size for _, size, _ in entries)
+        removed = freed = 0
+        for _, size, path in entries:
+            if total <= max_bytes:
+                break
+            with contextlib.suppress(OSError):
+                path.unlink()
+                self._memory.pop((path.parent.name, path.stem), None)
+                removed += 1
+                freed += size
+                total -= size
+        return PruneReport(
+            removed_files=removed,
+            freed_bytes=freed,
+            kept_files=len(entries) - removed,
+            kept_bytes=total,
+        )
 
     def __contains__(self, key: Tuple[str, str]) -> bool:
         if key in self._memory:

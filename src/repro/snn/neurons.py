@@ -10,11 +10,20 @@ additionally carry an *adaptive threshold* (homeostasis): every spike
 raises a per-neuron offset ``theta`` that decays very slowly, forcing
 neurons to specialise on different input classes instead of a few
 neurons winning every competition.
+
+All dynamic state is *batch-shape-polymorphic*: a layer created with
+``batch_shape=(E, B)`` holds state arrays of shape ``(E, B, n_neurons)``
+and advances ``E x B`` independent neuron populations per ``step`` call.
+Every update is elementwise, so a batched step computes exactly the same
+per-neuron arithmetic as the scalar (``batch_shape=()``) step — this is
+what lets :mod:`repro.engine` guarantee batched evaluation is
+bit-identical to a sequential per-sample loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
@@ -49,7 +58,7 @@ class LIFParameters:
 class AdaptiveLIFLayer:
     """A vectorised population of adaptive-threshold LIF neurons.
 
-    State arrays (one entry per neuron):
+    State arrays (shape ``batch_shape + (n_neurons,)``):
 
     - ``v`` — membrane potential (mV);
     - ``theta`` — adaptive threshold offset (mV, >= 0);
@@ -67,6 +76,8 @@ class AdaptiveLIFLayer:
         n_neurons: int,
         parameters: LIFParameters | None = None,
         dt_ms: float = 1.0,
+        batch_shape: Tuple[int, ...] = (),
+        dtype: np.dtype = np.float64,
     ):
         if n_neurons <= 0:
             raise ValueError(f"n_neurons must be > 0, got {n_neurons}")
@@ -76,12 +87,41 @@ class AdaptiveLIFLayer:
         self.parameters = parameters or LIFParameters()
         self.parameters.validate()
         self.dt_ms = dt_ms
-        self._theta_decay = np.exp(-dt_ms / self.parameters.tau_theta_ms)
-        self.v = np.full(n_neurons, self.parameters.v_rest, dtype=np.float64)
-        self.theta = np.zeros(n_neurons, dtype=np.float64)
-        self.refractory_left = np.zeros(n_neurons, dtype=np.float64)
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(f"dtype must be float32 or float64, got {dtype}")
+        self._theta_decay = self.dtype.type(
+            np.exp(-dt_ms / self.parameters.tau_theta_ms)
+        )
+        self.batch_shape = tuple(int(s) for s in batch_shape)
+        self.v = np.full(self.state_shape, self.parameters.v_rest, dtype=self.dtype)
+        self.theta = np.zeros(self.state_shape, dtype=self.dtype)
+        self.refractory_left = np.zeros(self.state_shape, dtype=self.dtype)
 
     # ------------------------------------------------------------------
+    @property
+    def state_shape(self) -> Tuple[int, ...]:
+        """Shape of every state array: ``batch_shape + (n_neurons,)``."""
+        return self.batch_shape + (self.n_neurons,)
+
+    def set_batch_shape(self, batch_shape: Tuple[int, ...]) -> None:
+        """Reallocate state with a new leading batch shape.
+
+        Dynamic state (``v``, ``refractory_left``) returns to rest.  The
+        per-neuron ``theta`` vector — assumed shared across the batch,
+        which holds for every inference use — is re-broadcast into the
+        new shape.
+        """
+        theta_vec = (
+            np.asarray(self.theta, dtype=self.dtype).reshape(-1, self.n_neurons)[0]
+            if self.theta.size
+            else np.zeros(self.n_neurons, dtype=self.dtype)
+        )
+        self.batch_shape = tuple(int(s) for s in batch_shape)
+        self.v = np.full(self.state_shape, self.parameters.v_rest, dtype=self.dtype)
+        self.theta = np.broadcast_to(theta_vec, self.state_shape).copy()
+        self.refractory_left = np.zeros(self.state_shape, dtype=self.dtype)
+
     def reset_state(self, keep_theta: bool = True) -> None:
         """Return the layer to rest between samples.
 
@@ -100,11 +140,12 @@ class AdaptiveLIFLayer:
         g_inhibitory: np.ndarray,
         adapt: bool = True,
     ) -> np.ndarray:
-        """Advance one timestep; returns the boolean spike vector.
+        """Advance one timestep; returns the boolean spike array.
 
         ``g_excitatory`` / ``g_inhibitory`` are dimensionless conductance
-        inputs for this step (see :mod:`repro.snn.synapses`).
-        ``adapt=False`` freezes the adaptive thresholds (inference mode).
+        inputs for this step (see :mod:`repro.snn.synapses`), broadcast
+        against the state shape.  ``adapt=False`` freezes the adaptive
+        thresholds (inference mode).
         """
         p = self.parameters
         active = self.refractory_left <= 0.0
@@ -138,7 +179,7 @@ class AdaptiveLIFLayer:
 
     def load_state(self, snapshot: dict) -> None:
         for name in ("v", "theta", "refractory_left"):
-            value = np.asarray(snapshot[name], dtype=np.float64)
-            if value.shape != (self.n_neurons,):
-                raise ValueError(f"{name} must have shape ({self.n_neurons},)")
+            value = np.asarray(snapshot[name], dtype=self.dtype)
+            if value.shape != self.state_shape:
+                raise ValueError(f"{name} must have shape {self.state_shape}")
             setattr(self, name, value.copy())

@@ -15,11 +15,17 @@ post-synaptic rule of the Diehl & Cook unsupervised pipeline:
 
 Weights therefore always stay inside ``[0, w_max]`` — the property the
 fixed-point storage representation and the DRAM error analysis rely on.
+
+Like the neuron and synapse state, the presynaptic trace carries an
+arbitrary leading batch shape: a rule created with ``batch_shape=(B,)``
+tracks ``B`` independent trace vectors and updates ``B`` weight tensors
+(shaped ``(B, n_pre, n_post)``) in one call.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
@@ -55,6 +61,7 @@ class STDPRule:
         n_pre: int,
         parameters: STDPParameters | None = None,
         dt_ms: float = 1.0,
+        batch_shape: Tuple[int, ...] = (),
     ):
         if n_pre <= 0:
             raise ValueError(f"n_pre must be > 0, got {n_pre}")
@@ -65,7 +72,17 @@ class STDPRule:
         self.parameters.validate()
         self.dt_ms = dt_ms
         self._trace_decay = np.exp(-dt_ms / self.parameters.tau_trace_ms)
-        self.x_pre = np.zeros(n_pre, dtype=np.float64)
+        self.batch_shape = tuple(int(s) for s in batch_shape)
+        self.x_pre = np.zeros(self.state_shape, dtype=np.float64)
+
+    @property
+    def state_shape(self) -> Tuple[int, ...]:
+        return self.batch_shape + (self.n_pre,)
+
+    def set_batch_shape(self, batch_shape: Tuple[int, ...]) -> None:
+        """Reallocate the trace at zero with a new leading batch shape."""
+        self.batch_shape = tuple(int(s) for s in batch_shape)
+        self.x_pre = np.zeros(self.state_shape, dtype=np.float64)
 
     def reset_state(self) -> None:
         self.x_pre.fill(0.0)
@@ -78,24 +95,57 @@ class STDPRule:
     ) -> np.ndarray:
         """Advance traces one step and apply the update in place.
 
-        ``weights`` has shape ``(n_pre, n_post)`` and is modified and
-        returned.  ``pre_spikes`` and ``post_spikes`` are boolean vectors.
+        Scalar form (``batch_shape=()``): ``weights`` has shape
+        ``(n_pre, n_post)``, ``pre_spikes`` / ``post_spikes`` are boolean
+        vectors.  Batched form: ``weights`` has shape
+        ``batch_shape + (n_pre, n_post)`` — one independent weight
+        tensor per batch element — and the spike arrays carry the batch
+        shape on their leading axes.  ``weights`` is modified in place
+        and returned.
         """
         p = self.parameters
-        if weights.shape[0] != self.n_pre:
+        pre = np.asarray(pre_spikes, dtype=bool)
+        if pre.shape != self.state_shape:
             raise ValueError(
-                f"weights must have {self.n_pre} presynaptic rows, got {weights.shape}"
+                f"pre_spikes must have shape {self.state_shape}, got {pre.shape}"
             )
         self.x_pre *= self._trace_decay
-        self.x_pre[np.asarray(pre_spikes, dtype=bool)] = 1.0
+        self.x_pre[pre] = 1.0
 
-        post = np.flatnonzero(post_spikes)
-        if post.size:
-            columns = weights[:, post]
-            delta = self.x_pre[:, None] - p.trace_offset
-            bound = (p.w_max - columns) ** p.mu
-            updated = columns + p.learning_rate * delta * bound
-            weights[:, post] = np.clip(updated, 0.0, p.w_max)
+        if self.batch_shape == ():
+            if weights.shape[0] != self.n_pre:
+                raise ValueError(
+                    f"weights must have {self.n_pre} presynaptic rows, "
+                    f"got {weights.shape}"
+                )
+            post = np.flatnonzero(post_spikes)
+            if post.size:
+                columns = weights[:, post]
+                delta = self.x_pre[:, None] - p.trace_offset
+                bound = (p.w_max - columns) ** p.mu
+                updated = columns + p.learning_rate * delta * bound
+                weights[:, post] = np.clip(updated, 0.0, p.w_max)
+            return weights
+
+        expected = self.batch_shape + (self.n_pre, weights.shape[-1])
+        if weights.ndim != len(expected) or weights.shape != expected:
+            raise ValueError(
+                f"batched weights must have shape {self.batch_shape + (self.n_pre, 'n_post')}, "
+                f"got {weights.shape}"
+            )
+        post = np.asarray(post_spikes, dtype=bool)
+        if post.shape != self.batch_shape + (weights.shape[-1],):
+            raise ValueError(
+                f"post_spikes must have shape {self.batch_shape + (weights.shape[-1],)}, "
+                f"got {post.shape}"
+            )
+        if post.any():
+            delta = self.x_pre[..., :, None] - p.trace_offset
+            bound = (p.w_max - weights) ** p.mu
+            updated = np.clip(
+                weights + p.learning_rate * delta * bound, 0.0, p.w_max
+            )
+            np.copyto(weights, updated, where=post[..., None, :])
         return weights
 
 

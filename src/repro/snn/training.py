@@ -66,13 +66,26 @@ def run_spike_counts(
     n_steps: int,
     rng: np.random.Generator,
     encoder: Encoder = _default_encoder,
+    engine: str = "batched",
 ) -> np.ndarray:
-    """Spike-count responses (n_samples, n_neurons) without learning."""
-    counts = np.zeros((len(images), network.n_neurons), dtype=np.int64)
-    for i, image in enumerate(images):
-        train = encoder(image, n_steps, rng)
-        counts[i] = network.run_sample(train, stdp=None)
-    return counts
+    """Spike-count responses (n_samples, n_neurons) without learning.
+
+    Routed through :class:`repro.engine.BatchedEvaluator`:
+    ``engine="batched"`` (default) simulates the whole set in chunked
+    vectorized passes, ``engine="sequential"`` runs the reference
+    per-sample loop.  Both produce identical counts at the same ``rng``
+    state; neither mutates ``network``.
+    """
+    from repro.engine import BatchedEvaluator
+
+    evaluator = BatchedEvaluator.for_network(network, engine=engine)
+    return evaluator.spike_counts(
+        np.asarray(images, dtype=np.float64),
+        n_steps,
+        rng,
+        weights=network.weights,
+        encoder=None if encoder is _default_encoder else encoder,
+    )
 
 
 def assign_labels(
@@ -123,9 +136,14 @@ def evaluate_accuracy(
     rng: np.random.Generator,
     encoder: Encoder = _default_encoder,
     n_classes: int = 10,
+    engine: str = "batched",
 ) -> float:
-    """Classification accuracy of ``network`` on a labelled set."""
-    counts = run_spike_counts(network, images, n_steps, rng, encoder)
+    """Classification accuracy of ``network`` on a labelled set.
+
+    ``engine`` selects the evaluation path (see
+    :func:`run_spike_counts`); both engines return the same accuracy.
+    """
+    counts = run_spike_counts(network, images, n_steps, rng, encoder, engine=engine)
     predictions = predict(counts, assignments, n_classes)
     return float((predictions == np.asarray(labels)).mean())
 
@@ -141,6 +159,7 @@ def train_unsupervised(
     encoder: Encoder = _default_encoder,
     corrupt_weights: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     n_classes: int = 10,
+    engine: str = "batched",
 ) -> TrainedModel:
     """Train ``network`` with STDP and return the packaged model.
 
@@ -179,10 +198,11 @@ def train_unsupervised(
             else:
                 network.run_sample(train, stdp=stdp)
 
-    counts = run_spike_counts(network, images, n_steps, rng, encoder)
+    counts = run_spike_counts(network, images, n_steps, rng, encoder, engine=engine)
     assignments = assign_labels(counts, labels, n_classes)
     accuracy = evaluate_accuracy(
-        network, images, labels, assignments, n_steps, rng, encoder, n_classes
+        network, images, labels, assignments, n_steps, rng, encoder, n_classes,
+        engine=engine,
     )
     return TrainedModel(
         weights=network.weights.copy(),

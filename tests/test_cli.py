@@ -139,3 +139,71 @@ class TestSweepCommand:
         assert len(records) == 2
         # one training shared across both voltage points
         assert records[1].cache_hits >= 3
+
+
+class TestCacheCommand:
+    def _fill(self, cache_dir):
+        from repro.pipeline import ArtifactStore
+
+        store = ArtifactStore(cache_dir)
+        for i in range(3):
+            store.put("stage", f"d{i}", b"y" * 4000)
+
+    def test_cache_prune_evicts(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        self._fill(cache)
+        exit_code = main([
+            "cache", "prune", "--cache-dir", str(cache), "--max-bytes", "4500",
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "pruned 2 artifact(s)" in out
+        assert len(list(cache.glob("*/*.pkl"))) == 1
+
+    def test_cache_prune_json(self, capsys, tmp_path):
+        import json
+
+        cache = tmp_path / "cache"
+        self._fill(cache)
+        exit_code = main([
+            "cache", "prune", "--cache-dir", str(cache),
+            "--max-bytes", "1G", "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["removed_files"] == 0
+        assert payload["kept_files"] == 3
+
+    def test_size_suffixes(self):
+        from repro.cli import _parse_size
+
+        assert _parse_size("4096") == 4096
+        assert _parse_size("4K") == 4096
+        assert _parse_size("2m") == 2 * 1024**2
+        assert _parse_size("1G") == 1024**3
+        with pytest.raises(ValueError):
+            _parse_size("many")
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+
+class TestEngineFlags:
+    def test_run_parser_accepts_engine(self):
+        args = build_parser().parse_args(["run", "--engine", "sequential"])
+        assert args.engine == "sequential"
+
+    def test_run_parser_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--engine", "warp"])
+
+    def test_sweep_parser_accepts_error_models(self):
+        args = build_parser().parse_args(
+            ["sweep", "--error-models", "model0", "eden"]
+        )
+        assert args.error_models == ["model0", "eden"]
+
+    def test_run_parser_accepts_error_model(self):
+        args = build_parser().parse_args(["run", "--error-model", "eden"])
+        assert args.error_model == "eden"

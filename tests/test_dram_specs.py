@@ -10,6 +10,7 @@ from repro.dram.specs import (
     ElectricalParameters,
     LPDDR3_1600_4GB,
     NominalTimings,
+    get_dram_spec,
     tiny_spec,
 )
 
@@ -87,3 +88,31 @@ class TestTinySpec:
 
     def test_tiny_spec_custom_name(self):
         assert tiny_spec("abc").name == "abc"
+
+
+class TestDdr5Spec:
+    def test_registered_and_valid(self):
+        spec = get_dram_spec("ddr5-4800-8gb")
+        spec.validate()
+        assert get_dram_spec("ddr5").name == spec.name
+
+    def test_capacity_is_8gb(self):
+        spec = get_dram_spec("ddr5")
+        assert spec.geometry.total_size_bits == 8 * 2**30
+
+    def test_lower_nominal_voltage_than_lpddr3(self):
+        ddr5 = get_dram_spec("ddr5")
+        lpddr3 = get_dram_spec("lpddr3")
+        assert ddr5.electrical.v_nominal_volts < lpddr3.electrical.v_nominal_volts
+        assert ddr5.electrical.v_min_volts < ddr5.electrical.v_nominal_volts
+
+    def test_doubled_burst_length(self):
+        assert get_dram_spec("ddr5").timings.burst_length == 16
+
+    def test_usable_in_config_with_scaled_voltages(self):
+        from repro import SparkXDConfig
+
+        config = SparkXDConfig.small(
+            dram_spec=get_dram_spec("ddr5"), voltages=(1.1, 1.0, 0.9)
+        )
+        assert config.v_nominal == 1.1

@@ -158,3 +158,70 @@ class TestFactory:
     def test_unknown_name_rejected(self):
         with pytest.raises(ValueError, match="unknown error model"):
             make_error_model("model9")
+
+
+class TestEdenModel:
+    def _context(self, n_bits=20000, rate=0.01, seed=0):
+        rng = np.random.default_rng(seed)
+        return BitContext(
+            n_bits=n_bits,
+            base_rate=rate,
+            wordline_of=np.repeat(np.arange(n_bits // 100), 100).astype(np.int64),
+            values=(rng.random(n_bits) < 0.5).astype(np.uint8),
+        )
+
+    def test_requires_wordlines_and_values(self):
+        from repro.errors.models import ErrorModelEden
+
+        model = ErrorModelEden()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            model.sample_flips(BitContext(10, 0.1, values=np.zeros(10, np.uint8)), rng)
+        with pytest.raises(ValueError):
+            model.sample_flips(
+                BitContext(10, 0.1, wordline_of=np.zeros(10, np.int64)), rng
+            )
+
+    def test_mean_rate_near_base(self):
+        from repro.errors.models import ErrorModelEden
+
+        model = ErrorModelEden(sigma=0.4)
+        context = self._context(n_bits=200000, rate=0.01)
+        flips = model.sample_flips(context, np.random.default_rng(1))
+        achieved = flips.size / context.n_bits
+        assert 0.005 < achieved < 0.02
+
+    def test_ones_fail_more_than_zeros(self):
+        from repro.errors.models import ErrorModelEden
+
+        model = ErrorModelEden(sigma=0.0, one_to_zero_ratio=8.0)
+        context = self._context(n_bits=200000, rate=0.02)
+        flips = model.sample_flips(context, np.random.default_rng(2))
+        flipped_values = context.values[flips]
+        ones = int((flipped_values != 0).sum())
+        zeros = int((flipped_values == 0).sum())
+        assert ones > 3 * zeros
+
+    def test_declared_context_fields(self):
+        from repro.errors.models import ErrorModelEden
+
+        assert ErrorModelEden.context_fields == ("wordline_of", "values")
+
+    def test_ratio_validation(self):
+        from repro.errors.models import ErrorModelEden
+
+        with pytest.raises(ValueError):
+            ErrorModelEden(one_to_zero_ratio=0.0)
+
+    def test_injector_builds_eden_context(self):
+        from repro.errors.injection import ErrorInjector
+        from repro.errors.models import ErrorModelEden
+        from repro.snn.quantization import FixedPointRepresentation
+
+        injector = ErrorInjector(
+            FixedPointRepresentation(8), model=ErrorModelEden(), seed=4
+        )
+        weights = np.random.default_rng(3).random((40, 30))
+        corrupted, report = injector.inject_uniform(weights, 0.01)
+        assert corrupted.shape == weights.shape
+        assert report.flipped_bits > 0

@@ -71,9 +71,21 @@ class TestFrameworkRegistries:
             load_dataset("imagenet", 10, 10)
 
     def test_error_models_registered(self):
-        assert set(ERROR_MODELS.names()) == {"model0", "model1", "model2", "model3"}
+        assert set(ERROR_MODELS.names()) == {
+            "model0",
+            "model1",
+            "model2",
+            "model3",
+            "eden",
+        }
         assert isinstance(make_error_model("model-0"), ErrorModel0)
         assert isinstance(make_error_model("uniform"), ErrorModel0)
+
+    def test_eden_model_registered_with_aliases(self):
+        from repro.errors.models import ErrorModelEden
+
+        assert isinstance(make_error_model("eden"), ErrorModelEden)
+        assert isinstance(ERROR_MODELS.get("model4")(), ErrorModelEden)
 
     def test_unknown_error_model_raises(self):
         with pytest.raises(ValueError):
@@ -87,9 +99,11 @@ class TestFrameworkRegistries:
 
     def test_dram_specs_registered(self):
         assert "lpddr3-1600-4gb" in DRAM_SPECS.names()
+        assert "ddr5-4800-8gb" in DRAM_SPECS.names()
         assert get_dram_spec("tiny").name == "tiny-test-dram"
+        assert get_dram_spec("ddr5").name == "DDR5-4800 8Gb"
         with pytest.raises(ValueError):
-            get_dram_spec("ddr5")
+            get_dram_spec("ddr6")
 
     def test_config_rejects_unknown_mapping_policy(self):
         from repro import SparkXDConfig

@@ -116,7 +116,43 @@ class TestRunnerExecution:
         assert len(serial) == len(parallel) == 2
         for a, b in zip(serial, parallel):
             da, db = a.to_dict(), b.to_dict()
-            for volatile in ("wall_time_s", "cache_hits", "cache_misses"):
+            for volatile in (
+                "wall_time_s",
+                "cache_hits",
+                "cache_misses",
+                "stage_timings",
+            ):
                 da.pop(volatile)
                 db.pop(volatile)
             assert da == db
+
+
+class TestStageTimingsInRecords:
+    def test_records_carry_stage_timings(self):
+        records = Runner(TINY, store=ArtifactStore()).run({})
+        (record,) = records
+        assert set(record.stage_timings) == {
+            "train-baseline",
+            "fault-aware-train",
+            "tolerance-analysis",
+            "dram-eval",
+        }
+        assert record.to_dict()["stage_timings"] == dict(
+            sorted(record.stage_timings.items())
+        )
+
+    def test_cached_points_report_empty_timings(self):
+        store = ArtifactStore()
+        Runner(TINY, store=store).run({})
+        again = Runner(TINY, store=store).run({})
+        assert again[0].stage_timings == {}
+
+    def test_timings_roundtrip_serialisation(self, run_record_factory):
+        record = run_record_factory(stage_timings={"dram-eval": 0.25})
+        restored = RunRecord.from_dict(record.to_dict())
+        assert restored.stage_timings == {"dram-eval": 0.25}
+
+    def test_timings_default_for_old_payloads(self, run_record_factory):
+        payload = run_record_factory().to_dict()
+        payload.pop("stage_timings")
+        assert RunRecord.from_dict(payload).stage_timings == {}

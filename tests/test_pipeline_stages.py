@@ -125,3 +125,68 @@ class TestCaching:
         for stage in default_stages():
             assert stage.cache_key(changed) != stage.cache_key(TINY)
             assert warm_store.get(stage.name, stage.cache_key(changed)) is MISS
+
+
+class TestEngineSwitch:
+    def test_sequential_fallback_matches_batched(self):
+        """The full pipeline is engine-invariant: same results, and —
+        because ``engine`` is fingerprint-neutral — the same cache keys."""
+        from repro.pipeline.runner import RunRecord
+
+        results = {}
+        for engine in ("batched", "sequential"):
+            config = TINY.with_overrides(engine=engine)
+            results[engine] = ExperimentPipeline(config, store=ArtifactStore()).run()
+        a = RunRecord.from_result(results["batched"]).to_dict()
+        b = RunRecord.from_result(results["sequential"]).to_dict()
+        for volatile in ("wall_time_s", "cache_hits", "cache_misses",
+                         "stage_timings"):
+            a.pop(volatile)
+            b.pop(volatile)
+        assert a == b
+
+    def test_engine_shares_cache_fingerprints(self):
+        batched = TINY.with_overrides(engine="batched")
+        sequential = TINY.with_overrides(engine="sequential")
+        for stage in default_stages():
+            assert stage.cache_key(batched) == stage.cache_key(sequential)
+
+    def test_unknown_engine_rejected_by_config(self):
+        with pytest.raises(ValueError):
+            TINY.with_overrides(engine="warp")
+
+    def test_error_model_invalidates_training_fingerprints(self):
+        from repro.pipeline.stages import FaultAwareTrainStage, TrainBaselineStage
+
+        eden = TINY.with_overrides(error_model="eden")
+        assert (
+            FaultAwareTrainStage().cache_key(TINY)
+            != FaultAwareTrainStage().cache_key(eden)
+        )
+        # the baseline trains without error injection: unaffected
+        assert (
+            TrainBaselineStage().cache_key(TINY)
+            == TrainBaselineStage().cache_key(eden)
+        )
+
+    def test_unknown_error_model_rejected_by_config(self):
+        with pytest.raises(ValueError):
+            TINY.with_overrides(error_model="model99")
+
+
+class TestStageTimings:
+    def test_timings_recorded_for_executed_stages(self):
+        pipeline = ExperimentPipeline(TINY, store=ArtifactStore())
+        pipeline.run()
+        assert set(pipeline.stage_timings) == {
+            "train-baseline",
+            "fault-aware-train",
+            "tolerance-analysis",
+            "dram-eval",
+        }
+        assert all(t >= 0 for t in pipeline.stage_timings.values())
+
+    def test_cached_stages_have_no_timing(self, warm_store):
+        pipeline = ExperimentPipeline(TINY, store=warm_store)
+        pipeline.run()
+        assert pipeline.stage_timings == {}

@@ -45,9 +45,13 @@ class TestStageFieldGroups:
     def test_dram_fields_cover_every_config_field(self):
         import dataclasses
 
+        # ``engine`` is deliberately fingerprint-neutral: batched and
+        # sequential execution produce identical results (the
+        # repro.engine equivalence guarantee), so flipping the switch
+        # must keep hitting the same cache entries.
         assert set(DRAM_FIELDS) == {
             f.name for f in dataclasses.fields(SparkXDConfig)
-        }
+        } - {"engine"}
 
     def test_dram_side_override_keeps_training_fingerprint(self):
         cfg = SparkXDConfig.small()
@@ -112,3 +116,81 @@ class TestArtifactStore:
         second = ArtifactStore(tmp_path / "cache")
         assert ("stage", "abc") in second
         assert len(second) == 0  # not loaded into memory yet
+
+
+class TestPrune:
+    def _filled_store(self, tmp_path, n=4, size=2000):
+        store = ArtifactStore(tmp_path / "cache")
+        for i in range(n):
+            store.put("stage", f"digest{i}", b"x" * size)
+        return store
+
+    def test_prune_evicts_oldest_first(self, tmp_path):
+        import os
+        import time
+
+        store = self._filled_store(tmp_path)
+        # Make mtimes strictly ordered regardless of filesystem precision.
+        files = sorted((tmp_path / "cache" / "stage").glob("*.pkl"))
+        now = time.time()
+        for i in range(4):
+            os.utime(tmp_path / "cache" / "stage" / f"digest{i}.pkl",
+                     (now + i, now + i))
+        total = sum(f.stat().st_size for f in files)
+        one_file = total // 4
+        report = store.prune(max_bytes=2 * one_file)
+        assert report.removed_files == 2
+        assert report.kept_files == 2
+        # oldest digests evicted, newest kept — and dropped from memory too
+        assert ("stage", "digest0") not in store
+        assert ("stage", "digest3") in store
+        from repro.pipeline.store import MISS
+
+        assert store.get("stage", "digest0") is MISS
+        assert store.get("stage", "digest3") == b"x" * 2000
+
+    def test_prune_to_zero_clears_disk(self, tmp_path):
+        store = self._filled_store(tmp_path)
+        report = store.prune(max_bytes=0)
+        assert report.kept_files == 0
+        assert report.kept_bytes == 0
+        assert not list((tmp_path / "cache").glob("*/*.pkl"))
+
+    def test_prune_within_budget_is_noop(self, tmp_path):
+        store = self._filled_store(tmp_path)
+        report = store.prune(max_bytes=10**9)
+        assert report.removed_files == 0
+        assert report.freed_bytes == 0
+        assert store.get("stage", "digest0") == b"x" * 2000
+
+    def test_prune_requires_disk_store(self):
+        with pytest.raises(ValueError):
+            ArtifactStore().prune(max_bytes=100)
+        with pytest.raises(ValueError):
+            ArtifactStore("/tmp").prune(max_bytes=-1)
+
+    def test_get_refreshes_mtime_for_lru(self, tmp_path):
+        import os
+        import time
+
+        store = self._filled_store(tmp_path, n=2)
+        old = time.time() - 1000
+        for i in range(2):
+            os.utime(tmp_path / "cache" / "stage" / f"digest{i}.pkl", (old, old))
+        store.clear()  # force the next get to touch disk
+        store.get("stage", "digest0")
+        report = store.prune(max_bytes=2500)
+        # digest0 was just used, so digest1 is the LRU victim
+        assert report.removed_files == 1
+        assert ("stage", "digest0") in store
+        assert not (tmp_path / "cache" / "stage" / "digest1.pkl").exists()
+
+    def test_report_to_dict(self, tmp_path):
+        store = self._filled_store(tmp_path, n=1)
+        report = store.prune(max_bytes=10**9)
+        assert report.to_dict() == {
+            "removed_files": 0,
+            "freed_bytes": 0,
+            "kept_files": 1,
+            "kept_bytes": report.kept_bytes,
+        }

@@ -128,3 +128,79 @@ class TestRunSample:
     def test_shape_validation(self, net):
         with pytest.raises(ValueError):
             net.run_sample(np.zeros((10, 5), dtype=bool))
+
+
+class TestBatchedNetwork:
+    def test_run_batch_matches_run_sample_loop(self):
+        rng = np.random.default_rng(8)
+        params = NetworkParameters(n_input=30, n_neurons=12)
+        source = DiehlCookNetwork(params, rng=rng)
+        trains = rng.random((5, 20, 30)) < 0.2
+        stack = np.stack([
+            np.clip(source.weights + rng.normal(0, 0.02, source.weights.shape), 0, 1)
+            for _ in range(3)
+        ])
+        batched = DiehlCookNetwork(params, init_weights=False, batch_shape=(3, 5))
+        batched.neurons.theta = np.broadcast_to(
+            source.neurons.theta, (3, 5, 12)
+        ).copy()
+        batched.set_weights(stack)
+        counts = batched.run_batch(trains)
+        scalar = DiehlCookNetwork(params, init_weights=False)
+        scalar.neurons.theta = source.neurons.theta.copy()
+        for e in range(3):
+            scalar.set_weights(stack[e])
+            for b in range(5):
+                assert np.array_equal(counts[e, b], scalar.run_sample(trains[b]))
+
+    def test_batched_step_accepts_batched_input(self):
+        params = NetworkParameters(n_input=10, n_neurons=6)
+        net = DiehlCookNetwork(params, rng=np.random.default_rng(0), batch_shape=(4,))
+        spikes = net.step(np.ones((4, 10), dtype=bool), adapt=False)
+        assert spikes.shape == (4, 6)
+
+    def test_run_sample_rejected_on_batched_network(self):
+        net = DiehlCookNetwork(
+            NetworkParameters(n_input=10, n_neurons=6),
+            init_weights=False,
+            batch_shape=(2,),
+        )
+        with pytest.raises(ValueError, match="run_batch"):
+            net.run_sample(np.zeros((5, 10), dtype=bool))
+
+    def test_run_batch_requires_batched_network(self):
+        net = DiehlCookNetwork(
+            NetworkParameters(n_input=10, n_neurons=6), init_weights=False
+        )
+        with pytest.raises(ValueError):
+            net.run_batch(np.zeros((2, 5, 10), dtype=bool))
+
+    def test_weight_stack_validation(self):
+        net = DiehlCookNetwork(
+            NetworkParameters(n_input=10, n_neurons=6),
+            init_weights=False,
+            batch_shape=(3, 2),
+        )
+        with pytest.raises(ValueError):
+            net.set_weights(np.zeros((4, 10, 6)))  # wrong stack depth
+        net.set_weights(np.zeros((3, 10, 6)))
+        net.set_weights(np.zeros((10, 6)))  # shared matrix always allowed
+
+    def test_set_batch_shape_roundtrip(self):
+        params = NetworkParameters(n_input=10, n_neurons=6)
+        net = DiehlCookNetwork(params, rng=np.random.default_rng(1))
+        theta = net.neurons.theta.copy()
+        net.set_batch_shape((2, 4))
+        assert net.batch_shape == (2, 4)
+        assert net.g_excitatory.g.shape == (2, 4, 6)
+        net.set_batch_shape(())
+        assert np.array_equal(net.neurons.theta, theta)
+
+    def test_init_weights_false_skips_rng(self):
+        params = NetworkParameters(n_input=10, n_neurons=6)
+        rng = np.random.default_rng(5)
+        state_before = rng.bit_generator.state
+        net = DiehlCookNetwork(params, rng=rng, init_weights=False)
+        assert rng.bit_generator.state == state_before
+        assert not net.weights.any()
+        assert not net.neurons.theta.any()

@@ -141,3 +141,45 @@ class TestStateManagement:
         snap["v"] = np.zeros(3)
         with pytest.raises(ValueError):
             layer.load_state(snap)
+
+
+class TestBatchedState:
+    def test_batch_shape_state_arrays(self):
+        layer = AdaptiveLIFLayer(6, batch_shape=(3, 4))
+        assert layer.state_shape == (3, 4, 6)
+        assert layer.v.shape == (3, 4, 6)
+        assert layer.theta.shape == (3, 4, 6)
+        assert layer.refractory_left.shape == (3, 4, 6)
+
+    def test_batched_step_matches_scalar_per_element(self):
+        rng = np.random.default_rng(0)
+        g_e = rng.random((2, 5, 8)) * 2.0
+        g_i = rng.random((2, 5, 8))
+        batched = AdaptiveLIFLayer(8, batch_shape=(2, 5))
+        spikes = batched.step(g_e, g_i, adapt=True)
+        assert spikes.shape == (2, 5, 8)
+        for e in range(2):
+            for b in range(5):
+                scalar = AdaptiveLIFLayer(8)
+                assert np.array_equal(scalar.step(g_e[e, b], g_i[e, b]), spikes[e, b])
+                assert np.array_equal(scalar.v, batched.v[e, b])
+                assert np.array_equal(scalar.theta, batched.theta[e, b])
+
+    def test_set_batch_shape_preserves_theta_vector(self):
+        layer = AdaptiveLIFLayer(4)
+        layer.theta = np.array([0.1, 0.2, 0.3, 0.4])
+        layer.set_batch_shape((2, 3))
+        assert layer.theta.shape == (2, 3, 4)
+        assert np.array_equal(layer.theta[1, 2], [0.1, 0.2, 0.3, 0.4])
+        layer.set_batch_shape(())
+        assert np.array_equal(layer.theta, [0.1, 0.2, 0.3, 0.4])
+
+    def test_batched_snapshot_roundtrip(self):
+        layer = AdaptiveLIFLayer(3, batch_shape=(2,))
+        layer.step(np.ones((2, 3)) * 5, np.zeros((2, 3)))
+        snap = layer.state_snapshot()
+        other = AdaptiveLIFLayer(3, batch_shape=(2,))
+        other.load_state(snap)
+        assert np.array_equal(other.v, layer.v)
+        with pytest.raises(ValueError):
+            AdaptiveLIFLayer(3).load_state(snap)

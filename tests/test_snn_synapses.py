@@ -72,3 +72,71 @@ class TestWeightInjection:
             g.inject_through_weights(np.ones((3, 5)), np.zeros(3))
         with pytest.raises(ValueError):
             g.inject_through_weights(np.ones((3, 2)), np.zeros(4))
+
+
+class TestBatchedConductance:
+    def test_batched_decay_matches_scalar(self):
+        batched = SynapticConductance(4, tau_ms=2.0, batch_shape=(3,))
+        scalar = SynapticConductance(4, tau_ms=2.0)
+        injected = np.arange(12, dtype=float).reshape(3, 4)
+        batched.step(injected)
+        batched.step(0.5)
+        for b in range(3):
+            ref = SynapticConductance(4, tau_ms=2.0)
+            ref.step(injected[b])
+            ref.step(0.5)
+            assert np.array_equal(batched.g[b], ref.g)
+        assert scalar.g.shape == (4,)
+
+    def test_batched_inject_through_weights(self):
+        rng = np.random.default_rng(1)
+        weights = rng.random((6, 4))
+        spikes = rng.random((3, 6)) < 0.5
+        batched = SynapticConductance(4, tau_ms=1.5, batch_shape=(3,))
+        batched.inject_through_weights(weights, spikes)
+        for b in range(3):
+            ref = SynapticConductance(4, tau_ms=1.5)
+            ref.inject_through_weights(weights, spikes[b])
+            assert np.allclose(batched.g[b], ref.g)
+
+    def test_stacked_weights_injection(self):
+        rng = np.random.default_rng(2)
+        weights = rng.random((2, 6, 4))
+        spikes = rng.random((2, 3, 6)) < 0.5
+        batched = SynapticConductance(4, tau_ms=1.5, batch_shape=(2, 3))
+        batched.inject_through_weights(weights, spikes)
+        for e in range(2):
+            for b in range(3):
+                ref = SynapticConductance(4, tau_ms=1.5)
+                ref.inject_through_weights(weights[e], spikes[e, b])
+                assert np.allclose(batched.g[e, b], ref.g)
+
+    def test_shape_mismatch_rejected(self):
+        batched = SynapticConductance(4, tau_ms=1.0, batch_shape=(3,))
+        with pytest.raises(ValueError):
+            batched.inject_through_weights(np.ones((6, 4)), np.ones(6, dtype=bool))
+
+    def test_set_batch_shape_resets(self):
+        g = SynapticConductance(4, tau_ms=1.0)
+        g.step(1.0)
+        g.set_batch_shape((2,))
+        assert g.g.shape == (2, 4)
+        assert not g.g.any()
+
+
+class TestPropagateSpikes:
+    def test_matches_matmul(self):
+        from repro.snn.synapses import propagate_spikes
+
+        rng = np.random.default_rng(3)
+        weights = rng.random((5, 7))
+        spikes = rng.random((4, 5)) < 0.4
+        assert np.allclose(
+            propagate_spikes(weights, spikes), spikes.astype(float) @ weights
+        )
+
+    def test_rejects_misaligned_stack(self):
+        from repro.snn.synapses import propagate_spikes
+
+        with pytest.raises(ValueError):
+            propagate_spikes(np.ones((2, 5, 7)), np.ones((3, 4, 5)))
