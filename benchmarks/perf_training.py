@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Training throughput benchmark: sequential vs minibatch STDP samples/sec.
+
+Measures how many training-sample presentations per second the
+sequential (``batch_size=1``) and minibatch (``batch_size>=16``)
+training engines sustain on two network sizes at both compute
+precisions, double-checks that the ``batch_size=1`` engine reproduces
+the historical sequential loop bit for bit, and writes the results to
+``BENCH_training.json`` — the training half of the repo's performance
+trajectory artifacts (see ``BENCH_engine.json`` for evaluation).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_training.py           # full run
+    PYTHONPATH=src python benchmarks/perf_training.py --quick   # CI smoke
+
+The workload mirrors one fault-aware training stage (Algorithm 1):
+Poisson-encoded samples presented with STDP, a corrupted-weight read
+per presentation, deltas credited back to the stored clean tensor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.trainer import BatchedTrainer
+from repro.snn.encoding import poisson_rate_code
+from repro.snn.network import DiehlCookNetwork, NetworkParameters, make_stdp
+from repro.snn.stdp import normalize_columns
+
+FULL_SCENARIOS = (
+    {"n_neurons": 100, "n_train": 32, "n_steps": 100, "dtype": "float64",
+     "batch_size": 16},
+    {"n_neurons": 400, "n_train": 32, "n_steps": 100, "dtype": "float64",
+     "batch_size": 16},
+    {"n_neurons": 100, "n_train": 32, "n_steps": 100, "dtype": "float32",
+     "batch_size": 16},
+    {"n_neurons": 400, "n_train": 32, "n_steps": 100, "dtype": "float32",
+     "batch_size": 16},
+)
+QUICK_SCENARIOS = (
+    {"n_neurons": 60, "n_train": 12, "n_steps": 30, "dtype": "float64",
+     "batch_size": 6},
+    {"n_neurons": 100, "n_train": 12, "n_steps": 30, "dtype": "float32",
+     "batch_size": 6},
+)
+
+
+def _images(scenario: dict, n_input: int = 784) -> np.ndarray:
+    rng = np.random.default_rng(1234)
+    # MNIST-like sparse images: most pixels dark, a bright blob.
+    return np.clip(
+        rng.random((scenario["n_train"], n_input)) - 0.55, 0.0, 0.45
+    ) * 2
+
+
+def _network(scenario: dict, n_input: int = 784) -> DiehlCookNetwork:
+    params = NetworkParameters(n_input=n_input, n_neurons=scenario["n_neurons"])
+    return DiehlCookNetwork(
+        params, rng=np.random.default_rng(7), dtype=np.dtype(scenario["dtype"])
+    )
+
+
+def _corrupter(network: DiehlCookNetwork, seed: int = 5):
+    """A cheap stand-in for the DRAM error injector (same call pattern)."""
+    rng = np.random.default_rng(seed)
+
+    def corrupt(weights):
+        noisy = weights + rng.normal(0.0, 0.005, weights.shape).astype(
+            weights.dtype, copy=False
+        )
+        return np.clip(noisy, 0.0, network.w_max)
+
+    return corrupt
+
+
+def _reference_train(network, images, n_steps, rng, corrupt):
+    """The pre-refactor sequential loop (ground truth for the identity check)."""
+    stdp = make_stdp(network)
+    order = rng.permutation(len(images))
+    for i in order:
+        train = poisson_rate_code(images[i], n_steps, rng=rng)
+        clean = network.weights
+        corrupted = np.asarray(corrupt(clean), dtype=network.dtype)
+        network.weights = corrupted.copy()
+        network.run_sample(train, stdp=stdp, normalize=False)
+        delta = network.weights - corrupted
+        network.weights = np.clip(clean + delta, 0.0, network.w_max)
+        if network.parameters.weight_norm > 0:
+            normalize_columns(network.weights, network.parameters.weight_norm)
+
+
+def _time_trainer(scenario, batch_size, repeats):
+    images = _images(scenario)
+    best = np.inf
+    network = None
+    for _ in range(repeats):
+        network = _network(scenario)
+        trainer = BatchedTrainer(
+            network,
+            batch_size=batch_size,
+            corrupt_weights=_corrupter(network),
+        )
+        started = time.perf_counter()
+        trainer.train(
+            images, n_steps=scenario["n_steps"], epochs=1,
+            rng=np.random.default_rng(99),
+        )
+        best = min(best, time.perf_counter() - started)
+    return best, network
+
+
+def run_benchmark(quick: bool, repeats: int) -> dict:
+    scenarios = QUICK_SCENARIOS if quick else FULL_SCENARIOS
+    results = []
+    for scenario in scenarios:
+        n_train = scenario["n_train"]
+        row = dict(scenario, n_input=784)
+
+        # Bit-identity smoke: batch_size=1 must equal the historical loop.
+        ref_net = _network(scenario)
+        _reference_train(
+            ref_net, _images(scenario), scenario["n_steps"],
+            np.random.default_rng(99), _corrupter(ref_net),
+        )
+        seq_seconds, seq_net = _time_trainer(scenario, 1, repeats)
+        row["sequential_matches_reference"] = bool(
+            np.array_equal(ref_net.weights, seq_net.weights)
+            and np.array_equal(ref_net.neurons.theta, seq_net.neurons.theta)
+        )
+        batch_seconds, _ = _time_trainer(scenario, scenario["batch_size"], repeats)
+
+        row["sequential_seconds"] = seq_seconds
+        row["sequential_samples_per_sec"] = n_train / seq_seconds
+        row["batched_seconds"] = batch_seconds
+        row["batched_samples_per_sec"] = n_train / batch_seconds
+        row["speedup"] = seq_seconds / batch_seconds
+        results.append(row)
+        print(
+            f"N{scenario['n_neurons']:<4} {scenario['dtype']:<8} "
+            f"B={scenario['batch_size']:<3} {n_train:>3} samples | "
+            f"sequential {row['sequential_samples_per_sec']:7.1f}/s | "
+            f"batched {row['batched_samples_per_sec']:7.1f}/s | "
+            f"speedup {row['speedup']:5.2f}x | "
+            f"seq-identical={row['sequential_matches_reference']}"
+        )
+    return {
+        "benchmark": "repro.engine.trainer sequential-vs-minibatch throughput",
+        "quick": quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "scenarios": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small scenarios for CI smoke runs")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timing repeats; the best run is reported")
+    parser.add_argument("--out", default="BENCH_training.json", metavar="PATH",
+                        help="output JSON path (default: ./BENCH_training.json)")
+    args = parser.parse_args(argv)
+    if args.repeats <= 0:
+        parser.error("--repeats must be > 0")
+
+    payload = run_benchmark(args.quick, args.repeats)
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"results written to {out}")
+
+    if not all(r["sequential_matches_reference"] for r in payload["scenarios"]):
+        print("ERROR: batch_size=1 diverged from the reference sequential loop",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

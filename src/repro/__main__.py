@@ -1,7 +1,14 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+The ``__main__`` guard matters: the sweep runner's worker pool can use
+the ``spawn`` start method (see ``repro.pipeline.runner``), which
+re-imports this module in every worker — without the guard each worker
+would re-run the CLI.
+"""
 
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

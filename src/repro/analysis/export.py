@@ -105,6 +105,8 @@ RUN_RECORD_CSV_HEADERS = [
     "seed",
     "representation",
     "mapping_policy",
+    "train_batch_size",
+    "compute_dtype",
     "baseline_accuracy",
     "improved_accuracy",
     "ber_threshold",
@@ -134,6 +136,8 @@ def export_run_records(path: PathLike, records: Sequence["RunRecord"]) -> Path:
             record.seed,
             record.representation,
             record.mapping_policy,
+            record.train_batch_size,
+            record.compute_dtype,
             record.baseline_accuracy,
             record.improved_accuracy,
             "" if record.ber_threshold is None else record.ber_threshold,

@@ -32,6 +32,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 REPRESENTATIONS = ("float32", "int8", "int16")
+COMPUTE_DTYPES = ("float64", "float32")
 
 
 def _add_run_parser(subparsers) -> None:
@@ -58,6 +59,14 @@ def _add_run_parser(subparsers) -> None:
                    default="batched",
                    help="simulation engine (results are identical; "
                         "batched is the fast path)")
+    p.add_argument("--train-batch-size", type=int, default=1, metavar="B",
+                   help="samples per STDP presentation (1 = bit-exact "
+                        "sequential reference; >1 = vectorized minibatch "
+                        "approximation, see docs/training.md)")
+    p.add_argument("--compute-dtype", choices=COMPUTE_DTYPES,
+                   default="float64",
+                   help="simulation/training precision (float32 halves "
+                        "memory bandwidth but changes results)")
     p.add_argument("--cache-dir", metavar="DIR",
                    help="artifact-store directory; repeated runs with the "
                         "same config reuse cached stages")
@@ -86,6 +95,15 @@ def _add_sweep_parser(subparsers) -> None:
     p.add_argument("--engine", choices=("batched", "sequential"),
                    default="batched",
                    help="simulation engine for every grid point")
+    p.add_argument("--train-batch-size", type=int, nargs="+", default=None,
+                   metavar="B", dest="train_batch_sizes",
+                   help="train-batch-size axis (training-side: each size "
+                        "retrains; see docs/training.md)")
+    p.add_argument("--compute-dtype", nargs="+", default=None,
+                   choices=COMPUTE_DTYPES, dest="compute_dtypes",
+                   metavar="DTYPE",
+                   help="compute-precision axis (training-side: each "
+                        "dtype retrains; float64/float32)")
     p.add_argument("--voltages", type=float, nargs="+", default=None, metavar="V",
                    help="voltage axis: each voltage becomes its own grid "
                         "point (DRAM-side, no retraining)")
@@ -96,6 +114,9 @@ def _add_sweep_parser(subparsers) -> None:
     p.add_argument("--bound", type=float, default=0.05)
     p.add_argument("--workers", type=int, default=1,
                    help="process-parallel workers (1 = serial)")
+    p.add_argument("--threads-per-worker", type=int, default=1, metavar="T",
+                   help="BLAS/OpenMP threads each worker may use "
+                        "(0 = leave the runtimes uncapped)")
     p.add_argument("--cache-dir", metavar="DIR",
                    help="artifact-store directory shared across sweeps")
     p.add_argument("--csv", metavar="PATH", help="also write records as CSV")
@@ -202,6 +223,8 @@ def _cmd_run(args) -> int:
         mapping_policy=args.mapping,
         error_model=args.error_model,
         engine=args.engine,
+        train_batch_size=args.train_batch_size,
+        compute_dtype=args.compute_dtype,
     )
     if args.voltages:
         config = config.with_overrides(voltages=tuple(args.voltages))
@@ -251,8 +274,19 @@ def _cmd_sweep(args) -> int:
         grid["mapping_policy"] = list(args.mappings)
     if args.error_models:
         grid["error_model"] = list(args.error_models)
+    if args.train_batch_sizes:
+        grid["train_batch_size"] = list(args.train_batch_sizes)
+    if args.compute_dtypes:
+        grid["compute_dtype"] = list(args.compute_dtypes)
     store = ArtifactStore(args.cache_dir) if args.cache_dir else ArtifactStore()
-    runner = Runner(base, store=store, max_workers=args.workers)
+    runner = Runner(
+        base,
+        store=store,
+        max_workers=args.workers,
+        threads_per_worker=(
+            None if args.threads_per_worker == 0 else args.threads_per_worker
+        ),
+    )
     records = runner.run(grid)
 
     if args.json:

@@ -13,6 +13,10 @@ from repro.errors.models import ERROR_MODELS
 #: duplicated here so the config layer stays import-light).
 ENGINE_CHOICES = ("batched", "sequential")
 
+#: Valid compute precisions (numpy dtype names; the config layer stays
+#: import-light, stages convert via ``np.dtype``).
+COMPUTE_DTYPES = ("float64", "float32")
+
 #: The reduced supply voltages of the paper's Fig. 12(a).
 PAPER_VOLTAGES = (1.325, 1.250, 1.175, 1.100, 1.025)
 #: The BER decades swept by the paper's Fig. 11.
@@ -41,6 +45,15 @@ class SparkXDConfig:
     n_steps: int = 100
     baseline_epochs: int = 1
     epochs_per_rate: int = 1
+    #: Samples per STDP presentation (see docs/training.md).  1 is the
+    #: bit-exact sequential reference; >1 trains in vectorized
+    #: minibatches — a result-changing approximation, so unlike
+    #: ``engine`` this knob IS part of the stage cache fingerprints.
+    train_batch_size: int = 1
+    #: Simulation/training precision ("float64" or "float32").  float32
+    #: halves memory bandwidth but changes results, so it is
+    #: fingerprint-relevant too.
+    compute_dtype: str = "float64"
 
     # SparkXD error schedule and accuracy target
     ber_rates: Tuple[float, ...] = PAPER_BER_RATES
@@ -92,6 +105,15 @@ class SparkXDConfig:
         if self.engine not in ENGINE_CHOICES:
             raise ValueError(
                 f"unknown engine {self.engine!r}; choose from {list(ENGINE_CHOICES)}"
+            )
+        if self.train_batch_size < 1:
+            raise ValueError(
+                f"train_batch_size must be >= 1, got {self.train_batch_size}"
+            )
+        if self.compute_dtype not in COMPUTE_DTYPES:
+            raise ValueError(
+                f"unknown compute_dtype {self.compute_dtype!r}; "
+                f"choose from {list(COMPUTE_DTYPES)}"
             )
 
     # ------------------------------------------------------------------

@@ -85,6 +85,8 @@ def improve_error_tolerance(
     rng: Optional[np.random.Generator] = None,
     n_classes: int = 10,
     engine: str = "batched",
+    batch_size: int = 1,
+    dtype: np.dtype = np.float64,
 ) -> FaultAwareTrainingResult:
     """Algorithm 1: progressive fault-aware retraining of a baseline SNN.
 
@@ -105,6 +107,17 @@ def improve_error_tolerance(
         Evaluation path for the per-stage accuracy measurements
         (``"batched"`` default / ``"sequential"``); both yield the same
         numbers (see :mod:`repro.engine`).
+    batch_size:
+        Samples per STDP presentation at every BER stage
+        (:class:`repro.engine.trainer.BatchedTrainer`).  With
+        ``batch_size>1`` each minibatch computes from **one** corrupted
+        realization of the stored weights (one faulty DRAM read serving
+        the whole batch) and the summed deltas are credited back to the
+        clean tensor — the per-stage ascending BER schedule itself is
+        untouched.  ``1`` is bit-identical to the historical loop.
+    dtype:
+        Compute precision of training and the per-stage evaluations
+        (``numpy.float64`` default or ``numpy.float32``).
     """
     rng = rng or np.random.default_rng()
     rates = tuple(sorted(float(r) for r in rates))
@@ -121,7 +134,7 @@ def improve_error_tolerance(
     params = network_parameters or NetworkParameters(
         n_input=baseline.n_input, n_neurons=baseline.n_neurons
     )
-    network = DiehlCookNetwork(params, rng=rng)
+    network = DiehlCookNetwork(params, rng=rng, dtype=dtype)
     baseline.install_into(network)
 
     accuracy_per_rate: dict = {}
@@ -143,6 +156,7 @@ def improve_error_tolerance(
             corrupt_weights=corrupt,
             n_classes=n_classes,
             engine=engine,
+            batch_size=batch_size,
         )
         # Deployment reads corrupted weights, so both the neuron→class
         # assignment and the stage accuracy are measured under fresh
@@ -203,13 +217,19 @@ def train_baseline(
     rng: Optional[np.random.Generator] = None,
     n_classes: int = 10,
     engine: str = "batched",
+    batch_size: int = 1,
+    dtype: np.dtype = np.float64,
 ) -> TrainedModel:
-    """Train the error-free baseline SNN (``model0``)."""
+    """Train the error-free baseline SNN (``model0``).
+
+    ``batch_size``/``dtype`` select the minibatch size and compute
+    precision of the STDP engine (see :func:`improve_error_tolerance`).
+    """
     rng = rng or np.random.default_rng()
     params = network_parameters or NetworkParameters(
         n_input=dataset.train_images.shape[1], n_neurons=n_neurons
     )
-    network = DiehlCookNetwork(params, rng=rng)
+    network = DiehlCookNetwork(params, rng=rng, dtype=dtype)
     model = train_unsupervised(
         network,
         dataset.train_images,
@@ -220,6 +240,7 @@ def train_baseline(
         rng=rng,
         n_classes=n_classes,
         engine=engine,
+        batch_size=batch_size,
     )
     # Report accuracy on the held-out test split.
     counts = run_spike_counts(

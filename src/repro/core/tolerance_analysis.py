@@ -74,6 +74,7 @@ def analyze_error_tolerance(
     n_classes: int = 10,
     engine: str = "batched",
     chunk_policy: Optional[ChunkPolicy] = None,
+    dtype: np.dtype = np.float64,
 ) -> ToleranceReport:
     """Linear search for the maximum tolerable BER (Section IV-C).
 
@@ -101,6 +102,11 @@ def analyze_error_tolerance(
     chunk_policy:
         Optional :class:`~repro.engine.ChunkPolicy` bounding the peak
         memory of the batched pass.
+    dtype:
+        Compute precision of the evaluation passes (``numpy.float64``
+        default or ``numpy.float32``); matches the pipeline's
+        ``compute_dtype`` so a float32-trained model is analysed at
+        float32 too.
     """
     if accuracy_bound < 0:
         raise ValueError(f"accuracy_bound must be >= 0, got {accuracy_bound}")
@@ -114,7 +120,11 @@ def analyze_error_tolerance(
         n_input=model.n_input, n_neurons=model.n_neurons
     )
     evaluator = BatchedEvaluator(
-        params, theta=model.theta, engine=engine, chunk_policy=chunk_policy
+        params,
+        theta=model.theta,
+        engine=engine,
+        chunk_policy=chunk_policy,
+        dtype=dtype,
     )
 
     points = []

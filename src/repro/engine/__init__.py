@@ -14,9 +14,11 @@ See ``docs/engine.md`` for the batching model and knobs.
 from repro.engine.chunking import ChunkPolicy
 from repro.engine.encoding import encode_spike_trains
 from repro.engine.evaluator import ENGINES, BatchedEvaluator
+from repro.engine.trainer import BatchedTrainer
 
 __all__ = [
     "BatchedEvaluator",
+    "BatchedTrainer",
     "ChunkPolicy",
     "ENGINES",
     "encode_spike_trains",

@@ -1,0 +1,221 @@
+"""The batched minibatch STDP training engine.
+
+:class:`BatchedTrainer` is the training counterpart of
+:class:`repro.engine.BatchedEvaluator`: instead of presenting one
+sample per Python-loop iteration (encode, step ``n_steps`` times, apply
+STDP in place, normalize), it presents a minibatch of ``B`` samples in
+one vectorized pass —
+
+1. **Encode** the minibatch in one Poisson draw
+   (:func:`repro.engine.encoding.encode_spike_trains`), consuming
+   exactly the random stream of ``B`` per-sample draws;
+2. **Read** the weights once per minibatch: the fault-aware hook
+   (``corrupt_weights``) produces one corrupted realization per
+   minibatch read, modelling one DRAM burst read serving the whole
+   batch;
+3. **Drive precompute** from the frozen read tensor with the same
+   sparse CSR ``spikes @ weights`` matmul as the evaluator
+   (:meth:`repro.snn.network.DiehlCookNetwork.run_batch_stdp`);
+4. **Accumulate** STDP deltas across all lanes and timesteps against
+   the frozen tensor
+   (:meth:`repro.snn.stdp.STDPRule.step_accumulate`), with per-lane
+   adaptive-threshold (theta) dynamics;
+5. **Apply** once per minibatch: the summed delta is credited back to
+   the stored clean tensor, clipped to the physical range and
+   column-normalized
+   (:func:`repro.snn.training.apply_post_sample_update`); theta
+   advances by the sum of the per-lane increments.
+
+Exactness contract
+------------------
+``batch_size=1`` runs the reference sequential presentation — the same
+``run_sample`` + in-place STDP + post-sample update ufunc sequence and
+the same RNG stream as the historical ``train_unsupervised`` loop — and
+is therefore **bit-identical** to it (covered by
+``tests/test_engine_trainer.py``).
+
+``batch_size>1`` is a *documented approximation*, not an equivalent
+reordering: within a minibatch, samples no longer see each other's
+weight and theta updates (drives and STDP bounds are evaluated against
+the frozen minibatch read, updates are summed and applied once), and
+per-step clipping becomes per-minibatch clipping.  The permutation and
+encoding draws are still byte-for-byte the sequential stream (a
+``corrupt_weights`` hook that draws from the shared generator is the
+exception: it is called once per minibatch instead of once per sample,
+so fault-aware runs consume fewer injection draws), and the trained
+weights differ — which is why ``train_batch_size`` is part of the
+pipeline's stage cache fingerprints, unlike the result-identical
+``engine`` switch.  See ``docs/training.md`` for the full semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.engine.encoding import Encoder, encode_spike_trains
+from repro.snn.encoding import poisson_rate_code
+from repro.snn.network import DiehlCookNetwork, make_stdp
+from repro.snn.stdp import STDPParameters
+from repro.snn.training import apply_post_sample_update
+
+
+class BatchedTrainer:
+    """Minibatch STDP training of one (unbatched) network.
+
+    Parameters
+    ----------
+    network:
+        The live :class:`~repro.snn.network.DiehlCookNetwork` being
+        trained (``batch_shape=()``).  Weights and adaptive thresholds
+        are updated in place; the compute dtype follows the network's.
+    stdp_parameters:
+        Constants of the plasticity rule; defaults to the rule sized
+        for ``network`` (see :func:`repro.snn.network.make_stdp`).
+    batch_size:
+        Samples per presentation.  ``1`` (default) is the bit-exact
+        sequential reference; larger values trade exactness for one
+        vectorized pass per minibatch (see module docstring).
+    encoder:
+        Custom per-image encoder, or ``None`` for the default Poisson
+        rate code (vectorized per minibatch, same random stream).
+    corrupt_weights:
+        Fault-aware read hook: maps the stored clean tensor to what a
+        DRAM read returns.  Called once per presentation — per sample
+        at ``batch_size=1``, per minibatch otherwise.
+    """
+
+    def __init__(
+        self,
+        network: DiehlCookNetwork,
+        stdp_parameters: Optional[STDPParameters] = None,
+        batch_size: int = 1,
+        encoder: Optional[Encoder] = None,
+        corrupt_weights: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if network.batch_shape != ():
+            raise ValueError(
+                "BatchedTrainer trains an unbatched network "
+                f"(batch_shape {network.batch_shape})"
+            )
+        self.network = network
+        self.batch_size = int(batch_size)
+        self.encoder = encoder
+        self.corrupt_weights = corrupt_weights
+        self.stdp = make_stdp(network, stdp_parameters)
+        # Batched machinery (shell network + batched rule), built on
+        # first minibatch and re-shaped for a ragged final minibatch.
+        self._shell: Optional[DiehlCookNetwork] = None
+        self._batch_stdp = None
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        images: np.ndarray,
+        n_steps: int,
+        epochs: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        """Run the full training loop over ``images`` in place.
+
+        Every epoch draws one sample permutation from ``rng`` and then
+        encodes samples in permutation order — the identical stream
+        whether presentations happen one at a time or per minibatch.
+        """
+        if n_steps <= 0:
+            raise ValueError(f"n_steps must be > 0, got {n_steps}")
+        if epochs <= 0:
+            raise ValueError(f"epochs must be > 0, got {epochs}")
+        rng = rng or np.random.default_rng()
+        images = np.asarray(images)
+        for _epoch in range(epochs):
+            order = rng.permutation(len(images))
+            if self.batch_size == 1:
+                for i in order:
+                    self.present_sample(images[i], n_steps, rng)
+            else:
+                for start in range(0, len(order), self.batch_size):
+                    batch = order[start : start + self.batch_size]
+                    self.present_minibatch(images[batch], n_steps, rng)
+
+    # ------------------------------------------------------------------
+    def present_sample(
+        self, image: np.ndarray, n_steps: int, rng: np.random.Generator
+    ) -> None:
+        """The reference sequential presentation (``batch_size=1`` path).
+
+        Preserves the historical loop exactly: encode, run with in-place
+        STDP (the network computes with the corrupted read under the
+        fault-aware hook), credit deltas back to the stored clean
+        tensor, clip, normalize.
+        """
+        net = self.network
+        if self.encoder is not None:
+            train = self.encoder(image, n_steps, rng)
+        else:
+            train = poisson_rate_code(image, n_steps, rng=rng)
+        if self.corrupt_weights is not None:
+            # The network computes with the *corrupted* weights (what a
+            # DRAM read returns); the STDP deltas it produces are then
+            # credited back to the stored clean tensor (what the
+            # training write-back updates).
+            clean = net.weights
+            corrupted = np.asarray(self.corrupt_weights(clean), dtype=net.dtype)
+            net.weights = corrupted.copy()
+            net.run_sample(train, stdp=self.stdp, normalize=False)
+            delta = net.weights - corrupted
+            apply_post_sample_update(net, delta=delta, base=clean)
+        else:
+            net.run_sample(train, stdp=self.stdp, normalize=False)
+            apply_post_sample_update(net)
+
+    def present_minibatch(
+        self, images: np.ndarray, n_steps: int, rng: np.random.Generator
+    ) -> None:
+        """One vectorized minibatch presentation (``batch_size>1`` path)."""
+        net = self.network
+        trains = encode_spike_trains(images, n_steps, rng, encoder=self.encoder)
+        shell, stdp = self._batched_machinery(trains.shape[0])
+        clean = net.weights
+        if self.corrupt_weights is not None:
+            # One corrupted realization per minibatch read: the whole
+            # batch computes from the same faulty DRAM read.
+            read = np.asarray(self.corrupt_weights(clean), dtype=net.dtype)
+        else:
+            read = clean
+        theta0 = np.asarray(net.neurons.theta, dtype=net.dtype).reshape(-1)
+        shell.neurons.theta = np.broadcast_to(
+            theta0, shell.neurons.state_shape
+        ).copy()
+        shell.set_weights(read)
+        delta = np.zeros_like(clean)
+        shell.run_batch_stdp(trains, stdp, delta)
+        # Homeostasis: every lane's theta advanced independently from
+        # theta0; the stored thresholds take the summed increments, the
+        # minibatch analogue of B successive per-sample adaptations.
+        net.neurons.theta = theta0 + (shell.neurons.theta - theta0).sum(axis=0)
+        apply_post_sample_update(net, delta=delta, base=clean)
+
+    # ------------------------------------------------------------------
+    def _batched_machinery(self, n_batch: int):
+        """The lazily-built batched shell network + accumulate-mode rule."""
+        net = self.network
+        if self._shell is None:
+            self._shell = DiehlCookNetwork(
+                net.parameters,
+                w_max=net.w_max,
+                batch_shape=(n_batch,),
+                init_weights=False,
+                dtype=net.dtype,
+            )
+            self._batch_stdp = make_stdp(
+                net, self.stdp.parameters, batch_shape=(n_batch,)
+            )
+        elif self._shell.batch_shape != (n_batch,):
+            # Ragged final minibatch: reshape state, keep parameters.
+            self._shell.set_batch_shape((n_batch,))
+            self._batch_stdp.set_batch_shape((n_batch,))
+        return self._shell, self._batch_stdp

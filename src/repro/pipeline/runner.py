@@ -31,11 +31,14 @@ to JSON/CSV via :mod:`repro.analysis.export`.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
+import multiprocessing
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.config import SparkXDConfig
 from repro.core.results import SparkXDResult
@@ -125,6 +128,10 @@ class RunRecord:
     wall_time_s: float
     cache_hits: int
     cache_misses: int
+    #: Training engine knobs of the run (fingerprint-relevant — see
+    #: docs/training.md); defaulted for pre-PR-3 payloads.
+    train_batch_size: int = 1
+    compute_dtype: str = "float64"
     #: Wall-clock seconds per pipeline stage *executed* for this record
     #: (stages restored from cache are absent).
     stage_timings: Dict[str, float] = field(default_factory=dict)
@@ -173,6 +180,8 @@ class RunRecord:
             wall_time_s=wall_time_s,
             cache_hits=cache_hits,
             cache_misses=cache_misses,
+            train_batch_size=cfg.train_batch_size,
+            compute_dtype=cfg.compute_dtype,
             stage_timings=dict(stage_timings or {}),
             result=result,
         )
@@ -187,6 +196,8 @@ class RunRecord:
             "seed": self.seed,
             "representation": self.representation,
             "mapping_policy": self.mapping_policy,
+            "train_batch_size": self.train_batch_size,
+            "compute_dtype": self.compute_dtype,
             "baseline_accuracy": self.baseline_accuracy,
             "improved_accuracy": self.improved_accuracy,
             "ber_threshold": self.ber_threshold,
@@ -221,11 +232,57 @@ class RunRecord:
             wall_time_s=float(data["wall_time_s"]),
             cache_hits=int(data["cache_hits"]),
             cache_misses=int(data["cache_misses"]),
+            train_batch_size=int(data.get("train_batch_size", 1)),
+            compute_dtype=str(data.get("compute_dtype", "float64")),
             stage_timings={
                 str(name): float(seconds)
                 for name, seconds in dict(data.get("stage_timings", {})).items()
             },
         )
+
+
+# ----------------------------------------------------------------------
+# Worker-process thread capping.
+#
+# Workers now spend most of their time in large `spikes @ weights`
+# matmuls (the batched engine + minibatch trainer), and BLAS/OpenMP
+# runtimes default to one thread *per core* — N workers x C BLAS
+# threads oversubscribes the machine C-fold.  These variables cap every
+# common runtime; they must be in the environment *before* the worker
+# process first loads numpy/BLAS, which is why the pool uses the
+# "spawn" start context (a forked child would inherit the parent's
+# already-initialised thread pools and ignore the variables).
+
+THREAD_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+    "BLIS_NUM_THREADS",
+)
+
+
+@contextlib.contextmanager
+def _thread_cap_env(n_threads: int) -> Iterator[None]:
+    """Temporarily pin the BLAS/OpenMP thread env vars in this process.
+
+    Spawned worker processes inherit the environment at creation time,
+    so holding the cap for the lifetime of the pool is what actually
+    limits them; the parent's own (already-initialised) BLAS is
+    unaffected, and the previous values are restored on exit.
+    """
+    saved = {var: os.environ.get(var) for var in THREAD_ENV_VARS}
+    for var in THREAD_ENV_VARS:
+        os.environ[var] = str(int(n_threads))
+    try:
+        yield
+    finally:
+        for var, value in saved.items():
+            if value is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = value
 
 
 # ----------------------------------------------------------------------
@@ -285,6 +342,17 @@ class Runner:
         unique training jobs and DRAM evaluations out over a process
         pool.  Result values are bit-identical either way (the timing
         and cache-statistics record fields are execution-dependent).
+    threads_per_worker:
+        BLAS/OpenMP threads each worker process may use (default 1 —
+        one core per worker, no oversubscription from the workers'
+        large matmuls).  Pass ``None`` to leave the runtimes at their
+        own defaults (and keep the platform-default process start
+        method); any integer cap spawns workers with the
+        ``OMP_NUM_THREADS``-family variables pinned.  Note the spawn
+        start method means scripts using ``max_workers > 1`` need the
+        standard ``if __name__ == "__main__":`` guard on every
+        platform (previously only non-Linux), exactly as the
+        :mod:`multiprocessing` docs require.
     """
 
     def __init__(
@@ -292,12 +360,33 @@ class Runner:
         base_config: SparkXDConfig | None = None,
         store: Optional[ArtifactStore] = None,
         max_workers: int = 1,
+        threads_per_worker: Optional[int] = 1,
     ):
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if threads_per_worker is not None and threads_per_worker < 1:
+            raise ValueError(
+                f"threads_per_worker must be >= 1 or None, got {threads_per_worker}"
+            )
         self.base_config = base_config or SparkXDConfig()
         self.store = store if store is not None else ArtifactStore()
         self.max_workers = max_workers
+        self.threads_per_worker = threads_per_worker
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        """A worker pool honouring the per-worker thread cap.
+
+        With a cap set, workers are *spawned* (fresh interpreters) so
+        the pinned thread env vars are seen before numpy/BLAS loads;
+        with ``threads_per_worker=None`` the platform default start
+        method is kept.
+        """
+        if self.threads_per_worker is None:
+            return ProcessPoolExecutor(max_workers=self.max_workers)
+        return ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            mp_context=multiprocessing.get_context("spawn"),
+        )
 
     # ------------------------------------------------------------------
     def configs_for(self, grid: Mapping[str, Sequence[Any]]) -> List[SparkXDConfig]:
@@ -346,7 +435,12 @@ class Runner:
         baseline, _, tolerance = training_chain
         dram = DramEvalStage()
 
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+        cap = (
+            _thread_cap_env(self.threads_per_worker)
+            if self.threads_per_worker is not None
+            else contextlib.nullcontext()
+        )
+        with cap, self._make_pool() as pool:
             for depth, stage in enumerate(training_chain):
                 jobs: Dict[str, SparkXDConfig] = {}
                 for config in configs:

@@ -57,6 +57,10 @@ BASELINE_FIELDS: Tuple[str, ...] = WORKLOAD_FIELDS + (
     "baseline_epochs",
     "representation",
     "seed",
+    # Unlike `engine` (result-identical, fingerprint-neutral), these two
+    # change the trained weights and so invalidate the training chain.
+    "train_batch_size",
+    "compute_dtype",
 )
 TRAINING_FIELDS: Tuple[str, ...] = BASELINE_FIELDS + (
     "ber_rates",
@@ -158,6 +162,8 @@ class TrainBaselineStage(Stage):
             n_steps=cfg.n_steps,
             rng=rng,
             engine=cfg.engine,
+            batch_size=cfg.train_batch_size,
+            dtype=np.dtype(cfg.compute_dtype),
         )
         return BaselineArtifact(model=model, rng_state=rng.bit_generator.state)
 
@@ -185,6 +191,8 @@ class FaultAwareTrainStage(Stage):
             accuracy_bound=cfg.accuracy_bound,
             rng=rng,
             engine=cfg.engine,
+            batch_size=cfg.train_batch_size,
+            dtype=np.dtype(cfg.compute_dtype),
         )
         return TrainingArtifact(training=training, rng_state=rng.bit_generator.state)
 
@@ -214,6 +222,7 @@ class ToleranceStage(Stage):
             trials=cfg.tolerance_trials,
             rng=rng,
             engine=cfg.engine,
+            dtype=np.dtype(cfg.compute_dtype),
         )
         return ToleranceArtifact(report=report, rng_state=rng.bit_generator.state)
 

@@ -402,15 +402,8 @@ class DiehlCookNetwork:
         # and bit-identical to the scalar per-step index-sum).  Layout
         # (n_steps,) + batch_shape + (n_neurons,) so the time loop below
         # reads one contiguous, copy-free slab per step.
-        matrix = _drive_matrix(
-            trains.reshape(n_batch * n_steps, p.n_input), self.dtype
-        )
         if self.weights.ndim == 2:
-            rows = _drive_rows(matrix, self.weights)
-            base = np.ascontiguousarray(
-                rows.reshape(n_batch, n_steps, p.n_neurons).transpose(1, 0, 2)
-            )
-            base *= gain
+            base = self._sample_drives(trains, self.weights)
             drives = (
                 base
                 if len(bs) == 1
@@ -419,6 +412,9 @@ class DiehlCookNetwork:
                 )
             )
         else:
+            matrix = _drive_matrix(
+                trains.reshape(n_batch * n_steps, p.n_input), self.dtype
+            )
             n_stack = self.weights.shape[0]
             drives = np.empty(
                 (n_steps,) + bs + (p.n_neurons,), dtype=self.dtype
@@ -436,6 +432,81 @@ class DiehlCookNetwork:
         counts = np.zeros(bs + (p.n_neurons,), dtype=np.int64)
         for t in range(n_steps):
             counts += self._step_from_drive(drives[t], adapt=adapt)
+        return counts
+
+    def _sample_drives(self, trains: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Gain-scaled time-major drive slab of a chunk against one matrix.
+
+        ``trains`` is boolean ``(B, n_steps, n_input)``; the result is a
+        contiguous ``(n_steps, B, n_neurons)`` tensor whose rows are
+        bit-identical to the scalar per-step index-sum (see
+        :func:`sample_drive`).  Shared by :meth:`run_batch` (single
+        matrix) and :meth:`run_batch_stdp`.
+        """
+        p = self.parameters
+        n_batch, n_steps = trains.shape[0], trains.shape[1]
+        matrix = _drive_matrix(
+            trains.reshape(n_batch * n_steps, p.n_input), self.dtype
+        )
+        rows = _drive_rows(matrix, weights)
+        base = np.ascontiguousarray(
+            rows.reshape(n_batch, n_steps, p.n_neurons).transpose(1, 0, 2)
+        )
+        base *= p.excitation_gain
+        return base
+
+    def run_batch_stdp(
+        self, spike_trains: np.ndarray, stdp: STDPRule, delta: np.ndarray
+    ) -> np.ndarray:
+        """Present a minibatch with learning against *frozen* weights.
+
+        The batched half of the minibatch STDP engine
+        (:class:`repro.engine.trainer.BatchedTrainer`): drives for the
+        whole minibatch are precomputed from the single installed
+        weight matrix with the same sparse CSR matmul as
+        :meth:`run_batch`, the adaptive neurons advance with
+        homeostasis on (``adapt=True``, per-lane thresholds), and each
+        step's STDP updates are *accumulated* into ``delta`` via
+        :meth:`~repro.snn.stdp.STDPRule.step_accumulate` instead of
+        applied in place — the installed weights stay frozen for the
+        whole minibatch.  ``stdp`` must carry this network's batch
+        shape ``(B,)``; its traces are reset at the start (one
+        presentation per lane).  Returns per-lane spike counts
+        ``(B, n_neurons)``.
+        """
+        p = self.parameters
+        bs = self.batch_shape
+        if len(bs) != 1:
+            raise ValueError(
+                f"run_batch_stdp requires batch_shape (B,), got {bs}"
+            )
+        if self.weights.ndim != 2:
+            raise ValueError(
+                "run_batch_stdp requires a single weight matrix "
+                f"(frozen for the minibatch), got shape {self.weights.shape}"
+            )
+        if stdp.batch_shape != bs:
+            raise ValueError(
+                f"stdp rule batch shape {stdp.batch_shape} must match the "
+                f"network batch shape {bs}"
+            )
+        trains = np.asarray(spike_trains, dtype=bool)
+        n_batch = bs[0]
+        if trains.ndim != 3 or trains.shape[0] != n_batch or trains.shape[2] != p.n_input:
+            raise ValueError(
+                f"spike trains must have shape ({n_batch}, n_steps, {p.n_input}), "
+                f"got {trains.shape}"
+            )
+        drives = self._sample_drives(trains, self.weights)
+        bound = stdp.frozen_bound(self.weights)
+        self.reset_state(keep_theta=True)
+        stdp.reset_state()
+        pre_steps = trains.transpose(1, 0, 2)  # (n_steps, B, n_input) view
+        counts = np.zeros(bs + (p.n_neurons,), dtype=np.int64)
+        for t in range(trains.shape[1]):
+            spikes = self._step_from_drive(drives[t], adapt=True)
+            stdp.step_accumulate(pre_steps[t], spikes, delta, bound)
+            counts += spikes
         return counts
 
     def _run_batch_frozen(self, drives: np.ndarray, n_steps: int) -> np.ndarray:
@@ -498,7 +569,17 @@ class DiehlCookNetwork:
         return counts
 
 
-def make_stdp(network: DiehlCookNetwork, parameters: STDPParameters | None = None) -> STDPRule:
-    """An STDP rule sized for ``network``'s input projection."""
+def make_stdp(
+    network: DiehlCookNetwork,
+    parameters: STDPParameters | None = None,
+    batch_shape: Tuple[int, ...] = (),
+) -> STDPRule:
+    """An STDP rule sized (and dtype-matched) for ``network``'s projection."""
     params = parameters or STDPParameters(w_max=network.w_max)
-    return STDPRule(network.n_input, params, network.parameters.dt_ms)
+    return STDPRule(
+        network.n_input,
+        params,
+        network.parameters.dt_ms,
+        batch_shape=batch_shape,
+        dtype=network.dtype,
+    )

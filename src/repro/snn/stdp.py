@@ -20,6 +20,17 @@ Like the neuron and synapse state, the presynaptic trace carries an
 arbitrary leading batch shape: a rule created with ``batch_shape=(B,)``
 tracks ``B`` independent trace vectors and updates ``B`` weight tensors
 (shaped ``(B, n_pre, n_post)``) in one call.
+
+Two update modes cover the two training engines:
+
+- :meth:`STDPRule.step` — the reference in-place rule: each post spike
+  immediately moves (and clips) its incoming weights, so later steps of
+  the same sample see the updated tensor;
+- :meth:`STDPRule.step_accumulate` — the minibatch rule: every update
+  is computed against a *frozen* weight tensor (its precomputed
+  :meth:`frozen_bound` factor) and summed — over timesteps and over
+  batch lanes — into a delta tensor the caller applies, clips and
+  normalizes once per minibatch (see :mod:`repro.engine.trainer`).
 """
 
 from __future__ import annotations
@@ -62,6 +73,7 @@ class STDPRule:
         parameters: STDPParameters | None = None,
         dt_ms: float = 1.0,
         batch_shape: Tuple[int, ...] = (),
+        dtype: np.dtype = np.float64,
     ):
         if n_pre <= 0:
             raise ValueError(f"n_pre must be > 0, got {n_pre}")
@@ -71,9 +83,12 @@ class STDPRule:
         self.parameters = parameters or STDPParameters()
         self.parameters.validate()
         self.dt_ms = dt_ms
-        self._trace_decay = np.exp(-dt_ms / self.parameters.tau_trace_ms)
+        self.dtype = np.dtype(dtype)
+        self._trace_decay = self.dtype.type(
+            np.exp(-dt_ms / self.parameters.tau_trace_ms)
+        )
         self.batch_shape = tuple(int(s) for s in batch_shape)
-        self.x_pre = np.zeros(self.state_shape, dtype=np.float64)
+        self.x_pre = np.zeros(self.state_shape, dtype=self.dtype)
 
     @property
     def state_shape(self) -> Tuple[int, ...]:
@@ -82,7 +97,7 @@ class STDPRule:
     def set_batch_shape(self, batch_shape: Tuple[int, ...]) -> None:
         """Reallocate the trace at zero with a new leading batch shape."""
         self.batch_shape = tuple(int(s) for s in batch_shape)
-        self.x_pre = np.zeros(self.state_shape, dtype=np.float64)
+        self.x_pre = np.zeros(self.state_shape, dtype=self.dtype)
 
     def reset_state(self) -> None:
         self.x_pre.fill(0.0)
@@ -147,6 +162,75 @@ class STDPRule:
             )
             np.copyto(weights, updated, where=post[..., None, :])
         return weights
+
+    # ------------------------------------------------------------------
+    # Minibatch (accumulate) mode — see repro.engine.trainer.
+    def frozen_bound(self, weights: np.ndarray) -> np.ndarray:
+        """Soft-bound factor ``(w_max - w)**mu`` of a frozen tensor.
+
+        In accumulate mode the bound is evaluated against the weights
+        the minibatch *reads* (frozen for its whole duration), so it can
+        be computed once per minibatch instead of once per post spike.
+        """
+        p = self.parameters
+        return (p.w_max - np.asarray(weights, dtype=self.dtype)) ** p.mu
+
+    def step_accumulate(
+        self,
+        pre_spikes: np.ndarray,
+        post_spikes: np.ndarray,
+        delta: np.ndarray,
+        bound: np.ndarray,
+    ) -> np.ndarray:
+        """Advance traces one step; *accumulate* the update into ``delta``.
+
+        Minibatch mode: the weight movement every post spike would apply
+        is computed against a frozen tensor — ``bound`` is its
+        :meth:`frozen_bound` — and summed over all batch lanes into the
+        single ``(n_pre, n_post)`` tensor ``delta`` (modified in place
+        and returned) instead of being applied to the weights.  Unlike
+        :meth:`step`, updates from concurrent lanes therefore neither
+        compound through the bound factor nor clip per step; the caller
+        applies + clips + normalizes the summed delta once per
+        minibatch.  The per-lane trace dynamics are identical to the
+        in-place rule.
+        """
+        p = self.parameters
+        pre = np.asarray(pre_spikes, dtype=bool)
+        if pre.shape != self.state_shape:
+            raise ValueError(
+                f"pre_spikes must have shape {self.state_shape}, got {pre.shape}"
+            )
+        n_post = delta.shape[-1]
+        if delta.shape != (self.n_pre, n_post):
+            raise ValueError(
+                f"delta must have shape ({self.n_pre}, n_post), got {delta.shape}"
+            )
+        if bound.shape != delta.shape:
+            raise ValueError(
+                f"bound must match delta's shape {delta.shape}, got {bound.shape}"
+            )
+        self.x_pre *= self._trace_decay
+        self.x_pre[pre] = 1.0
+        post = np.asarray(post_spikes, dtype=bool)
+        if post.shape != self.batch_shape + (n_post,):
+            raise ValueError(
+                f"post_spikes must have shape {self.batch_shape + (n_post,)}, "
+                f"got {post.shape}"
+            )
+        lanes = post.reshape(-1, n_post)
+        # Winner-take-all dynamics keep post spikes sparse: restricting
+        # the matmul to the columns that spiked anywhere this step cuts
+        # the accumulate cost from O(n_post) to O(spiking neurons).
+        cols = np.flatnonzero(lanes.any(axis=0))
+        if cols.size:
+            # Summed over lanes: delta[:, j] grows by
+            # lr * bound[:, j] * sum_{lanes b with post[b, j]} (x_pre[b] - offset),
+            # one (n_pre, lanes) @ (lanes, spiking) matmul per step.
+            offset = (self.x_pre - p.trace_offset).reshape(-1, self.n_pre)
+            active = lanes[:, cols].astype(self.dtype)
+            delta[:, cols] += p.learning_rate * (offset.T @ active) * bound[:, cols]
+        return delta
 
 
 def normalize_columns(weights: np.ndarray, target_sum: float) -> np.ndarray:

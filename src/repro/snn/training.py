@@ -14,7 +14,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.snn.encoding import poisson_rate_code
-from repro.snn.network import DiehlCookNetwork, make_stdp
+from repro.snn.network import DiehlCookNetwork
 from repro.snn.stdp import STDPParameters, normalize_columns
 
 
@@ -48,7 +48,7 @@ class TrainedModel:
 
     def install_into(self, network: DiehlCookNetwork) -> None:
         network.set_weights(self.weights)
-        network.neurons.theta = self.theta.copy()
+        network.neurons.theta = np.asarray(self.theta, dtype=network.dtype).copy()
 
 
 Encoder = Callable[[np.ndarray, int, np.random.Generator], np.ndarray]
@@ -148,6 +148,28 @@ def evaluate_accuracy(
     return float((predictions == np.asarray(labels)).mean())
 
 
+def apply_post_sample_update(
+    network: DiehlCookNetwork,
+    delta: Optional[np.ndarray] = None,
+    base: Optional[np.ndarray] = None,
+) -> None:
+    """The post-presentation weight update shared by every training path.
+
+    With ``delta``/``base`` given (the fault-aware and minibatch paths),
+    the accumulated STDP delta is credited back onto the stored ``base``
+    tensor — what the training write-back updates — and clipped to the
+    physical range.  Either way the columns are then re-normalized to
+    the configured L1 mass, so the clean sequential, fault-aware and
+    minibatch paths all finish a presentation through one code path.
+    """
+    if delta is not None:
+        if base is None:
+            raise ValueError("delta requires the base tensor it applies to")
+        network.weights = np.clip(base + delta, 0.0, network.w_max)
+    if network.parameters.weight_norm > 0:
+        normalize_columns(network.weights, network.parameters.weight_norm)
+
+
 def train_unsupervised(
     network: DiehlCookNetwork,
     images: np.ndarray,
@@ -160,43 +182,41 @@ def train_unsupervised(
     corrupt_weights: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     n_classes: int = 10,
     engine: str = "batched",
+    batch_size: int = 1,
 ) -> TrainedModel:
     """Train ``network`` with STDP and return the packaged model.
 
     ``corrupt_weights``, when given, is applied to the weight tensor
-    before every sample presentation — this is the hook SparkXD's
-    fault-aware training (Algorithm 1) uses to expose the network to
-    DRAM bit errors *during* learning: the network computes with the
-    corrupted weights, and STDP updates are applied to the stored
-    (clean) tensor, exactly as a DRAM-backed accelerator would behave
-    (errors corrupt reads; the training update writes back).
+    before every presentation — this is the hook SparkXD's fault-aware
+    training (Algorithm 1) uses to expose the network to DRAM bit
+    errors *during* learning: the network computes with the corrupted
+    weights, and STDP updates are applied to the stored (clean) tensor,
+    exactly as a DRAM-backed accelerator would behave (errors corrupt
+    reads; the training update writes back).
+
+    The loop is executed by :class:`repro.engine.trainer.BatchedTrainer`:
+    ``batch_size=1`` (default) presents one sample at a time and is
+    bit-identical to the historical sequential loop at the same RNG
+    state; ``batch_size>1`` presents minibatches in vectorized passes —
+    a documented approximation that changes the trained weights (see
+    ``docs/training.md``) while consuming the same random stream.
     """
+    from repro.engine.trainer import BatchedTrainer
+
     rng = rng or np.random.default_rng()
-    stdp = make_stdp(network, stdp_parameters)
     images = np.asarray(images)
     labels = np.asarray(labels)
     if len(images) != len(labels):
         raise ValueError("images and labels must align")
 
-    for _epoch in range(epochs):
-        order = rng.permutation(len(images))
-        for i in order:
-            train = encoder(images[i], n_steps, rng)
-            if corrupt_weights is not None:
-                # The network computes with the *corrupted* weights (what
-                # a DRAM read returns); the STDP deltas it produces are
-                # then credited back to the stored clean tensor (what the
-                # training write-back updates).
-                clean = network.weights
-                corrupted = np.asarray(corrupt_weights(clean), dtype=np.float64)
-                network.weights = corrupted.copy()
-                network.run_sample(train, stdp=stdp, normalize=False)
-                delta = network.weights - corrupted
-                network.weights = np.clip(clean + delta, 0.0, network.w_max)
-                if network.parameters.weight_norm > 0:
-                    normalize_columns(network.weights, network.parameters.weight_norm)
-            else:
-                network.run_sample(train, stdp=stdp)
+    trainer = BatchedTrainer(
+        network,
+        stdp_parameters=stdp_parameters,
+        batch_size=batch_size,
+        encoder=None if encoder is _default_encoder else encoder,
+        corrupt_weights=corrupt_weights,
+    )
+    trainer.train(images, n_steps=n_steps, epochs=epochs, rng=rng)
 
     counts = run_spike_counts(network, images, n_steps, rng, encoder, engine=engine)
     assignments = assign_labels(counts, labels, n_classes)
@@ -211,5 +231,9 @@ def train_unsupervised(
         n_input=network.n_input,
         n_neurons=network.n_neurons,
         accuracy=accuracy,
-        metadata={"epochs": epochs, "n_steps": n_steps},
+        metadata={
+            "epochs": epochs,
+            "n_steps": n_steps,
+            "train_batch_size": int(batch_size),
+        },
     )

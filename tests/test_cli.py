@@ -207,3 +207,46 @@ class TestEngineFlags:
     def test_run_parser_accepts_error_model(self):
         args = build_parser().parse_args(["run", "--error-model", "eden"])
         assert args.error_model == "eden"
+
+
+class TestTrainingEngineFlags:
+    def test_run_parser_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.train_batch_size == 1
+        assert args.compute_dtype == "float64"
+
+    def test_run_parser_accepts_training_knobs(self):
+        args = build_parser().parse_args(
+            ["run", "--train-batch-size", "16", "--compute-dtype", "float32"]
+        )
+        assert args.train_batch_size == 16
+        assert args.compute_dtype == "float32"
+
+    def test_run_parser_rejects_unknown_dtype(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--compute-dtype", "float16"])
+
+    def test_sweep_parser_accepts_axes(self):
+        args = build_parser().parse_args([
+            "sweep", "--train-batch-size", "1", "8",
+            "--compute-dtype", "float64", "float32",
+            "--threads-per-worker", "2",
+        ])
+        assert args.train_batch_sizes == [1, 8]
+        assert args.compute_dtypes == ["float64", "float32"]
+        assert args.threads_per_worker == 2
+
+    @pytest.mark.slow
+    def test_run_minibatch_json_surfaces_knobs(self, capsys):
+        import json
+
+        exit_code = main([
+            "run", "--neurons", "12", "--train", "30", "--test", "20",
+            "--steps", "25", "--bound", "0.5",
+            "--train-batch-size", "4", "--compute-dtype", "float32",
+            "--json",
+        ])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["train_batch_size"] == 4
+        assert payload["compute_dtype"] == "float32"

@@ -156,3 +156,66 @@ class TestStageTimingsInRecords:
         payload = run_record_factory().to_dict()
         payload.pop("stage_timings")
         assert RunRecord.from_dict(payload).stage_timings == {}
+
+
+class TestTrainingKnobsInRecords:
+    def test_roundtrip(self, run_record_factory):
+        record = run_record_factory(train_batch_size=16, compute_dtype="float32")
+        payload = record.to_dict()
+        assert payload["train_batch_size"] == 16
+        assert payload["compute_dtype"] == "float32"
+        restored = RunRecord.from_dict(payload)
+        assert restored.train_batch_size == 16
+        assert restored.compute_dtype == "float32"
+
+    def test_defaults_for_old_payloads(self, run_record_factory):
+        payload = run_record_factory().to_dict()
+        payload.pop("train_batch_size")
+        payload.pop("compute_dtype")
+        restored = RunRecord.from_dict(payload)
+        assert restored.train_batch_size == 1
+        assert restored.compute_dtype == "float64"
+
+    def test_sweepable_as_grid_axis(self):
+        records = Runner(TINY, store=ArtifactStore()).run(
+            {"train_batch_size": [1, 4]}
+        )
+        assert [r.train_batch_size for r in records] == [1, 4]
+        assert records[0].run_id != records[1].run_id
+
+
+class TestThreadCapping:
+    def test_rejects_nonpositive_threads(self):
+        with pytest.raises(ValueError):
+            Runner(TINY, threads_per_worker=0)
+
+    def test_none_disables_capping(self):
+        assert Runner(TINY, threads_per_worker=None).threads_per_worker is None
+
+    def test_thread_cap_env_sets_and_restores(self, monkeypatch):
+        import os
+
+        from repro.pipeline.runner import THREAD_ENV_VARS, _thread_cap_env
+
+        # Pin a known pre-state (one set, one unset) regardless of what
+        # the host environment exports.
+        monkeypatch.setenv("OMP_NUM_THREADS", "7")
+        monkeypatch.delenv("MKL_NUM_THREADS", raising=False)
+        with _thread_cap_env(2):
+            assert all(os.environ[v] == "2" for v in THREAD_ENV_VARS)
+        assert os.environ["OMP_NUM_THREADS"] == "7"
+        assert "MKL_NUM_THREADS" not in os.environ
+
+    def test_capped_parallel_matches_serial(self):
+        grid = {"voltages": [(1.325,), (1.025,)]}
+        serial = Runner(TINY, store=ArtifactStore()).run(grid)
+        capped = Runner(
+            TINY, store=ArtifactStore(), max_workers=2, threads_per_worker=1
+        ).run(grid)
+        for a, b in zip(serial, capped):
+            da, db = a.to_dict(), b.to_dict()
+            for volatile in ("wall_time_s", "cache_hits", "cache_misses",
+                             "stage_timings"):
+                da.pop(volatile)
+                db.pop(volatile)
+            assert da == db

@@ -174,6 +174,43 @@ class TestEngineSwitch:
             TINY.with_overrides(error_model="model99")
 
 
+class TestTrainingEngineFingerprints:
+    """train_batch_size / compute_dtype change results, so — unlike the
+    result-identical ``engine`` switch — they must invalidate the whole
+    training chain."""
+
+    def test_train_batch_size_invalidates_every_stage(self):
+        minibatched = TINY.with_overrides(train_batch_size=8)
+        for stage in default_stages():
+            assert stage.cache_key(TINY) != stage.cache_key(minibatched)
+
+    def test_compute_dtype_invalidates_every_stage(self):
+        f32 = TINY.with_overrides(compute_dtype="float32")
+        for stage in default_stages():
+            assert stage.cache_key(TINY) != stage.cache_key(f32)
+
+    def test_distinct_batch_sizes_get_distinct_keys(self):
+        keys = {
+            default_stages()[0].cache_key(TINY.with_overrides(train_batch_size=b))
+            for b in (1, 2, 16)
+        }
+        assert len(keys) == 3
+
+    def test_invalid_values_rejected_by_config(self):
+        with pytest.raises(ValueError):
+            TINY.with_overrides(train_batch_size=0)
+        with pytest.raises(ValueError):
+            TINY.with_overrides(compute_dtype="float16")
+
+    def test_minibatch_pipeline_runs_end_to_end(self):
+        result = ExperimentPipeline(
+            TINY.with_overrides(train_batch_size=4, compute_dtype="float32"),
+            store=ArtifactStore(),
+        ).run()
+        assert result.improved_model.weights.dtype == np.dtype(np.float32)
+        assert 0.0 <= result.improved_model.accuracy <= 1.0
+
+
 class TestStageTimings:
     def test_timings_recorded_for_executed_stages(self):
         pipeline = ExperimentPipeline(TINY, store=ArtifactStore())
