@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Distributed sweep throughput: localhost worker fleets vs the Runner.
+
+Runs one fixed sweep grid through the in-process serial ``Runner``
+(the baseline), then through ``repro.cluster.ClusterExecutor`` with
+1 / 2 / 4 localhost worker *subprocesses*, double-checks that every
+distributed run produces records value-identical to the serial
+baseline, and writes the results to ``BENCH_cluster.json`` — the
+cluster half of the repo's performance trajectory artifacts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_cluster.py           # full run
+    PYTHONPATH=src python benchmarks/perf_cluster.py --quick   # CI smoke
+
+The grid deliberately contains several *training-side* fingerprints
+(a seed axis), so there is real work to distribute: each worker is a
+fresh interpreter computing whole training chains, with artifacts
+flowing back over the content-addressed sync layer.  The quick variant
+doubles as the CI cluster smoke: a coordinator plus 2 localhost
+workers over a tiny 4-point sweep, asserting record equality with the
+serial ``Runner`` (exit 1 on any divergence).
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import SparkXDConfig
+from repro.analysis.export import records_equivalent
+from repro.cluster import ClusterExecutor, local_worker_processes
+from repro.pipeline import ArtifactStore, Runner
+
+FULL_CONFIG = dict(
+    n_train=120, n_test=60, n_neurons=60, n_steps=60,
+    baseline_epochs=1, ber_rates=(1e-5, 1e-3), accuracy_bound=0.5,
+)
+FULL_GRID = {"seed": [42, 43, 44, 45], "voltages": [(1.325,), (1.025,)]}
+QUICK_CONFIG = dict(
+    n_train=40, n_test=25, n_neurons=12, n_steps=30,
+    baseline_epochs=1, ber_rates=(1e-5, 1e-3), accuracy_bound=0.5,
+)
+QUICK_GRID = {"seed": [42, 43], "voltages": [(1.325,), (1.025,)]}
+
+FULL_FLEETS = (1, 2, 4)
+QUICK_FLEETS = (2,)
+
+
+def _distributed_run(config, grid, n_workers, lease_s=60.0):
+    """One cluster sweep against a fresh fleet; returns (records, seconds)."""
+    executor = ClusterExecutor(
+        config,
+        store=ArtifactStore(),
+        lease_timeout=lease_s,
+        poll_s=0.05,
+        wait_timeout=1800.0,
+    )
+    started = time.perf_counter()
+    with contextlib.ExitStack() as stack:
+        records = executor.run(
+            grid,
+            on_ready=lambda address: stack.enter_context(
+                local_worker_processes(address, n_workers, max_idle_s=60.0)
+            ),
+        )
+    return records, time.perf_counter() - started
+
+
+def run_benchmark(quick: bool) -> dict:
+    config = SparkXDConfig.small(**(QUICK_CONFIG if quick else FULL_CONFIG))
+    grid = QUICK_GRID if quick else FULL_GRID
+    fleets = QUICK_FLEETS if quick else FULL_FLEETS
+    n_points = 1
+    for values in grid.values():
+        n_points *= len(values)
+
+    cpu_count = os.cpu_count() or 1
+    print(
+        f"{cpu_count} CPU core(s); each worker subprocess is BLAS-capped "
+        "to 1 thread (distribution cannot beat serial on a single core — "
+        "the equality check still holds everywhere)"
+    )
+    started = time.perf_counter()
+    serial_records = Runner(config, store=ArtifactStore()).run(grid)
+    serial_seconds = time.perf_counter() - started
+    print(
+        f"serial Runner       | {n_points} points | "
+        f"{serial_seconds:7.2f}s | {n_points / serial_seconds:5.2f} points/s"
+    )
+
+    results = []
+    for n_workers in fleets:
+        records, seconds = _distributed_run(config, grid, n_workers)
+        identical = records_equivalent(serial_records, records)
+        results.append({
+            "workers": n_workers,
+            "seconds": seconds,
+            "points_per_sec": n_points / seconds,
+            "speedup_vs_serial": serial_seconds / seconds,
+            "records_match_serial": bool(identical),
+        })
+        print(
+            f"cluster x{n_workers} workers | {n_points} points | "
+            f"{seconds:7.2f}s | {n_points / seconds:5.2f} points/s | "
+            f"vs serial {serial_seconds / seconds:5.2f}x | "
+            f"identical={identical}"
+        )
+    return {
+        "benchmark": "repro.cluster distributed sweep throughput",
+        "quick": quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "cpu_count": cpu_count,
+        "grid_points": n_points,
+        "grid": {k: [list(v) if isinstance(v, tuple) else v for v in vs]
+                 for k, vs in grid.items()},
+        "serial_seconds": serial_seconds,
+        "serial_points_per_sec": n_points / serial_seconds,
+        "fleets": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny sweep + 2 workers (the CI cluster smoke)")
+    parser.add_argument("--out", default="BENCH_cluster.json", metavar="PATH",
+                        help="output JSON path (default: ./BENCH_cluster.json)")
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(args.quick)
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"results written to {out}")
+
+    if not all(f["records_match_serial"] for f in payload["fleets"]):
+        print("ERROR: a distributed sweep diverged from the serial Runner",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,10 +18,15 @@ depends on:
 - a staged experiment pipeline (:mod:`repro.pipeline`): the Fig. 7
   flow as composable stages with content-addressed artifact caching and
   a parallel grid-sweep runner,
-- and a batched vectorized evaluation engine (:mod:`repro.engine`):
+- a batched vectorized evaluation engine (:mod:`repro.engine`):
   one simulation pass scores a whole evaluation set under a stack of
   corrupted-weight realizations, bit-identical to the sequential
-  per-sample loop (see ``docs/engine.md``).
+  per-sample loop (see ``docs/engine.md``),
+- and a distributed sweep service (:mod:`repro.cluster`): a
+  coordinator/worker fleet over a stdlib line protocol with
+  fingerprint-deduplicated jobs, lease-based fault tolerance and
+  content-addressed artifact sync — records identical to single-host
+  runs (see ``docs/cluster.md``).
 
 Quickstart — one run, classic facade::
 

@@ -179,3 +179,39 @@ def load_run_records(path: PathLike) -> list:
 
     data = json.loads(Path(path).read_text())
     return [RunRecord.from_dict(entry) for entry in data]
+
+
+# ----------------------------------------------------------------------
+# Execution-independent record comparison.
+#
+# Serial, process-parallel and cluster execution all promise identical
+# *values*; these fields are the documented exceptions (timing, cache
+# statistics, cluster placement).  The distributed-sweep CI smoke and
+# ``benchmarks/perf_cluster.py`` compare through this filter.
+
+RUN_RECORD_EXECUTION_FIELDS = (
+    "wall_time_s",
+    "cache_hits",
+    "cache_misses",
+    "stage_timings",
+)
+
+
+def run_record_value_dict(record: "RunRecord") -> dict:
+    """``record.to_dict()`` minus the execution-dependent fields."""
+    payload = record.to_dict()
+    for name in RUN_RECORD_EXECUTION_FIELDS:
+        payload.pop(name, None)
+    return payload
+
+
+def records_equivalent(
+    a: Sequence["RunRecord"], b: Sequence["RunRecord"]
+) -> bool:
+    """True iff both sweeps produced the same values in the same order."""
+    if len(a) != len(b):
+        return False
+    return all(
+        run_record_value_dict(ra) == run_record_value_dict(rb)
+        for ra, rb in zip(a, b)
+    )

@@ -7,6 +7,12 @@ Commands
 ``sweep``
     Run a grid of pipeline configs through the parallel sweep runner,
     reusing trained models across DRAM-side grid points.
+``cluster``
+    Distribute sweeps across hosts (see docs/cluster.md):
+    ``cluster coordinator`` serves a grid's jobs to networked workers,
+    ``cluster worker`` runs one worker agent against a coordinator, and
+    ``cluster sweep`` is the single-command localhost form (embedded
+    coordinator + N worker subprocesses).
 ``stages``
     Show the pipeline stages and every pluggable registry (datasets,
     error models, mapping policies, DRAM specs).
@@ -16,7 +22,8 @@ Commands
     Train a model, analyse its error tolerance and print the curve.
 ``cache``
     Manage the artifact disk cache (``cache prune`` evicts
-    least-recently-used artifacts down to a byte budget).
+    least-recently-used artifacts down to a byte budget;
+    ``--dry-run`` reports what would be evicted without deleting).
 
 Every data-producing command accepts ``--json`` for machine-readable
 output on stdout.
@@ -76,11 +83,8 @@ def _add_run_parser(subparsers) -> None:
                    help="write the improved model to an .npz file")
 
 
-def _add_sweep_parser(subparsers) -> None:
-    p = subparsers.add_parser(
-        "sweep",
-        help="grid sweep through the staged pipeline (cached, parallel)",
-    )
+def _add_grid_arguments(p) -> None:
+    """The sweep-grid axes and workload knobs (shared with ``cluster``)."""
     p.add_argument("--dataset", dest="datasets", nargs="+", default=["mnist"],
                    metavar="NAME", help="dataset axis")
     p.add_argument("--seeds", type=int, nargs="+", default=[42], metavar="S",
@@ -112,6 +116,21 @@ def _add_sweep_parser(subparsers) -> None:
     p.add_argument("--test", type=int, default=80)
     p.add_argument("--steps", type=int, default=80)
     p.add_argument("--bound", type=float, default=0.05)
+
+
+def _add_record_output_arguments(p) -> None:
+    p.add_argument("--csv", metavar="PATH", help="also write records as CSV")
+    p.add_argument("--out", metavar="PATH", help="also write records as JSON")
+    p.add_argument("--json", action="store_true",
+                   help="print the records as JSON instead of the table")
+
+
+def _add_sweep_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "sweep",
+        help="grid sweep through the staged pipeline (cached, parallel)",
+    )
+    _add_grid_arguments(p)
     p.add_argument("--workers", type=int, default=1,
                    help="process-parallel workers (1 = serial)")
     p.add_argument("--threads-per-worker", type=int, default=1, metavar="T",
@@ -119,10 +138,70 @@ def _add_sweep_parser(subparsers) -> None:
                         "(0 = leave the runtimes uncapped)")
     p.add_argument("--cache-dir", metavar="DIR",
                    help="artifact-store directory shared across sweeps")
-    p.add_argument("--csv", metavar="PATH", help="also write records as CSV")
-    p.add_argument("--out", metavar="PATH", help="also write records as JSON")
-    p.add_argument("--json", action="store_true",
-                   help="print the records as JSON instead of the table")
+    _add_record_output_arguments(p)
+
+
+def _add_cluster_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "cluster",
+        help="distribute sweeps across hosts (see docs/cluster.md)",
+    )
+    commands = p.add_subparsers(dest="cluster_command", required=True)
+
+    coord = commands.add_parser(
+        "coordinator",
+        help="serve a sweep's jobs to networked workers, then print records",
+    )
+    _add_grid_arguments(coord)
+    coord.add_argument("--bind", default="127.0.0.1:8752", metavar="HOST:PORT",
+                       help="address to listen on (port 0 = ephemeral)")
+    coord.add_argument("--lease-s", type=float, default=30.0, metavar="S",
+                       help="job lease/heartbeat timeout in seconds")
+    coord.add_argument("--max-retries", type=int, default=3, metavar="N",
+                       help="lease grants per job before the sweep fails")
+    coord.add_argument("--wait-timeout", type=float, default=None, metavar="S",
+                       help="give up if the sweep is not distributed within "
+                            "S seconds (default: wait for workers forever)")
+    coord.add_argument("--cache-dir", metavar="DIR",
+                       help="artifact-store directory shared across sweeps")
+    _add_record_output_arguments(coord)
+
+    worker = commands.add_parser(
+        "worker",
+        help="run one worker agent against a coordinator",
+    )
+    worker.add_argument("--coordinator", required=True, metavar="HOST:PORT",
+                        help="coordinator address to lease jobs from")
+    worker.add_argument("--name", default=None, metavar="NAME",
+                        help="stable worker identity (default: host-pid-nonce)")
+    worker.add_argument("--cache-dir", metavar="DIR",
+                        help="local artifact-store directory (default: memory)")
+    worker.add_argument("--max-idle-s", type=float, default=30.0, metavar="S",
+                        help="exit after S seconds of coordinator "
+                             "unreachability")
+    worker.add_argument("--json", action="store_true",
+                        help="print the worker's lifetime stats as JSON")
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="localhost cluster sweep: embedded coordinator + N worker "
+             "subprocesses",
+    )
+    _add_grid_arguments(sweep)
+    sweep.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="worker subprocesses to launch")
+    sweep.add_argument("--threads-per-worker", type=int, default=1, metavar="T",
+                       help="BLAS/OpenMP threads each worker may use "
+                            "(0 = leave the runtimes uncapped)")
+    sweep.add_argument("--port", type=int, default=0, metavar="PORT",
+                       help="coordinator port (0 = ephemeral)")
+    sweep.add_argument("--lease-s", type=float, default=30.0, metavar="S")
+    sweep.add_argument("--max-retries", type=int, default=3, metavar="N")
+    sweep.add_argument("--wait-timeout", type=float, default=600.0, metavar="S",
+                       help="abort if not distributed within S seconds")
+    sweep.add_argument("--cache-dir", metavar="DIR",
+                       help="coordinator artifact-store directory")
+    _add_record_output_arguments(sweep)
 
 
 def _add_stages_parser(subparsers) -> None:
@@ -178,6 +257,9 @@ def _add_cache_parser(subparsers) -> None:
     prune.add_argument("--max-bytes", required=True, metavar="SIZE",
                        help="byte budget to shrink the cache to "
                             "(K/M/G suffixes allowed, e.g. 500M)")
+    prune.add_argument("--dry-run", action="store_true",
+                       help="report what LRU eviction would delete "
+                            "without touching the store")
     prune.add_argument("--json", action="store_true")
 
 
@@ -190,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_run_parser(subparsers)
     _add_sweep_parser(subparsers)
+    _add_cluster_parser(subparsers)
     _add_stages_parser(subparsers)
     _add_dram_parser(subparsers)
     _add_tolerance_parser(subparsers)
@@ -250,17 +333,10 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _cmd_sweep(args) -> int:
-    from repro.analysis.export import (
-        export_run_records,
-        run_records_to_json,
-        write_run_records_json,
-    )
-    from repro.analysis.reporting import format_table
+def _grid_from_args(args, base) -> dict:
+    """Build the sweep grid dict the CLI axes describe."""
     from repro.analysis.sweeps import per_voltage_axis
-    from repro.pipeline import ArtifactStore, Runner
 
-    base = _base_config(args).with_overrides(engine=args.engine)
     grid = {}
     if args.datasets != ["mnist"]:
         grid["dataset"] = list(args.datasets)
@@ -278,16 +354,17 @@ def _cmd_sweep(args) -> int:
         grid["train_batch_size"] = list(args.train_batch_sizes)
     if args.compute_dtypes:
         grid["compute_dtype"] = list(args.compute_dtypes)
-    store = ArtifactStore(args.cache_dir) if args.cache_dir else ArtifactStore()
-    runner = Runner(
-        base,
-        store=store,
-        max_workers=args.workers,
-        threads_per_worker=(
-            None if args.threads_per_worker == 0 else args.threads_per_worker
-        ),
+    return grid
+
+
+def _emit_records(args, records, title: str) -> None:
+    """Print/write sweep records per the shared output flags."""
+    from repro.analysis.export import (
+        export_run_records,
+        run_records_to_json,
+        write_run_records_json,
     )
-    records = runner.run(grid)
+    from repro.analysis.reporting import format_table
 
     if args.json:
         print(run_records_to_json(records))
@@ -307,7 +384,7 @@ def _cmd_sweep(args) -> int:
             ["run", "params", "base acc", "impr acc", "BER_th",
              "mean saving", "cache"],
             rows,
-            title=f"sweep: {len(records)} grid points",
+            title=title,
         ))
     if args.csv:
         path = export_run_records(args.csv, records)
@@ -317,7 +394,122 @@ def _cmd_sweep(args) -> int:
         path = write_run_records_json(args.out, records)
         if not args.json:
             print(f"records written to {path}")
+
+
+def _cmd_sweep(args) -> int:
+    from repro.pipeline import ArtifactStore, Runner
+
+    base = _base_config(args).with_overrides(engine=args.engine)
+    grid = _grid_from_args(args, base)
+    store = ArtifactStore(args.cache_dir) if args.cache_dir else ArtifactStore()
+    runner = Runner(
+        base,
+        store=store,
+        max_workers=args.workers,
+        threads_per_worker=(
+            None if args.threads_per_worker == 0 else args.threads_per_worker
+        ),
+    )
+    records = runner.run(grid)
+    _emit_records(args, records, title=f"sweep: {len(records)} grid points")
     return 0
+
+
+def _cmd_cluster(args) -> int:
+    from repro.pipeline import ArtifactStore
+
+    if args.cluster_command == "worker":
+        from repro.cluster import WorkerAgent
+
+        store = (
+            ArtifactStore(args.cache_dir) if args.cache_dir else ArtifactStore()
+        )
+        agent = WorkerAgent(
+            args.coordinator,
+            name=args.name,
+            store=store,
+            max_idle_s=args.max_idle_s,
+        )
+        stats = agent.run_forever()
+        if args.json:
+            print(json.dumps(stats.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(
+                f"worker {agent.name}: {stats.jobs_done} job(s) done, "
+                f"{stats.jobs_failed} failed, "
+                f"{stats.artifacts_pulled} pulled / "
+                f"{stats.artifacts_pushed} pushed"
+            )
+        return 0 if not stats.jobs_failed else 1
+
+    from repro.cluster import ClusterExecutor, format_address
+
+    base = _base_config(args).with_overrides(engine=args.engine)
+    grid = _grid_from_args(args, base)
+    store = ArtifactStore(args.cache_dir) if args.cache_dir else ArtifactStore()
+
+    if args.cluster_command == "coordinator":
+        executor = ClusterExecutor(
+            base,
+            store=store,
+            address=args.bind,
+            lease_timeout=args.lease_s,
+            max_attempts=args.max_retries,
+            wait_timeout=args.wait_timeout,
+        )
+
+        def announce(address):
+            if not args.json:
+                print(f"coordinator listening on {format_address(address)}; "
+                      "waiting for workers "
+                      f"(repro cluster worker --coordinator {format_address(address)})")
+
+        records = executor.run(grid, on_ready=announce)
+        _emit_records(
+            args, records, title=f"distributed sweep: {len(records)} grid points"
+        )
+        return 0
+
+    if args.cluster_command == "sweep":
+        import contextlib
+
+        from repro.cluster import local_worker_processes
+
+        executor = ClusterExecutor(
+            base,
+            store=store,
+            address=("127.0.0.1", args.port),
+            lease_timeout=args.lease_s,
+            max_attempts=args.max_retries,
+            wait_timeout=args.wait_timeout,
+        )
+        with contextlib.ExitStack() as stack:
+            # The fleet launches only once the coordinator is bound (the
+            # port may be ephemeral), and is torn down before returning.
+            records = executor.run(
+                grid,
+                on_ready=lambda address: stack.enter_context(
+                    local_worker_processes(
+                        address,
+                        args.workers,
+                        threads_per_worker=(
+                            None if args.threads_per_worker == 0
+                            else args.threads_per_worker
+                        ),
+                    )
+                ),
+            )
+        _emit_records(
+            args,
+            records,
+            title=(
+                f"cluster sweep: {len(records)} grid points over "
+                f"{args.workers} localhost worker(s)"
+            ),
+        )
+        return 0
+
+    raise ValueError(f"unknown cluster command {args.cluster_command!r}")
 
 
 def _cmd_stages(args) -> int:
@@ -438,9 +630,16 @@ def _cmd_cache(args) -> int:
 
     if args.cache_command == "prune":
         store = ArtifactStore(args.cache_dir)
-        report = store.prune(_parse_size(args.max_bytes))
+        report = store.prune(_parse_size(args.max_bytes), dry_run=args.dry_run)
         if args.json:
             print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        elif args.dry_run:
+            print(
+                f"dry run: would prune {report.removed_files} artifact(s), "
+                f"freeing {report.freed_bytes} bytes; "
+                f"{report.kept_files} artifact(s) "
+                f"({report.kept_bytes} bytes) would remain"
+            )
         else:
             print(
                 f"pruned {report.removed_files} artifact(s), "
@@ -458,6 +657,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "cluster": _cmd_cluster,
         "stages": _cmd_stages,
         "dram": _cmd_dram,
         "tolerance": _cmd_tolerance,

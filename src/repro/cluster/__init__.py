@@ -1,0 +1,72 @@
+"""Multi-host distributed sweep execution with artifact sync.
+
+The cluster subsystem turns the single-host sweep engine
+(:mod:`repro.pipeline`) into a horizontally scalable service, using
+nothing beyond the standard library (``socket`` + ``json``):
+
+- a **coordinator** (:class:`CoordinatorServer` around a
+  :class:`SweepPlan`) expands the grid, dedupes jobs by stage
+  fingerprint and hands them out over a small line protocol with
+  leases, heartbeats, requeue-with-exclusion and bounded retries;
+- **worker agents** (:class:`WorkerAgent`) lease jobs, run them through
+  the ordinary :class:`~repro.pipeline.stages.ExperimentPipeline`
+  against a local store, and sync artifacts by fingerprint
+  (:class:`ArtifactSync` — idempotent, resumable by retry);
+- the **executor** (:class:`ClusterExecutor`) drives one sweep end to
+  end and assembles :class:`~repro.pipeline.runner.RunRecord` lists
+  whose values are identical to the serial
+  :class:`~repro.pipeline.runner.Runner`.
+
+Minimal end-to-end (one process per block, any hosts)::
+
+    # coordinator host
+    python -m repro cluster coordinator --bind 0.0.0.0:8752 --seeds 1 2 3
+
+    # each worker host
+    python -m repro cluster worker --coordinator coord-host:8752
+
+or programmatically, with the runner facade::
+
+    records = Runner(config, store=store, coordinator="0.0.0.0:8752").run(grid)
+
+See ``docs/cluster.md`` for the protocol, lease semantics and the
+artifact sync contract.
+"""
+
+from repro.cluster.coordinator import CoordinatorServer
+from repro.cluster.executor import (
+    ClusterExecutor,
+    local_worker_processes,
+    local_worker_threads,
+)
+from repro.cluster.plan import Job, PlanFailed, SweepPlan
+from repro.cluster.protocol import (
+    ClusterClient,
+    ConnectionClosed,
+    DEFAULT_PORT,
+    ProtocolError,
+    format_address,
+    parse_address,
+)
+from repro.cluster.sync import ArtifactSync
+from repro.cluster.worker import WorkerAgent, WorkerStats, default_worker_name
+
+__all__ = [
+    "ArtifactSync",
+    "ClusterClient",
+    "ClusterExecutor",
+    "ConnectionClosed",
+    "CoordinatorServer",
+    "DEFAULT_PORT",
+    "Job",
+    "PlanFailed",
+    "ProtocolError",
+    "SweepPlan",
+    "WorkerAgent",
+    "WorkerStats",
+    "default_worker_name",
+    "format_address",
+    "local_worker_processes",
+    "local_worker_threads",
+    "parse_address",
+]

@@ -1,0 +1,248 @@
+"""The coordinator service: leases jobs and syncs artifacts over TCP.
+
+A :class:`CoordinatorServer` binds one listening socket and serves the
+cluster line protocol (:mod:`repro.cluster.protocol`) from daemon
+threads — scheduling decisions live in the wrapped
+:class:`~repro.cluster.plan.SweepPlan`, artifacts in the wrapped
+:class:`~repro.pipeline.store.ArtifactStore`.
+
+Operations (one JSON request line → one JSON reply line, blobs framed
+by ``blob_bytes``):
+
+===========  ==========================================================
+``hello``    register a worker; replies with its stable slot index
+``lease``    request a job; replies ``{"job": …}``, ``{"wait": s}``
+             or ``{"shutdown": true}`` once the plan is finished/failed
+``heartbeat``  renew a lease; ``{"ok": false}`` means the lease is lost
+``complete``   report a finished job (idempotent)
+``fail``     report a job exception (requeues with exclusion)
+``has``      filter a list of ``[stage, digest]`` keys to those present
+``get``      download one artifact blob by fingerprint
+``put``      upload one artifact blob by fingerprint (idempotent: an
+             already-present fingerprint is acknowledged, not rewritten)
+``status``   job-state counts, for monitoring
+===========  ==========================================================
+
+The artifact sync layer is content-addressed and therefore *resumable
+by retry*: an interrupted upload leaves no partial state server-side,
+and a reconnecting worker first asks ``has`` so already-synced
+fingerprints are never re-sent.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socketserver
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from repro.cluster.plan import SweepPlan
+from repro.cluster.protocol import recv_message, send_message
+from repro.pipeline.store import MISS, ArtifactStore
+
+
+class _WireCache:
+    """Byte-bounded LRU of raw artifact pickles, keyed like the store.
+
+    Serving downloads from the exact uploaded bytes keeps round trips
+    byte-identical and avoids re-pickling per pull, while the byte
+    budget keeps coordinator memory from doubling on large sweeps of
+    heavyweight artifacts (an evicted entry is simply re-pickled from
+    the store on demand; a blob bigger than the whole budget is served
+    but never cached).  The internal lock covers only dict bookkeeping
+    — never pickling or store I/O — so artifact traffic from many
+    workers stays concurrent.
+    """
+
+    def __init__(self, max_bytes: int = 64 * 1024 * 1024):
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[str, str], bytes]" = OrderedDict()
+        self.max_bytes = int(max_bytes)
+        self.total_bytes = 0
+
+    def get(self, key: Tuple[str, str]) -> Optional[bytes]:
+        with self._lock:
+            blob = self._entries.get(key)
+            if blob is not None:
+                self._entries.move_to_end(key)
+            return blob
+
+    def put(self, key: Tuple[str, str], blob: bytes) -> None:
+        if len(blob) > self.max_bytes:
+            return
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.total_bytes -= len(old)
+            self._entries[key] = blob
+            self.total_bytes += len(blob)
+            while self.total_bytes > self.max_bytes and len(self._entries) > 1:
+                _, evicted = self._entries.popitem(last=False)
+                self.total_bytes -= len(evicted)
+
+
+class CoordinatorServer:
+    """Serve one :class:`SweepPlan` + :class:`ArtifactStore` over TCP."""
+
+    def __init__(
+        self,
+        plan: SweepPlan,
+        store: ArtifactStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        poll_s: Optional[float] = None,
+        wire_cache_bytes: int = 64 * 1024 * 1024,
+    ):
+        self.plan = plan
+        self.store = store
+        #: Seconds an idle worker should wait before polling again.
+        self.poll_s = (
+            float(poll_s) if poll_s is not None else min(1.0, plan.lease_timeout / 4.0)
+        )
+        self._wire_cache = _WireCache(wire_cache_bytes)
+
+        coordinator = self
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:  # pragma: no cover - thin shim
+                coordinator._handle(self)
+
+        class Server(socketserver.ThreadingTCPServer):
+            daemon_threads = True
+            allow_reuse_address = True
+
+        self._server = Server((host, port), Handler)
+        self.address: Tuple[str, int] = self._server.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "CoordinatorServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-cluster-coordinator",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "CoordinatorServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Request dispatch.
+
+    def _handle(self, request: socketserver.StreamRequestHandler) -> None:
+        try:
+            payload, blob = recv_message(request.rfile)
+        except Exception:
+            return  # half-open connection; nothing to answer
+        try:
+            reply, reply_blob = self._dispatch(payload, blob)
+        except Exception as error:  # surface, don't kill the thread
+            reply, reply_blob = {"error": f"{type(error).__name__}: {error}"}, None
+        try:
+            send_message(request.wfile, reply, reply_blob)
+        except Exception:
+            pass  # requester vanished; the protocol is stateless
+
+    def _dispatch(
+        self, payload: Dict[str, Any], blob: Optional[bytes]
+    ) -> Tuple[Dict[str, Any], Optional[bytes]]:
+        op = payload.get("op")
+        worker = str(payload.get("worker", "anonymous"))
+        if op == "hello":
+            return {"ok": True, "slot": self.plan.worker_slot(worker)}, None
+        if op == "lease":
+            return self._op_lease(worker), None
+        if op == "heartbeat":
+            ok = self.plan.heartbeat(worker, str(payload.get("job_id")))
+            return {"ok": ok}, None
+        if op == "complete":
+            ok = self.plan.complete(
+                worker, str(payload.get("job_id")), payload.get("stats") or {}
+            )
+            return {"ok": ok}, None
+        if op == "fail":
+            self.plan.fail(
+                worker, str(payload.get("job_id")), str(payload.get("error", ""))
+            )
+            return {"ok": True}, None
+        if op == "has":
+            keys = [(str(s), str(d)) for s, d in payload.get("keys", [])]
+            present = [list(key) for key in keys if key in self.store]
+            return {"present": present}, None
+        if op == "get":
+            return self._op_get(str(payload.get("stage")), str(payload.get("digest")))
+        if op == "put":
+            if blob is None:
+                return {"error": "put requires a blob"}, None
+            return (
+                self._op_put(
+                    str(payload.get("stage")), str(payload.get("digest")), blob
+                ),
+                None,
+            )
+        if op == "status":
+            counts = self.plan.counts()
+            counts["failure"] = self.plan.failure
+            return counts, None
+        return {"error": f"unknown op {op!r}"}, None
+
+    # ------------------------------------------------------------------
+    def _op_lease(self, worker: str) -> Dict[str, Any]:
+        # Note "reason", not "error": the client treats an "error" key
+        # as a protocol failure and raises, which would turn the
+        # graceful plan-failed shutdown into apparent unreachability.
+        if self.plan.failed:
+            return {"shutdown": True, "reason": self.plan.failure}
+        if self.plan.done:
+            return {"shutdown": True}
+        job = self.plan.lease(worker)
+        if job is None:
+            if self.plan.failed:
+                return {"shutdown": True, "reason": self.plan.failure}
+            if self.plan.done:
+                return {"shutdown": True}
+            return {"wait": self.poll_s}
+        return {"job": job.to_wire(self.plan.lease_timeout)}
+
+    def _op_get(
+        self, stage: str, digest: str
+    ) -> Tuple[Dict[str, Any], Optional[bytes]]:
+        key = (stage, digest)
+        blob = self._wire_cache.get(key)
+        if blob is None:
+            artifact = self.store.get(stage, digest)
+            if artifact is MISS:
+                return {"found": False}, None
+            blob = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
+            self._wire_cache.put(key, blob)
+        return {"found": True}, blob
+
+    def _op_put(self, stage: str, digest: str, blob: bytes) -> Dict[str, Any]:
+        key = (stage, digest)
+        if key in self.store:
+            # Idempotent upload: the fingerprint already resolves, a
+            # duplicate (double completion, resumed worker) is a hit.
+            return {"ok": True, "stored": False}
+        # No server-wide lock here: the store publish is atomic and
+        # treats a lost race as a hit, so concurrent uploads (even of
+        # the same key) are safe and stay parallel.  put_bytes never
+        # unpickles on disk-backed stores — uploads stream to disk and
+        # load lazily if the assembly actually reads them, keeping a
+        # long-running coordinator's memory bounded.
+        self.store.put_bytes(stage, digest, blob)
+        self._wire_cache.put(key, blob)
+        return {"ok": True, "stored": True}

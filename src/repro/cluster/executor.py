@@ -1,0 +1,298 @@
+"""Distributed sweep execution: coordinator-side driver + local fleets.
+
+:class:`ClusterExecutor` is the cluster twin of
+:class:`repro.pipeline.runner.Runner`: it expands the same grids,
+reuses the same content-addressed store, and returns the same
+:class:`~repro.pipeline.runner.RunRecord` list in the same grid order —
+but the unique missing stage fingerprints are computed by networked
+:class:`~repro.cluster.worker.WorkerAgent` processes instead of a local
+process pool.  Result values are identical to serial execution on
+every grid; only the execution-dependent record fields differ, and each
+record additionally carries per-job placement/transfer stats under
+``cluster/…`` keys in ``stage_timings``.
+
+``Runner(coordinator=...)`` delegates here, so existing sweep call
+sites scale out by adding one argument.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster.coordinator import CoordinatorServer
+from repro.cluster.plan import PlanFailed, SweepPlan
+from repro.cluster.protocol import format_address, parse_address
+from repro.cluster.worker import WorkerAgent
+from repro.core.config import SparkXDConfig
+from repro.pipeline.runner import RunRecord
+from repro.pipeline.stages import ExperimentPipeline
+from repro.pipeline.store import ArtifactStore
+
+
+class ClusterExecutor:
+    """Run sweeps by fanning jobs out to workers over the line protocol.
+
+    Parameters
+    ----------
+    base_config / store:
+        As in :class:`~repro.pipeline.runner.Runner`.
+    address:
+        ``(host, port)`` or ``"host:port"`` the embedded coordinator
+        binds — this is the address workers connect to.  Port ``0``
+        picks an ephemeral port; read :attr:`address` once running.
+    lease_timeout / max_attempts:
+        Lease semantics (see :mod:`repro.cluster.plan`).
+    wait_timeout:
+        Optional ceiling in seconds on one sweep's distribution phase;
+        ``None`` waits for workers indefinitely.
+    """
+
+    def __init__(
+        self,
+        base_config: Optional[SparkXDConfig] = None,
+        store: Optional[ArtifactStore] = None,
+        address: Any = ("127.0.0.1", 0),
+        *,
+        lease_timeout: float = 30.0,
+        max_attempts: int = 3,
+        poll_s: Optional[float] = None,
+        wait_timeout: Optional[float] = None,
+    ):
+        self.base_config = base_config or SparkXDConfig()
+        self.store = store if store is not None else ArtifactStore()
+        self.bind_address: Tuple[str, int] = parse_address(address)
+        self.lease_timeout = float(lease_timeout)
+        self.max_attempts = int(max_attempts)
+        self.poll_s = poll_s
+        self.wait_timeout = wait_timeout
+        #: Actual bound address of the most recent (or current) run.
+        self.address: Optional[Tuple[str, int]] = None
+        #: The plan of the most recent run (inspection/tests).
+        self.last_plan: Optional[SweepPlan] = None
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        grid: Mapping[str, Sequence[Any]],
+        on_ready=None,
+    ) -> List[RunRecord]:
+        """Distribute ``grid`` and assemble records deterministically.
+
+        ``on_ready(address)`` — if given — is called once the
+        coordinator is listening, with the bound ``(host, port)``;
+        convenient for launching a worker fleet against an ephemeral
+        port (see :func:`local_worker_processes`).
+        """
+        plan = SweepPlan(
+            self.base_config,
+            grid,
+            self.store,
+            lease_timeout=self.lease_timeout,
+            max_attempts=self.max_attempts,
+        )
+        self.last_plan = plan
+        host, port = self.bind_address
+        with CoordinatorServer(
+            plan, self.store, host=host, port=port, poll_s=self.poll_s
+        ) as server:
+            self.address = server.address
+            if on_ready is not None:
+                on_ready(server.address)
+            self._wait_for_distribution(plan)
+            # Assemble while the server still answers: late pollers get
+            # their shutdown reply instead of a connection error.
+            records = self._assemble(plan)
+        return records
+
+    def _wait_for_distribution(self, plan: SweepPlan) -> None:
+        deadline = (
+            None if self.wait_timeout is None else time.monotonic() + self.wait_timeout
+        )
+        while not plan.done:
+            # The tick below is what detects worker death even when no
+            # other worker ever polls again.
+            plan.expire_leases()
+            plan.raise_on_failure()
+            if deadline is not None and time.monotonic() > deadline:
+                counts = plan.counts()
+                raise TimeoutError(
+                    f"distributed sweep incomplete after {self.wait_timeout}s "
+                    f"(job states: {counts}) — are workers connected to "
+                    f"{format_address(self.address)}?"
+                )
+            time.sleep(0.05)
+
+    # ------------------------------------------------------------------
+    def _assemble(self, plan: SweepPlan) -> List[RunRecord]:
+        """Serial, deterministic record assembly from the warmed store.
+
+        Identical to :meth:`Runner.run`'s assembly loop: every stage now
+        hits the cache, so values are exactly the serial runner's; the
+        volatile fields additionally record where each job ran and how
+        long transfers took.
+        """
+        records: List[RunRecord] = []
+        for params, config in zip(plan.param_sets, plan.configs):
+            started = time.perf_counter()
+            before = self.store.stats.snapshot()
+            pipeline = ExperimentPipeline(config, store=self.store)
+            result = pipeline.run()
+            after = self.store.stats
+            record = RunRecord.from_result(
+                result,
+                params=params,
+                wall_time_s=time.perf_counter() - started,
+                cache_hits=after.hits - before.hits,
+                cache_misses=after.misses - before.misses,
+                stage_timings=pipeline.stage_timings,
+            )
+            for stage in plan.chain:
+                job = plan.job_for(stage.name, stage.cache_key(config))
+                if job is None or not job.stats:
+                    continue
+                prefix = f"cluster/{stage.name}"
+                exec_s = (job.stats.get("exec_s") or {}).get(stage.name)
+                if exec_s is not None:
+                    record.stage_timings[prefix] = float(exec_s)
+                record.stage_timings[f"{prefix}:sync_s"] = float(
+                    job.stats.get("sync_s", 0.0)
+                )
+                record.stage_timings[f"{prefix}:worker"] = float(
+                    job.stats.get("slot", -1)
+                )
+            records.append(record)
+        return records
+
+
+# ----------------------------------------------------------------------
+# Localhost worker fleets.
+
+
+@contextlib.contextmanager
+def local_worker_threads(
+    address: Any, n_workers: int, **agent_kwargs
+) -> Iterator[List[WorkerAgent]]:
+    """``n_workers`` in-process agents against ``address`` (tests, demos).
+
+    Threads share the GIL and BLAS, so this is about protocol-level
+    concurrency, not compute throughput — use
+    :func:`local_worker_processes` for real parallelism.
+    """
+    agents = [
+        WorkerAgent(address, name=f"thread-worker-{i}", **agent_kwargs)
+        for i in range(n_workers)
+    ]
+    threads = [
+        threading.Thread(target=agent.run_forever, daemon=True) for agent in agents
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        yield agents
+    finally:
+        for agent in agents:
+            agent.stop()
+        for thread in threads:
+            thread.join(timeout=10.0)
+
+
+def _worker_env(threads_per_worker: Optional[int]) -> dict:
+    """Child env whose ``PYTHONPATH`` can import this very ``repro``.
+
+    With a thread cap, the ``OMP_NUM_THREADS``-family variables are
+    pinned exactly like the process-pool Runner's workers — the cap
+    must be in the environment before the child first loads numpy/BLAS,
+    which is why it is set here and not inside the worker CLI.
+    """
+    from repro.pipeline.runner import THREAD_ENV_VARS
+
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+    if threads_per_worker is not None:
+        for var in THREAD_ENV_VARS:
+            env[var] = str(int(threads_per_worker))
+    return env
+
+
+@contextlib.contextmanager
+def local_worker_processes(
+    address: Any,
+    n_workers: int,
+    cache_dir: Optional[str] = None,
+    max_idle_s: float = 30.0,
+    threads_per_worker: Optional[int] = 1,
+) -> Iterator[List[subprocess.Popen]]:
+    """``n_workers`` subprocess agents (``python -m repro cluster worker``).
+
+    Each worker is a fresh interpreter, so BLAS parallelism and memory
+    are genuinely per-worker — the localhost stand-in for real hosts.
+    ``threads_per_worker`` caps each agent's BLAS/OpenMP threads like
+    :class:`repro.pipeline.runner.Runner` does for its process pool
+    (``None`` leaves the runtimes at their defaults).
+    """
+    target = format_address(parse_address(address))
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "cluster",
+        "worker",
+        "--coordinator",
+        target,
+        "--max-idle-s",
+        str(max_idle_s),
+    ]
+    if cache_dir:
+        command += ["--cache-dir", str(cache_dir)]
+    env = _worker_env(threads_per_worker)
+    # stdout is silenced (the agent prints a summary line that would
+    # corrupt --json output); stderr is inherited so a worker that dies
+    # on startup — import error, bad PYTHONPATH — shows its traceback
+    # immediately instead of leaving the coordinator waiting blind.
+    workers = [
+        subprocess.Popen(command, env=env, stdout=subprocess.DEVNULL)
+        for _ in range(n_workers)
+    ]
+    try:
+        yield workers
+    finally:
+        crashed = [
+            proc for proc in workers if proc.poll() not in (None, 0)
+        ]
+        for proc in workers:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in workers:
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5.0)
+        if crashed:
+            print(
+                f"warning: {len(crashed)}/{len(workers)} cluster worker "
+                f"subprocess(es) exited abnormally (codes "
+                f"{[p.returncode for p in crashed]}) before teardown — "
+                "see their stderr above",
+                file=sys.stderr,
+            )
+
+
+__all__ = [
+    "ClusterExecutor",
+    "PlanFailed",
+    "local_worker_processes",
+    "local_worker_threads",
+]

@@ -1,0 +1,341 @@
+"""Sweep planning and lease-based job scheduling for the cluster.
+
+A :class:`SweepPlan` expands a parameter grid into a deduplicated DAG of
+stage-aligned jobs — one job per *unique missing* stage fingerprint,
+exactly the waves :class:`repro.pipeline.runner.Runner` runs through its
+process pool, but expressed as leasable units a
+:class:`~repro.cluster.coordinator.CoordinatorServer` can hand to
+networked workers:
+
+- **dedupe** — two grid points agreeing on a stage's fingerprint share
+  one job, so each training-side fingerprint is executed exactly once
+  cluster-wide;
+- **dependencies** — a job becomes *ready* when the jobs producing its
+  upstream artifacts are done (artifacts already cached in the
+  coordinator's store need no job at all);
+- **leases** — a worker holds a job for ``lease_timeout`` seconds,
+  renewable by heartbeat; a lease that expires (worker death, network
+  partition) requeues the job with that worker excluded, so a healthy
+  peer picks it up.  Exclusion is advisory when it would deadlock: a
+  worker may take a job it is excluded from iff no other live worker
+  could;
+- **bounded retries** — a job leased ``max_attempts`` times without a
+  completion fails the whole plan with a diagnostic.
+
+The plan is deliberately socket-free (all methods are plain calls under
+an internal lock, time is injectable) so the scheduling semantics are
+unit-testable without networking.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set
+
+from repro.core.config import SparkXDConfig
+from repro.pipeline.runner import sweep_grid
+from repro.pipeline.stages import default_stages
+from repro.pipeline.store import ArtifactStore
+
+
+@dataclass
+class Job:
+    """One leasable unit: run the stage chain up to ``depth`` for ``config``.
+
+    The target artifact is ``(stage, digest)``; upstream artifacts the
+    worker is missing are pulled from the coordinator, and everything
+    newly computed is pushed back (see docs/cluster.md).
+    """
+
+    job_id: str
+    stage: str
+    depth: int
+    digest: str
+    config: SparkXDConfig
+    deps: Set[str] = field(default_factory=set)
+    state: str = "pending"  # pending | leased | done | failed
+    attempts: int = 0
+    excluded: Set[str] = field(default_factory=set)
+    worker: Optional[str] = None
+    deadline: Optional[float] = None
+    #: Placement/transfer stats of the completing worker (exec_s per
+    #: stage, sync_s, worker slot) — merged into the assembled records'
+    #: ``stage_timings``.
+    stats: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    def to_wire(self, lease_timeout: float) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "stage": self.stage,
+            "depth": self.depth,
+            "digest": self.digest,
+            "config": self.config.to_wire(),
+            "lease_s": lease_timeout,
+        }
+
+
+class PlanFailed(RuntimeError):
+    """The plan cannot complete (a job exhausted its retry budget)."""
+
+
+class SweepPlan:
+    """Deduplicated, dependency-ordered job queue for one sweep.
+
+    Parameters
+    ----------
+    base_config / grid:
+        Same meaning as in :class:`repro.pipeline.runner.Runner`.
+    store:
+        The coordinator's artifact store.  Fingerprints already present
+        get no job; completions are validated against it.
+    lease_timeout:
+        Seconds a worker may hold a job between heartbeats.
+    max_attempts:
+        Lease grants per job before the plan fails.
+    clock:
+        Injectable monotonic time source (tests).
+    """
+
+    def __init__(
+        self,
+        base_config: SparkXDConfig,
+        grid: Mapping[str, Sequence[Any]],
+        store: ArtifactStore,
+        *,
+        lease_timeout: float = 30.0,
+        max_attempts: int = 3,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if lease_timeout <= 0:
+            raise ValueError(f"lease_timeout must be > 0, got {lease_timeout}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.store = store
+        self.lease_timeout = float(lease_timeout)
+        self.max_attempts = int(max_attempts)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self.param_sets = sweep_grid(grid)
+        self.configs = [base_config.with_overrides(**p) for p in self.param_sets]
+        self.chain = default_stages()
+        self.jobs: Dict[str, Job] = {}
+        self._order: List[str] = []  # creation order: grid-major, depth-minor
+        self.failure: Optional[str] = None
+        #: worker name -> last contact (monotonic seconds)
+        self._workers: Dict[str, float] = {}
+        #: worker name -> stable integer slot (first-contact order)
+        self._slots: Dict[str, int] = {}
+        self._build_jobs()
+
+    # ------------------------------------------------------------------
+    # Construction.
+
+    def _build_jobs(self) -> None:
+        for config in self.configs:
+            last_job_id: Optional[str] = None
+            for depth, stage in enumerate(self.chain):
+                digest = stage.cache_key(config)
+                job_id = f"{stage.name}:{digest[:16]}"
+                existing = self.jobs.get(job_id)
+                if existing is not None:
+                    last_job_id = job_id
+                    continue
+                if (stage.name, digest) in self.store:
+                    # Cached on the coordinator already: no job.  The
+                    # dependency chain continues from the last job this
+                    # config did create (if any) so downstream jobs
+                    # still wait for every artifact they must pull.
+                    continue
+                job = Job(
+                    job_id=job_id,
+                    stage=stage.name,
+                    depth=depth,
+                    digest=digest,
+                    config=config,
+                    deps=set() if last_job_id is None else {last_job_id},
+                )
+                self.jobs[job_id] = job
+                self._order.append(job_id)
+                last_job_id = job_id
+
+    # ------------------------------------------------------------------
+    # State inspection.
+
+    @property
+    def done(self) -> bool:
+        with self._lock:
+            return self.failure is None and all(
+                job.state == "done" for job in self.jobs.values()
+            )
+
+    @property
+    def failed(self) -> bool:
+        with self._lock:
+            return self.failure is not None
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            counts = {"pending": 0, "leased": 0, "done": 0, "failed": 0}
+            for job in self.jobs.values():
+                counts[job.state] += 1
+            return counts
+
+    def worker_slot(self, worker: str) -> int:
+        with self._lock:
+            return self._slot_locked(worker)
+
+    def _slot_locked(self, worker: str) -> int:
+        if worker not in self._slots:
+            self._slots[worker] = len(self._slots)
+        return self._slots[worker]
+
+    # ------------------------------------------------------------------
+    # Scheduling.
+
+    def _touch(self, worker: str) -> None:
+        self._workers[worker] = self.clock()
+        self._slot_locked(worker)
+
+    def _ready(self, job: Job) -> bool:
+        return job.state == "pending" and all(
+            self.jobs[dep].state == "done" for dep in job.deps
+        )
+
+    def _eligible(self, job: Job, worker: str) -> bool:
+        """Exclusion check, relaxed when honouring it would deadlock."""
+        if worker not in job.excluded:
+            return True
+        now = self.clock()
+        window = 3.0 * self.lease_timeout
+        live_others = [
+            name
+            for name, seen in self._workers.items()
+            if name != worker
+            and name not in job.excluded
+            and now - seen <= window
+        ]
+        return not live_others
+
+    def _requeue_locked(self, job: Job, worker: Optional[str], reason: str) -> None:
+        if job.state != "leased":
+            return
+        if worker is not None:
+            job.excluded.add(worker)
+        job.worker = None
+        job.deadline = None
+        job.error = reason
+        if job.attempts >= self.max_attempts:
+            job.state = "failed"
+            self.failure = (
+                f"job {job.job_id} failed after {job.attempts} attempt(s): {reason}"
+            )
+        else:
+            job.state = "pending"
+
+    def expire_leases(self) -> List[str]:
+        """Requeue every lease past its deadline; returns the job ids."""
+        now = self.clock()
+        expired = []
+        with self._lock:
+            for job in self.jobs.values():
+                if job.state == "leased" and job.deadline is not None and now > job.deadline:
+                    holder = job.worker
+                    self._requeue_locked(
+                        job, holder, f"lease expired on worker {holder!r}"
+                    )
+                    expired.append(job.job_id)
+        return expired
+
+    def lease(self, worker: str) -> Optional[Job]:
+        """Grant the first ready, eligible job to ``worker`` (or None)."""
+        self.expire_leases()
+        with self._lock:
+            self._touch(worker)
+            if self.failure is not None:
+                return None
+            for job_id in self._order:
+                job = self.jobs[job_id]
+                if self._ready(job) and self._eligible(job, worker):
+                    job.state = "leased"
+                    job.worker = worker
+                    job.attempts += 1
+                    job.deadline = self.clock() + self.lease_timeout
+                    return job
+            return None
+
+    def heartbeat(self, worker: str, job_id: str) -> bool:
+        """Extend the lease; False means the lease is no longer held."""
+        with self._lock:
+            self._touch(worker)
+            job = self.jobs.get(job_id)
+            if job is None or job.state != "leased" or job.worker != worker:
+                return False
+            job.deadline = self.clock() + self.lease_timeout
+            return True
+
+    def complete(
+        self,
+        worker: str,
+        job_id: str,
+        stats: Optional[Mapping[str, Any]] = None,
+    ) -> bool:
+        """Mark ``job_id`` done; idempotent and holder-agnostic.
+
+        The target artifact is content-addressed, so a completion from a
+        worker whose lease already expired (it finished anyway) is as
+        good as one from the current holder — and completing an
+        already-done job is a no-op success.  The only rejection is a
+        completion whose target artifact never reached the store.
+        """
+        with self._lock:
+            self._touch(worker)
+            job = self.jobs.get(job_id)
+            if job is None:
+                return False
+            if job.state == "done":
+                return True
+            if (job.stage, job.digest) not in self.store:
+                if job.state == "leased" and job.worker != worker:
+                    # A stale ex-holder's artifact-less completion must
+                    # not revoke the current holder's live lease (same
+                    # guard as fail()).
+                    return False
+                # The worker claims completion but never pushed the
+                # artifact: treat as a failed attempt of that worker.
+                self._requeue_locked(
+                    job, worker, f"completion without artifact from {worker!r}"
+                )
+                return False
+            job.state = "done"
+            job.worker = worker
+            job.deadline = None
+            job.error = None
+            if not job.stats:
+                job.stats = dict(stats or {})
+                job.stats.setdefault("worker", worker)
+                job.stats.setdefault("slot", self._slot_locked(worker))
+            return True
+
+    def fail(self, worker: str, job_id: str, error: str) -> None:
+        """A worker reported a job exception: requeue with exclusion."""
+        with self._lock:
+            self._touch(worker)
+            job = self.jobs.get(job_id)
+            if job is None or job.state in ("done", "failed"):
+                return
+            if job.state == "leased" and job.worker != worker:
+                return  # stale report from a previous holder
+            self._requeue_locked(job, worker, error)
+
+    def raise_on_failure(self) -> None:
+        with self._lock:
+            if self.failure is not None:
+                raise PlanFailed(self.failure)
+
+    # ------------------------------------------------------------------
+    def job_for(self, stage_name: str, digest: str) -> Optional[Job]:
+        """The job that produced ``(stage_name, digest)``, if one ran."""
+        return self.jobs.get(f"{stage_name}:{digest[:16]}")

@@ -1,0 +1,159 @@
+"""The cluster line protocol: one JSON header line, optional raw blob.
+
+Every exchange between a worker and the coordinator is a single
+request/response over a fresh TCP connection:
+
+- the requester sends one JSON object on one ``\\n``-terminated line;
+- if the object carries ``"blob_bytes": n``, exactly ``n`` raw bytes
+  follow the newline (artifact payloads — pickles, never JSON-escaped);
+- the responder answers with one JSON line (plus an optional blob,
+  framed the same way).
+
+Keeping the protocol connection-per-request makes both sides trivially
+restartable: there is no session state to resume, a half-written request
+is simply dropped by the server, and a worker that lost connectivity
+retries the identical idempotent request.  See ``docs/cluster.md`` for
+the full operation table.
+
+Security note: artifact blobs are pickles, exactly like the disk cache
+(:mod:`repro.pipeline.store`).  Only run coordinators/workers on hosts
+and networks you trust, as you would with any shared build cache.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, BinaryIO, Dict, Optional, Tuple
+
+#: Upper bound on one JSON header line.  Headers carry configs and job
+#: descriptions, never artifacts; anything larger is a protocol error.
+MAX_HEADER_BYTES = 4 * 1024 * 1024
+
+#: Default coordinator TCP port (chosen from the unassigned range).
+DEFAULT_PORT = 8752
+
+
+class ProtocolError(RuntimeError):
+    """A malformed frame, oversized header, or error reply."""
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed the connection mid-message."""
+
+
+def parse_address(address: Any, default_port: int = DEFAULT_PORT) -> Tuple[str, int]:
+    """Normalise ``"host:port"`` / ``"host"`` / ``(host, port)`` forms.
+
+    IPv6 literals use the standard bracket syntax — ``[::1]:8752`` or
+    bare ``[::1]`` — and a bare multi-colon string is treated as an
+    IPv6 host with the default port (never split at its last colon).
+    """
+    if isinstance(address, tuple):
+        host, port = address
+        return str(host), int(port)
+    text = str(address).strip()
+    if text.startswith("["):
+        host, bracket, rest = text[1:].partition("]")
+        if not bracket or (rest and not rest.startswith(":")):
+            raise ValueError(f"malformed bracketed address {text!r}")
+        return host, int(rest[1:]) if rest else default_port
+    if text.count(":") > 1:
+        return text, default_port  # bare IPv6 literal, no port
+    if ":" in text:
+        host, _, port = text.partition(":")
+        return host or "127.0.0.1", int(port)
+    return text or "127.0.0.1", default_port
+
+
+def format_address(address: Tuple[str, int]) -> str:
+    host, port = address
+    if ":" in host:
+        return f"[{host}]:{port}"  # IPv6: round-trips through parse_address
+    return f"{host}:{port}"
+
+
+# ----------------------------------------------------------------------
+# Framing.
+
+
+def send_message(
+    wfile: BinaryIO, payload: Dict[str, Any], blob: Optional[bytes] = None
+) -> None:
+    """Write one header line (and the blob it announces, if any)."""
+    payload = dict(payload)
+    if blob is not None:
+        payload["blob_bytes"] = len(blob)
+    else:
+        payload.pop("blob_bytes", None)
+    line = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+    if len(line) > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header of {len(line)} bytes exceeds protocol limit")
+    wfile.write(line)
+    if blob is not None:
+        wfile.write(blob)
+    wfile.flush()
+
+
+def recv_message(rfile: BinaryIO) -> Tuple[Dict[str, Any], Optional[bytes]]:
+    """Read one header line and its announced blob (if any)."""
+    line = rfile.readline(MAX_HEADER_BYTES + 1)
+    if not line:
+        raise ConnectionClosed("peer closed the connection before a header")
+    if len(line) > MAX_HEADER_BYTES:
+        raise ProtocolError("header line exceeds protocol limit")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"invalid header line: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"header must be a JSON object, got {type(payload)}")
+    blob: Optional[bytes] = None
+    size = payload.pop("blob_bytes", None)
+    if size is not None:
+        size = int(size)
+        if size < 0:
+            raise ProtocolError(f"negative blob size {size}")
+        chunks = []
+        remaining = size
+        while remaining:
+            chunk = rfile.read(remaining)
+            if not chunk:
+                raise ConnectionClosed(
+                    f"peer closed mid-blob ({size - remaining}/{size} bytes)"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        blob = b"".join(chunks)
+    return payload, blob
+
+
+# ----------------------------------------------------------------------
+# Client.
+
+
+class ClusterClient:
+    """Issues single request/response exchanges against a coordinator."""
+
+    def __init__(self, address: Any, timeout: float = 30.0):
+        self.address = parse_address(address)
+        self.timeout = timeout
+
+    def request(
+        self,
+        payload: Dict[str, Any],
+        blob: Optional[bytes] = None,
+        check: bool = True,
+    ) -> Tuple[Dict[str, Any], Optional[bytes]]:
+        """One round trip; raises :class:`ProtocolError` on error replies.
+
+        With ``check=False`` error replies (``{"ok": false, "error":
+        ...}``) are returned to the caller instead of raised.
+        """
+        with socket.create_connection(self.address, timeout=self.timeout) as sock:
+            with sock.makefile("rb") as rfile, sock.makefile("wb") as wfile:
+                send_message(wfile, payload, blob)
+                reply, reply_blob = recv_message(rfile)
+        if check and reply.get("error"):
+            raise ProtocolError(str(reply["error"]))
+        return reply, reply_blob

@@ -1,0 +1,108 @@
+"""Content-addressed artifact sync between a worker and the coordinator.
+
+Artifacts move by ``(stage, fingerprint)`` key, never by job identity:
+
+- **pull** — before running a job, the worker downloads whichever
+  upstream artifacts its local store is missing;
+- **push** — after running, it uploads every chain artifact the
+  coordinator is missing (one ``has`` round trip filters the list, so
+  nothing is ever re-sent).
+
+Both directions are idempotent: an upload of an already-present
+fingerprint is acknowledged without a write (the store treats losing a
+write race as a hit), and a pull that finds the key locally is free.
+That makes the layer *resumable by retry* — after any interruption the
+worker repeats the same calls and only the missing bytes move.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from typing import Iterable, List, Tuple
+
+from repro.cluster.protocol import ClusterClient
+from repro.pipeline.store import MISS, ArtifactStore
+
+Key = Tuple[str, str]  # (stage name, fingerprint)
+
+
+class ArtifactSync:
+    """Pull/push artifacts between ``store`` and a coordinator."""
+
+    def __init__(self, client: ClusterClient, store: ArtifactStore):
+        self.client = client
+        self.store = store
+        #: Cumulative wall-clock seconds spent in sync round trips.
+        self.seconds = 0.0
+        self.pulled = 0
+        self.pushed = 0
+
+    # ------------------------------------------------------------------
+    def pull(self, stage: str, digest: str) -> bool:
+        """Fetch one artifact into the local store; False if absent remotely."""
+        started = time.perf_counter()
+        try:
+            reply, blob = self.client.request(
+                {"op": "get", "stage": stage, "digest": digest}
+            )
+            if not reply.get("found") or blob is None:
+                return False
+            self.store.put(stage, digest, pickle.loads(blob))
+            self.pulled += 1
+            return True
+        finally:
+            self.seconds += time.perf_counter() - started
+
+    def push(self, stage: str, digest: str) -> bool:
+        """Upload one locally-cached artifact; False if not held locally."""
+        started = time.perf_counter()
+        try:
+            artifact = self.store.get(stage, digest)
+            if artifact is MISS:
+                return False
+            blob = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
+            self.client.request(
+                {"op": "put", "stage": stage, "digest": digest}, blob=blob
+            )
+            self.pushed += 1
+            return True
+        finally:
+            self.seconds += time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    def remote_has(self, keys: Iterable[Key]) -> List[Key]:
+        """The subset of ``keys`` the coordinator already holds."""
+        keys = list(keys)
+        if not keys:
+            return []
+        started = time.perf_counter()
+        try:
+            reply, _ = self.client.request(
+                {"op": "has", "keys": [list(key) for key in keys]}
+            )
+            return [(str(s), str(d)) for s, d in reply.get("present", [])]
+        finally:
+            self.seconds += time.perf_counter() - started
+
+    def pull_missing(self, keys: Iterable[Key]) -> int:
+        """Pull every key the local store is missing; returns the count."""
+        count = 0
+        for stage, digest in keys:
+            if (stage, digest) in self.store:
+                continue
+            if self.pull(stage, digest):
+                count += 1
+        return count
+
+    def push_missing(self, keys: Iterable[Key]) -> int:
+        """Push every locally-held key the coordinator is missing."""
+        keys = [key for key in keys if key in self.store]
+        present = set(self.remote_has(keys))
+        count = 0
+        for stage, digest in keys:
+            if (stage, digest) in present:
+                continue
+            if self.push(stage, digest):
+                count += 1
+        return count

@@ -1,0 +1,255 @@
+"""The worker agent: lease → pull → run → push → complete, forever.
+
+A :class:`WorkerAgent` is one long-running loop against a coordinator
+address.  Each granted job names a config (in wire form) and a chain
+depth; the worker
+
+1. pulls whichever upstream artifacts its local store is missing
+   (:class:`~repro.cluster.sync.ArtifactSync`),
+2. runs the chain prefix through the ordinary
+   :class:`~repro.pipeline.stages.ExperimentPipeline` against its local
+   :class:`~repro.pipeline.store.ArtifactStore` — cluster execution and
+   single-host execution are the same code path,
+3. pushes every chain artifact the coordinator is missing, and
+4. reports completion with its timings (idempotent: a worker whose
+   lease expired mid-run still completes harmlessly).
+
+A background thread heartbeats the lease while the job runs.  Job
+exceptions are reported with ``fail`` (the coordinator requeues the job
+elsewhere); connection errors are retried until ``max_idle_s`` of
+continuous unreachability, after which the agent exits — which is how
+workers outlive a coordinator restart but don't linger forever after a
+sweep ends.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.cluster.protocol import ClusterClient, ProtocolError
+from repro.cluster.sync import ArtifactSync
+from repro.core.config import SparkXDConfig
+from repro.pipeline.stages import ExperimentPipeline, default_stage_classes
+from repro.pipeline.store import ArtifactStore
+
+
+def default_worker_name() -> str:
+    """``host-pid-nonce``: unique per agent, stable for its lifetime."""
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+@dataclass
+class WorkerStats:
+    """What one agent did over its lifetime."""
+
+    jobs_done: int = 0
+    jobs_failed: int = 0
+    artifacts_pulled: int = 0
+    artifacts_pushed: int = 0
+    sync_s: float = 0.0
+    exec_s: float = 0.0
+    errors: list = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "jobs_done": self.jobs_done,
+            "jobs_failed": self.jobs_failed,
+            "artifacts_pulled": self.artifacts_pulled,
+            "artifacts_pushed": self.artifacts_pushed,
+            "sync_s": self.sync_s,
+            "exec_s": self.exec_s,
+            "errors": list(self.errors),
+        }
+
+
+class _LeaseHeartbeat:
+    """Renews one lease from a daemon thread while a job runs."""
+
+    def __init__(self, client: ClusterClient, worker: str, job_id: str, interval: float):
+        self._client = client
+        self._worker = worker
+        self._job_id = job_id
+        self._interval = max(0.05, interval)
+        self._stop = threading.Event()
+        self.lease_lost = False
+        self._thread = threading.Thread(
+            target=self._run, name=f"heartbeat-{job_id}", daemon=True
+        )
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                reply, _ = self._client.request(
+                    {"op": "heartbeat", "worker": self._worker, "job_id": self._job_id}
+                )
+                if not reply.get("ok", False):
+                    # Lease revoked (expiry raced us).  Keep computing:
+                    # completion is idempotent and content-addressed, so
+                    # finishing is still useful — but remember it.
+                    self.lease_lost = True
+            except (OSError, ProtocolError):
+                pass  # transient; the next beat retries
+
+    def __enter__(self) -> "_LeaseHeartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+
+
+class WorkerAgent:
+    """One cluster worker: leases jobs from a coordinator until told to stop.
+
+    Parameters
+    ----------
+    address:
+        Coordinator ``host:port`` (string or tuple).
+    name:
+        Stable worker identity; defaults to ``host-pid-nonce``.
+    store:
+        Local artifact store (in-memory by default; pass a disk-backed
+        store to survive agent restarts without re-pulling).
+    max_idle_s:
+        Continuous coordinator-unreachable seconds before the agent
+        gives up and returns.  Polling ``wait`` replies does not count —
+        only connection failures do.
+    """
+
+    def __init__(
+        self,
+        address: Any,
+        name: Optional[str] = None,
+        store: Optional[ArtifactStore] = None,
+        max_idle_s: float = 30.0,
+        retry_s: float = 0.5,
+        client_timeout: float = 30.0,
+    ):
+        self.client = ClusterClient(address, timeout=client_timeout)
+        self.name = name or default_worker_name()
+        self.store = store if store is not None else ArtifactStore()
+        self.max_idle_s = float(max_idle_s)
+        self.retry_s = float(retry_s)
+        self.stats = WorkerStats()
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        """Ask the agent loop to exit after the current request."""
+        self._stop.set()
+
+    # ------------------------------------------------------------------
+    def run_forever(self) -> WorkerStats:
+        """Serve jobs until the coordinator says shutdown (or vanishes)."""
+        unreachable_since: Optional[float] = None
+        while not self._stop.is_set():
+            try:
+                reply, _ = self.client.request(
+                    {"op": "lease", "worker": self.name}
+                )
+            except (OSError, ProtocolError) as error:
+                now = time.monotonic()
+                if unreachable_since is None:
+                    unreachable_since = now
+                if now - unreachable_since >= self.max_idle_s:
+                    self.stats.errors.append(f"coordinator unreachable: {error}")
+                    break
+                self._stop.wait(self.retry_s)
+                continue
+            unreachable_since = None
+            if reply.get("shutdown"):
+                if reply.get("reason"):
+                    self.stats.errors.append(
+                        f"coordinator shut the sweep down: {reply['reason']}"
+                    )
+                break
+            job = reply.get("job")
+            if job is None:
+                self._stop.wait(float(reply.get("wait", self.retry_s)))
+                continue
+            self._execute(job)
+        return self.stats
+
+    # ------------------------------------------------------------------
+    def _execute(self, job: Dict[str, Any]) -> None:
+        job_id = str(job["job_id"])
+        depth = int(job["depth"])
+        lease_s = float(job.get("lease_s", 30.0))
+        config = SparkXDConfig.from_wire(job["config"])
+        chain = tuple(cls() for cls in default_stage_classes()[: depth + 1])
+        sync = ArtifactSync(self.client, self.store)
+        started = time.perf_counter()
+        try:
+            # The heartbeat must span the *whole* job — artifact pulls
+            # and pushes included: on a slow network a multi-MB sync can
+            # outlast the lease, and an unrenewed lease would requeue a
+            # job that is making perfectly healthy progress.
+            with _LeaseHeartbeat(
+                self.client, self.name, job_id, lease_s / 3.0
+            ) as heartbeat:
+                # Upstream artifacts first: everything the chain prefix
+                # could restore instead of recompute.  Anything the
+                # coordinator is also missing (partial eviction) is
+                # simply recomputed here — the pipeline handles it
+                # transparently.
+                sync.pull_missing(
+                    [(stage.name, stage.cache_key(config)) for stage in chain[:-1]]
+                )
+                pipeline = ExperimentPipeline(config, stages=chain, store=self.store)
+                pipeline.run_stages()
+                sync.push_missing(
+                    [(stage.name, stage.cache_key(config)) for stage in chain]
+                )
+        except Exception as error:  # report and move on to the next lease
+            self.stats.jobs_failed += 1
+            message = f"{type(error).__name__}: {error}"
+            self.stats.errors.append(f"{job_id}: {message}")
+            try:
+                self.client.request(
+                    {
+                        "op": "fail",
+                        "worker": self.name,
+                        "job_id": job_id,
+                        "error": message,
+                    }
+                )
+            except (OSError, ProtocolError):
+                pass  # lease expiry will requeue it anyway
+            return
+        wall_s = time.perf_counter() - started
+        stats = {
+            "worker": self.name,
+            "exec_s": dict(pipeline.stage_timings),
+            "sync_s": sync.seconds,
+            "pulled": sync.pulled,
+            "pushed": sync.pushed,
+            "wall_s": wall_s,
+            # True when an expiry raced the computation: the coordinator
+            # may have re-leased this job elsewhere, making our (still
+            # accepted, idempotent) completion a duplicate.
+            "lease_lost": heartbeat.lease_lost,
+        }
+        self.stats.jobs_done += 1
+        self.stats.artifacts_pulled += sync.pulled
+        self.stats.artifacts_pushed += sync.pushed
+        self.stats.sync_s += sync.seconds
+        self.stats.exec_s += sum(pipeline.stage_timings.values())
+        try:
+            self.client.request(
+                {
+                    "op": "complete",
+                    "worker": self.name,
+                    "job_id": job_id,
+                    "stats": stats,
+                }
+            )
+        except (OSError, ProtocolError) as error:
+            # The artifacts are pushed; a lost completion only costs a
+            # redundant re-lease of an already-satisfiable job.
+            self.stats.errors.append(f"{job_id}: completion not delivered: {error}")

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, replace
-from typing import Tuple
+from typing import Any, Dict, Mapping, Tuple
 
 from repro.core.mapping_policy import MAPPING_POLICIES
-from repro.dram.specs import DramSpec, LPDDR3_1600_4GB
+from repro.dram.specs import DramSpec, LPDDR3_1600_4GB, spec_from_dict, spec_to_dict
 from repro.errors.models import ERROR_MODELS
 
 #: Valid values of the ``engine`` switch (mirrors ``repro.engine.ENGINES``;
@@ -123,6 +124,43 @@ class SparkXDConfig:
 
     def with_overrides(self, **kwargs) -> "SparkXDConfig":
         return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Wire form: a JSON-safe dict that survives ``json.dumps`` →
+    # ``json.loads`` across hosts and rebuilds an identical config —
+    # identical down to every stage cache fingerprint, which is what the
+    # cluster protocol (docs/cluster.md) relies on to dedupe jobs.
+
+    #: Fields whose tuple-ness JSON flattens to lists and ``from_wire``
+    #: must restore (the dataclass declares them as tuples).
+    _WIRE_TUPLE_FIELDS = ("ber_rates", "voltages")
+
+    def to_wire(self) -> Dict[str, Any]:
+        """Serialise to a JSON-safe dict (see :meth:`from_wire`)."""
+        payload = {
+            f.name: getattr(self, f.name) for f in dataclasses.fields(self)
+        }
+        payload["dram_spec"] = spec_to_dict(self.dram_spec)
+        for name in self._WIRE_TUPLE_FIELDS:
+            payload[name] = list(payload[name])
+        return payload
+
+    @classmethod
+    def from_wire(cls, data: Mapping[str, Any]) -> "SparkXDConfig":
+        """Rebuild a config from :meth:`to_wire` output.
+
+        Unknown keys are rejected (a typo'd field silently dropped would
+        desynchronise fingerprints between coordinator and worker).
+        """
+        payload = dict(data)
+        payload["dram_spec"] = spec_from_dict(payload["dram_spec"])
+        for name in cls._WIRE_TUPLE_FIELDS:
+            payload[name] = tuple(payload[name])
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown config fields in wire payload: {unknown}")
+        return cls(**payload)
 
     @classmethod
     def small(cls, **overrides) -> "SparkXDConfig":

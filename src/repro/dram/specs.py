@@ -251,3 +251,25 @@ DRAM_SPECS.register("tiny", tiny_spec, aliases=("tiny-test-dram",))
 def get_dram_spec(name: str) -> DramSpec:
     """Look up a device spec by registered name."""
     return DRAM_SPECS.get(name)()
+
+
+# ----------------------------------------------------------------------
+# Wire form.  The cluster protocol ships full configs between hosts as
+# JSON; a spec travels as its complete nested field dict (not just a
+# registry name) so custom devices — e.g. ``tiny_spec().scaled(...)`` in
+# tests — survive the trip to a worker that never registered them.
+
+
+def spec_to_dict(spec: DramSpec) -> dict:
+    """JSON-safe nested dict of every field of ``spec``."""
+    return dataclasses.asdict(spec)
+
+
+def spec_from_dict(data: dict) -> DramSpec:
+    """Rebuild a :class:`DramSpec` from :func:`spec_to_dict` output."""
+    return DramSpec(
+        name=str(data["name"]),
+        geometry=DramGeometry(**data["geometry"]),
+        timings=NominalTimings(**data["timings"]),
+        electrical=ElectricalParameters(**data["electrical"]),
+    )

@@ -40,6 +40,7 @@ from repro.pipeline.stages import (
     StageContext,
     ToleranceStage,
     TrainBaselineStage,
+    default_stage_classes,
     default_stages,
 )
 from repro.pipeline.store import (
@@ -72,6 +73,7 @@ __all__ = [
     "TrainingArtifact",
     "VoltagePoint",
     "config_fingerprint",
+    "default_stage_classes",
     "default_stages",
     "fingerprint",
     "sweep_grid",

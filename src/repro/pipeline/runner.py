@@ -47,10 +47,8 @@ from repro.pipeline.stages import (
     DRAM_FIELDS,
     DramEvalStage,
     ExperimentPipeline,
-    FaultAwareTrainStage,
     StageContext,
-    ToleranceStage,
-    TrainBaselineStage,
+    default_stage_classes,
 )
 from repro.pipeline.store import MISS, ArtifactStore, canonical_form, config_fingerprint
 
@@ -287,7 +285,7 @@ def _thread_cap_env(n_threads: int) -> Iterator[None]:
 
 # ----------------------------------------------------------------------
 # Worker-process entry points (module-level so they pickle).
-_TRAINING_STAGES = (TrainBaselineStage, FaultAwareTrainStage, ToleranceStage)
+_TRAINING_STAGES = default_stage_classes()[:-1]
 
 
 def _compute_stage_chain(config: SparkXDConfig, depth: int, preload=()):
@@ -353,6 +351,19 @@ class Runner:
         standard ``if __name__ == "__main__":`` guard on every
         platform (previously only non-Linux), exactly as the
         :mod:`multiprocessing` docs require.
+    coordinator:
+        A ``"host:port"`` (or ``(host, port)``) to *bind a cluster
+        coordinator on* instead of computing locally: :meth:`run`
+        delegates to :class:`repro.cluster.ClusterExecutor`, serving the
+        grid's unique missing fingerprints to networked
+        ``repro cluster worker`` agents and assembling identical records
+        from the synced artifacts (see docs/cluster.md).
+        ``max_workers``/``threads_per_worker`` are ignored in this mode
+        — parallelism belongs to the connected workers.
+    cluster_options:
+        Extra keyword arguments forwarded to
+        :class:`~repro.cluster.ClusterExecutor` (``lease_timeout``,
+        ``max_attempts``, ``wait_timeout``, …).
     """
 
     def __init__(
@@ -361,6 +372,8 @@ class Runner:
         store: Optional[ArtifactStore] = None,
         max_workers: int = 1,
         threads_per_worker: Optional[int] = 1,
+        coordinator: Optional[Any] = None,
+        cluster_options: Optional[Mapping[str, Any]] = None,
     ):
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -368,10 +381,14 @@ class Runner:
             raise ValueError(
                 f"threads_per_worker must be >= 1 or None, got {threads_per_worker}"
             )
+        if cluster_options and coordinator is None:
+            raise ValueError("cluster_options requires a coordinator address")
         self.base_config = base_config or SparkXDConfig()
         self.store = store if store is not None else ArtifactStore()
         self.max_workers = max_workers
         self.threads_per_worker = threads_per_worker
+        self.coordinator = coordinator
+        self.cluster_options = dict(cluster_options or {})
 
     def _make_pool(self) -> ProcessPoolExecutor:
         """A worker pool honouring the per-worker thread cap.
@@ -396,6 +413,20 @@ class Runner:
 
     def run(self, grid: Mapping[str, Sequence[Any]]) -> List[RunRecord]:
         """Run every grid point; return records in grid order."""
+        if self.coordinator is not None:
+            # Cluster mode: bind a coordinator at the given address and
+            # let networked workers compute the unique fingerprints.
+            # Imported here so the pipeline layer has no hard dependency
+            # on the cluster subsystem.
+            from repro.cluster import ClusterExecutor
+
+            executor = ClusterExecutor(
+                self.base_config,
+                store=self.store,
+                address=self.coordinator,
+                **self.cluster_options,
+            )
+            return executor.run(grid)
         param_sets = sweep_grid(grid)
         configs = [self.base_config.with_overrides(**p) for p in param_sets]
         if self.max_workers > 1 and len(configs) > 1:

@@ -248,14 +248,24 @@ class DramEvalStage(Stage):
         return DramArtifact(baseline_dram=baseline_dram, outcomes=outcomes)
 
 
+def default_stage_classes() -> Tuple[type, ...]:
+    """The canonical stage classes, in execution order.
+
+    The sweep runner and the cluster coordinator/worker both construct
+    per-depth chain prefixes from this tuple, so a "run the chain up to
+    depth *d*" job means the same thing on every host.
+    """
+    return (
+        TrainBaselineStage,
+        FaultAwareTrainStage,
+        ToleranceStage,
+        DramEvalStage,
+    )
+
+
 def default_stages() -> Tuple[Stage, ...]:
     """The canonical four-stage SparkXD chain, in execution order."""
-    return (
-        TrainBaselineStage(),
-        FaultAwareTrainStage(),
-        ToleranceStage(),
-        DramEvalStage(),
-    )
+    return tuple(cls() for cls in default_stage_classes())
 
 
 class ExperimentPipeline:

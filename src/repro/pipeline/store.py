@@ -74,12 +74,18 @@ class CacheStats:
 
 @dataclass(frozen=True)
 class PruneReport:
-    """What one :meth:`ArtifactStore.prune` pass evicted and kept."""
+    """What one :meth:`ArtifactStore.prune` pass evicted and kept.
+
+    With ``dry_run`` set the pass deleted nothing: the removed/freed
+    numbers describe what a real pass with the same budget *would*
+    evict.
+    """
 
     removed_files: int
     freed_bytes: int
     kept_files: int
     kept_bytes: int
+    dry_run: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -87,6 +93,7 @@ class PruneReport:
             "freed_bytes": self.freed_bytes,
             "kept_files": self.kept_files,
             "kept_bytes": self.kept_bytes,
+            "dry_run": self.dry_run,
         }
 
 
@@ -140,24 +147,58 @@ class ArtifactStore:
         self._memory[key] = artifact
         self.stats.puts += 1
         if self.root is not None:
-            path = self._path(key)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            # Write to a per-writer temp file, then atomically publish:
-            # concurrent processes sharing the cache dir never observe a
-            # partial pickle, even when racing on the same key.
-            fd, tmp_name = tempfile.mkstemp(
-                dir=path.parent, prefix=f".{digest[:8]}-", suffix=".tmp"
+            self._publish(
+                key, lambda: pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
             )
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(artifact, handle, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp_name, path)
-            except BaseException:
-                with contextlib.suppress(OSError):
-                    os.unlink(tmp_name)
-                raise
 
-    def prune(self, max_bytes: int) -> PruneReport:
+    def put_bytes(self, stage: str, digest: str, blob: bytes) -> None:
+        """Store an already-pickled artifact without unpickling it.
+
+        The fast path of the cluster coordinator's artifact uploads: a
+        disk-backed store writes ``blob`` straight to the artifact file
+        and does *not* retain the object in memory — the artifact loads
+        lazily on first :meth:`get`, so a long-running coordinator's
+        memory is bounded by what it actually reads, not by everything
+        workers ever pushed.  A memory-only store has nowhere else to
+        keep it and falls back to unpickling.
+        """
+        if self.root is None:
+            self.put(stage, digest, pickle.loads(blob))
+            return
+        self.stats.puts += 1
+        self._publish((stage, digest), lambda: blob)
+
+    def _publish(self, key: Tuple[str, str], make_blob) -> None:
+        """Atomically write ``make_blob()`` to the key's artifact file.
+
+        Content-addressed keys make losing a write race a *hit*: a
+        concurrent writer (another sweep worker, a cluster artifact
+        upload) already published an equivalent artifact under this
+        fingerprint, so skip the redundant write and just refresh the
+        LRU rank.
+        """
+        path = self._path(key)
+        if path.exists():
+            with contextlib.suppress(OSError):
+                os.utime(path, None)
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Write to a per-writer temp file, then atomically publish:
+        # concurrent processes sharing the cache dir never observe a
+        # partial pickle, even when racing on the same key.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[1][:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(make_blob())
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+
+    def prune(self, max_bytes: int, dry_run: bool = False) -> PruneReport:
         """Evict least-recently-used disk artifacts down to a byte budget.
 
         Artifact files are ranked by mtime (refreshed on every disk
@@ -166,6 +207,10 @@ class ArtifactStore:
         artifacts are also dropped from the in-memory map, so the store
         behaves as if they were never cached.  Requires a disk-backed
         store (``root`` set).
+
+        With ``dry_run=True`` nothing is deleted (disk and memory are
+        untouched); the returned report describes what the same budget
+        would evict.
         """
         if self.root is None:
             raise ValueError("prune() requires a disk-backed store (root=...)")
@@ -182,17 +227,21 @@ class ArtifactStore:
         for _, size, path in entries:
             if total <= max_bytes:
                 break
-            with contextlib.suppress(OSError):
-                path.unlink()
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
                 self._memory.pop((path.parent.name, path.stem), None)
-                removed += 1
-                freed += size
-                total -= size
+            removed += 1
+            freed += size
+            total -= size
         return PruneReport(
             removed_files=removed,
             freed_bytes=freed,
             kept_files=len(entries) - removed,
             kept_bytes=total,
+            dry_run=dry_run,
         )
 
     def __contains__(self, key: Tuple[str, str]) -> bool:

@@ -26,6 +26,39 @@ class TestParser:
             build_parser().parse_args(["explode"])
 
 
+class TestClusterParser:
+    def test_cluster_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster"])
+
+    def test_worker_requires_coordinator(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "worker"])
+        args = build_parser().parse_args(
+            ["cluster", "worker", "--coordinator", "host:8752"]
+        )
+        assert args.cluster_command == "worker"
+        assert args.coordinator == "host:8752"
+        assert args.max_idle_s == 30.0
+
+    def test_coordinator_grid_flags_match_sweep(self):
+        args = build_parser().parse_args([
+            "cluster", "coordinator", "--bind", "0.0.0.0:9999",
+            "--seeds", "1", "2", "--voltages", "1.325", "1.025",
+            "--lease-s", "15", "--max-retries", "5",
+        ])
+        assert args.bind == "0.0.0.0:9999"
+        assert args.seeds == [1, 2]
+        assert args.lease_s == 15.0
+        assert args.max_retries == 5
+
+    def test_cluster_sweep_defaults(self):
+        args = build_parser().parse_args(["cluster", "sweep"])
+        assert args.workers == 2
+        assert args.port == 0
+        assert args.wait_timeout == 600.0
+
+
 class TestDramCommand:
     def test_dram_prints_access_table(self, capsys):
         exit_code = main(["dram"])
@@ -173,6 +206,34 @@ class TestCacheCommand:
         assert exit_code == 0
         assert payload["removed_files"] == 0
         assert payload["kept_files"] == 3
+        assert payload["dry_run"] is False
+
+    def test_cache_prune_dry_run_leaves_store_alone(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        self._fill(cache)
+        exit_code = main([
+            "cache", "prune", "--cache-dir", str(cache),
+            "--max-bytes", "4500", "--dry-run",
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "dry run: would prune 2 artifact(s)" in out
+        assert len(list(cache.glob("*/*.pkl"))) == 3  # nothing deleted
+
+    def test_cache_prune_dry_run_json(self, capsys, tmp_path):
+        import json
+
+        cache = tmp_path / "cache"
+        self._fill(cache)
+        exit_code = main([
+            "cache", "prune", "--cache-dir", str(cache),
+            "--max-bytes", "4500", "--dry-run", "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["dry_run"] is True
+        assert payload["removed_files"] == 2
+        assert len(list(cache.glob("*/*.pkl"))) == 3
 
     def test_size_suffixes(self):
         from repro.cli import _parse_size

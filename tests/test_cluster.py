@@ -1,0 +1,492 @@
+"""Cluster subsystem tests: protocol, coordinator fault paths, e2e.
+
+The end-to-end tests are the acceptance contract of docs/cluster.md: a
+multi-worker distributed sweep produces records *identical in value* to
+the serial Runner on the same grid, with each training-side fingerprint
+executed exactly once cluster-wide.
+"""
+
+import io
+import pickle
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import SparkXDConfig
+from repro.analysis.export import records_equivalent, run_record_value_dict
+from repro.cluster import (
+    ClusterClient,
+    ClusterExecutor,
+    CoordinatorServer,
+    PlanFailed,
+    SweepPlan,
+    WorkerAgent,
+    local_worker_threads,
+    parse_address,
+)
+from repro.cluster.protocol import ConnectionClosed, recv_message, send_message
+from repro.pipeline import ArtifactStore, Runner, default_stages
+
+TINY = SparkXDConfig.small(
+    n_train=40,
+    n_test=25,
+    n_neurons=12,
+    n_steps=30,
+    baseline_epochs=1,
+    ber_rates=(1e-5, 1e-3),
+    accuracy_bound=0.5,
+)
+GRID = {"voltages": [(1.325,), (1.025,)]}
+
+
+@pytest.fixture(scope="module")
+def serial_sweep():
+    """The serial reference: records plus the warmed store."""
+    store = ArtifactStore()
+    records = Runner(TINY, store=store).run(GRID)
+    return records, store
+
+
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_parse_address_forms(self):
+        assert parse_address("host:123") == ("host", 123)
+        assert parse_address(("host", 123)) == ("host", 123)
+        assert parse_address("host") == ("host", 8752)
+        assert parse_address(":123") == ("127.0.0.1", 123)
+
+    def test_parse_address_ipv6(self):
+        from repro.cluster import format_address
+
+        assert parse_address("[2001:db8::1]:9000") == ("2001:db8::1", 9000)
+        assert parse_address("[::1]") == ("::1", 8752)
+        assert parse_address("::1") == ("::1", 8752)  # bare literal, no port
+        with pytest.raises(ValueError):
+            parse_address("[::1")
+        # format/parse round trip, v4 and v6
+        for addr in (("10.0.0.1", 8752), ("2001:db8::1", 9000)):
+            assert parse_address(format_address(addr)) == addr
+
+    def test_message_round_trip_with_blob(self):
+        buffer = io.BytesIO()
+        send_message(buffer, {"op": "put", "stage": "s"}, blob=b"\x00\xffraw")
+        buffer.seek(0)
+        payload, blob = recv_message(buffer)
+        assert payload == {"op": "put", "stage": "s"}
+        assert blob == b"\x00\xffraw"
+
+    def test_message_without_blob(self):
+        buffer = io.BytesIO()
+        send_message(buffer, {"op": "lease"})
+        buffer.seek(0)
+        payload, blob = recv_message(buffer)
+        assert payload == {"op": "lease"}
+        assert blob is None
+
+    def test_truncated_blob_raises(self):
+        buffer = io.BytesIO()
+        send_message(buffer, {"op": "put"}, blob=b"full payload")
+        truncated = io.BytesIO(buffer.getvalue()[:-4])
+        with pytest.raises(ConnectionClosed):
+            recv_message(truncated)
+
+    def test_closed_connection_raises(self):
+        with pytest.raises(ConnectionClosed):
+            recv_message(io.BytesIO(b""))
+
+
+class TestConfigWire:
+    def test_round_trip_preserves_fingerprints(self):
+        import json
+
+        from repro.pipeline.stages import DRAM_FIELDS
+        from repro.pipeline.store import config_fingerprint
+
+        back = SparkXDConfig.from_wire(json.loads(json.dumps(TINY.to_wire())))
+        assert back == TINY
+        assert config_fingerprint(back, DRAM_FIELDS) == config_fingerprint(
+            TINY, DRAM_FIELDS
+        )
+
+    def test_custom_dram_spec_survives(self):
+        from repro.dram.specs import tiny_spec
+
+        config = TINY.with_overrides(
+            dram_spec=tiny_spec().scaled(rows_per_subarray=8), voltages=(1.1,)
+        )
+        assert SparkXDConfig.from_wire(config.to_wire()) == config
+
+    def test_unknown_field_rejected(self):
+        payload = TINY.to_wire()
+        payload["not_a_field"] = 1
+        with pytest.raises(ValueError, match="not_a_field"):
+            SparkXDConfig.from_wire(payload)
+
+
+# ----------------------------------------------------------------------
+# Coordinator fault paths over real sockets, with protocol-level fake
+# workers (no training: artifacts are hand-pushed pickles).
+
+
+@pytest.fixture
+def coordinator():
+    plan = SweepPlan(
+        TINY, {}, ArtifactStore(), lease_timeout=0.3, max_attempts=5
+    )
+    with CoordinatorServer(plan, plan.store, poll_s=0.05) as server:
+        yield server
+
+
+def _client(server):
+    return ClusterClient(server.address, timeout=5.0)
+
+
+class TestCoordinatorFaultPaths:
+    def test_worker_death_requeues_with_exclusion(self, coordinator):
+        client = _client(coordinator)
+        reply, _ = client.request({"op": "lease", "worker": "dying"})
+        job = reply["job"]
+        # Register a healthy peer before the lease expires.
+        waiting, _ = client.request({"op": "lease", "worker": "healthy"})
+        assert "wait" in waiting
+        time.sleep(0.35)  # no heartbeat: the lease expires
+        retaken, _ = client.request({"op": "lease", "worker": "healthy"})
+        assert retaken["job"]["job_id"] == job["job_id"]
+        # The dead worker is excluded while the healthy one is live.
+        plan_job = coordinator.plan.jobs[job["job_id"]]
+        assert "dying" in plan_job.excluded
+        assert plan_job.worker == "healthy"
+        starved, _ = client.request({"op": "lease", "worker": "dying"})
+        assert "wait" in starved
+
+    def test_heartbeat_keeps_lease_alive(self, coordinator):
+        client = _client(coordinator)
+        reply, _ = client.request({"op": "lease", "worker": "steady"})
+        job_id = reply["job"]["job_id"]
+        for _ in range(3):
+            time.sleep(0.15)
+            beat, _ = client.request(
+                {"op": "heartbeat", "worker": "steady", "job_id": job_id}
+            )
+            assert beat["ok"]
+        assert coordinator.plan.jobs[job_id].state == "leased"
+
+    def test_duplicate_completion_is_idempotent(self, coordinator):
+        client = _client(coordinator)
+        reply, _ = client.request({"op": "lease", "worker": "w1"})
+        job = reply["job"]
+        blob = pickle.dumps({"fake": "artifact"})
+        client.request(
+            {"op": "put", "stage": job["stage"], "digest": job["digest"]}, blob=blob
+        )
+        first, _ = client.request(
+            {"op": "complete", "worker": "w1", "job_id": job["job_id"]}
+        )
+        second, _ = client.request(
+            {"op": "complete", "worker": "w2", "job_id": job["job_id"]}
+        )
+        assert first["ok"] and second["ok"]
+        assert coordinator.plan.jobs[job["job_id"]].state == "done"
+
+    def test_completion_without_artifact_rejected(self, coordinator):
+        client = _client(coordinator)
+        reply, _ = client.request({"op": "lease", "worker": "liar"})
+        verdict, _ = client.request(
+            {"op": "complete", "worker": "liar", "job_id": reply["job"]["job_id"]}
+        )
+        assert not verdict["ok"]
+        assert coordinator.plan.jobs[reply["job"]["job_id"]].state == "pending"
+
+    def test_artifact_round_trip_is_byte_identical(self, coordinator):
+        client = _client(coordinator)
+        import numpy as np
+
+        artifact = {"weights": np.arange(32, dtype=np.float64).reshape(4, 8)}
+        blob = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
+        stored, _ = client.request(
+            {"op": "put", "stage": "train-baseline", "digest": "d1"}, blob=blob
+        )
+        assert stored["stored"]
+        # Idempotent: re-uploading the same fingerprint is a hit.
+        again, _ = client.request(
+            {"op": "put", "stage": "train-baseline", "digest": "d1"}, blob=blob
+        )
+        assert again["ok"] and not again["stored"]
+        reply, pulled = client.request(
+            {"op": "get", "stage": "train-baseline", "digest": "d1"}
+        )
+        assert reply["found"]
+        assert pulled == blob  # byte-identical round trip
+
+    def test_has_filters_present_keys(self, coordinator):
+        client = _client(coordinator)
+        client.request(
+            {"op": "put", "stage": "s", "digest": "present"},
+            blob=pickle.dumps("x"),
+        )
+        reply, _ = client.request(
+            {"op": "has", "keys": [["s", "present"], ["s", "absent"]]}
+        )
+        assert reply["present"] == [["s", "present"]]
+
+    def test_get_missing_artifact(self, coordinator):
+        reply, blob = _client(coordinator).request(
+            {"op": "get", "stage": "s", "digest": "nope"}
+        )
+        assert reply == {"found": False} and blob is None
+
+    def test_unknown_op_is_an_error_reply(self, coordinator):
+        from repro.cluster.protocol import ProtocolError
+
+        with pytest.raises(ProtocolError, match="unknown op"):
+            _client(coordinator).request({"op": "frobnicate"})
+
+    def test_status_reports_counts(self, coordinator):
+        reply, _ = _client(coordinator).request({"op": "status"})
+        assert reply["pending"] == len(coordinator.plan.jobs)
+        assert reply["failure"] is None
+
+
+class TestWireCache:
+    def test_byte_bounded_lru_eviction(self):
+        from repro.cluster.coordinator import _WireCache
+
+        cache = _WireCache(max_bytes=100)
+        cache.put(("s", "a"), b"x" * 40)
+        cache.put(("s", "b"), b"y" * 40)
+        cache.get(("s", "a"))  # refresh: b becomes the LRU victim
+        cache.put(("s", "c"), b"z" * 40)  # 120 bytes > budget
+        assert cache.get(("s", "b")) is None
+        assert cache.get(("s", "a")) == b"x" * 40
+        assert cache.get(("s", "c")) == b"z" * 40
+        assert cache.total_bytes <= 100
+
+    def test_oversized_blob_is_not_cached(self):
+        from repro.cluster.coordinator import _WireCache
+
+        cache = _WireCache(max_bytes=10)
+        cache.put(("s", "big"), b"x" * 100)
+        assert cache.get(("s", "big")) is None
+        assert cache.total_bytes == 0
+
+
+# ----------------------------------------------------------------------
+# End to end: distributed == serial.
+
+
+class TestDistributedSweep:
+    def test_records_identical_to_serial_runner(self, serial_sweep):
+        import contextlib
+
+        serial_records, _ = serial_sweep
+        executor = ClusterExecutor(
+            TINY,
+            store=ArtifactStore(),
+            lease_timeout=10.0,
+            poll_s=0.05,
+            wait_timeout=300.0,
+        )
+        with contextlib.ExitStack() as stack:
+            records = executor.run(
+                GRID,
+                on_ready=lambda address: stack.enter_context(
+                    local_worker_threads(address, 2, max_idle_s=60.0)
+                ),
+            )
+
+        assert records_equivalent(serial_records, records)
+        # Training-side fingerprints executed exactly once cluster-wide.
+        plan = executor.last_plan
+        training_jobs = [
+            j for j in plan.jobs.values() if j.stage != "dram-eval"
+        ]
+        assert len(training_jobs) == 3
+        assert all(j.attempts == 1 and j.state == "done" for j in training_jobs)
+        # Placement/transfer stats surfaced in the records.
+        cluster_keys = [
+            key
+            for record in records
+            for key in record.stage_timings
+            if key.startswith("cluster/")
+        ]
+        assert any(key.endswith(":worker") for key in cluster_keys)
+        assert any(key.endswith(":sync_s") for key in cluster_keys)
+
+    def test_fresh_worker_pulls_upstream_artifacts(self, serial_sweep):
+        serial_records, serial_store = serial_sweep
+        # Prime a store with the training chain only: the dram jobs'
+        # upstream artifacts exist on the coordinator but not on the
+        # (fresh, empty) worker — it must pull all three.
+        store = ArtifactStore()
+        for stage in default_stages()[:-1]:
+            digest = stage.cache_key(TINY)
+            store.put(stage.name, digest, serial_store.get(stage.name, digest))
+        import contextlib
+
+        executor = ClusterExecutor(
+            TINY, store=store, lease_timeout=10.0, poll_s=0.05, wait_timeout=300.0
+        )
+        agents = []
+        with contextlib.ExitStack() as stack:
+            records = executor.run(
+                GRID,
+                on_ready=lambda address: agents.extend(
+                    stack.enter_context(
+                        local_worker_threads(address, 1, max_idle_s=60.0)
+                    )
+                ),
+            )
+        assert records_equivalent(serial_records, records)
+        (agent,) = agents
+        assert agent.stats.artifacts_pulled == 3  # baseline, training, tolerance
+        assert agent.stats.artifacts_pushed == 2  # the two dram-eval artifacts
+        assert [j.stage for j in executor.last_plan.jobs.values()] == [
+            "dram-eval",
+            "dram-eval",
+        ]
+
+    def test_runner_delegates_to_cluster(self, serial_sweep):
+        serial_records, _ = serial_sweep
+        # Pre-pick a port so workers can be launched before the
+        # coordinator binds (they retry until it appears).
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        address = ("127.0.0.1", port)
+        with local_worker_threads(address, 2, max_idle_s=60.0):
+            runner = Runner(
+                TINY,
+                store=ArtifactStore(),
+                coordinator=address,
+                cluster_options={
+                    "lease_timeout": 10.0,
+                    "poll_s": 0.05,
+                    "wait_timeout": 300.0,
+                },
+            )
+            records = runner.run(GRID)
+        assert records_equivalent(serial_records, records)
+
+    def test_cluster_options_require_coordinator(self):
+        with pytest.raises(ValueError, match="coordinator"):
+            Runner(TINY, cluster_options={"lease_timeout": 5.0})
+
+    def test_always_failing_job_fails_the_sweep(self, monkeypatch):
+        from repro.pipeline import stages as stages_module
+
+        def explode(self, context, artifacts):
+            raise RuntimeError("injected training failure")
+
+        monkeypatch.setattr(
+            stages_module.TrainBaselineStage, "run", explode
+        )
+        import contextlib
+
+        executor = ClusterExecutor(
+            TINY,
+            store=ArtifactStore(),
+            lease_timeout=10.0,
+            max_attempts=2,
+            poll_s=0.05,
+            wait_timeout=120.0,
+        )
+        with contextlib.ExitStack() as stack:
+            with pytest.raises(PlanFailed, match="train-baseline"):
+                executor.run(
+                    GRID,
+                    on_ready=lambda address: stack.enter_context(
+                        local_worker_threads(address, 2, max_idle_s=60.0)
+                    ),
+                )
+
+    def test_plan_failure_shuts_workers_down_gracefully(self):
+        """A failed plan must deliver shutdown, not look unreachable."""
+        plan = SweepPlan(
+            TINY, {}, ArtifactStore(), lease_timeout=5.0, max_attempts=1
+        )
+        with CoordinatorServer(plan, plan.store, poll_s=0.05) as server:
+            client = ClusterClient(server.address, timeout=5.0)
+            reply, _ = client.request({"op": "lease", "worker": "crashy"})
+            client.request({
+                "op": "fail", "worker": "crashy",
+                "job_id": reply["job"]["job_id"], "error": "boom",
+            })
+            assert plan.failed  # retry budget (1) exhausted
+            agent = WorkerAgent(server.address, max_idle_s=10.0, retry_s=0.05)
+            started = time.monotonic()
+            stats = agent.run_forever()
+            # Graceful: one lease round trip, not an unreachability
+            # retry loop running out the idle budget.
+            assert time.monotonic() - started < 5.0
+            assert any("shut the sweep down" in e for e in stats.errors)
+            assert not any("unreachable" in e for e in stats.errors)
+
+    def test_worker_gives_up_on_dead_coordinator(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead = probe.getsockname()[1]
+        agent = WorkerAgent(("127.0.0.1", dead), max_idle_s=0.3, retry_s=0.05)
+        started = time.monotonic()
+        stats = agent.run_forever()
+        assert time.monotonic() - started < 5.0
+        assert stats.jobs_done == 0
+        assert any("unreachable" in e for e in stats.errors)
+
+    def test_fully_cached_sweep_needs_no_workers(self, serial_sweep):
+        serial_records, serial_store = serial_sweep
+        executor = ClusterExecutor(
+            TINY, store=serial_store, lease_timeout=5.0, wait_timeout=30.0
+        )
+        records = executor.run(GRID)  # no workers connected at all
+        assert records_equivalent(serial_records, records)
+        assert executor.last_plan.jobs == {}
+
+
+class TestClusterCLI:
+    @pytest.mark.slow
+    def test_cluster_sweep_cli_matches_serial(self, capsys):
+        """``repro cluster sweep`` with real worker subprocesses."""
+        import json
+
+        from repro.cli import main
+        from repro.pipeline.runner import RunRecord
+
+        exit_code = main([
+            "cluster", "sweep",
+            "--neurons", "12", "--train", "40", "--test", "25",
+            "--steps", "30", "--bound", "0.5",
+            "--voltages", "1.325", "1.025",
+            "--workers", "2", "--lease-s", "15", "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert len(payload) == 2
+        cli_records = [RunRecord.from_dict(entry) for entry in payload]
+        # Serial reference on the exact config the CLI builds.
+        cli_base = SparkXDConfig.small(
+            n_neurons=12, n_train=40, n_test=25, n_steps=30,
+            accuracy_bound=0.5, seed=42,
+        )
+        reference = Runner(cli_base, store=ArtifactStore()).run(
+            {"voltages": [(1.325,), (1.025,)]}
+        )
+        assert records_equivalent(reference, cli_records)
+
+
+class TestRecordValueHelpers:
+    def test_value_dict_drops_execution_fields(self, run_record_factory):
+        record = run_record_factory()
+        payload = run_record_value_dict(record)
+        for key in ("wall_time_s", "cache_hits", "cache_misses", "stage_timings"):
+            assert key not in payload
+        assert payload["run_id"] == record.run_id
+
+    def test_records_equivalent_ignores_timings(self, run_record_factory):
+        a = run_record_factory(wall_time_s=1.0, cache_hits=0)
+        b = run_record_factory(wall_time_s=9.0, cache_hits=7)
+        assert records_equivalent([a], [b])
+        assert not records_equivalent([a], [])
+        c = run_record_factory(baseline_accuracy=0.9)
+        assert not records_equivalent([a], [c])

@@ -193,4 +193,96 @@ class TestPrune:
             "freed_bytes": 0,
             "kept_files": 1,
             "kept_bytes": report.kept_bytes,
+            "dry_run": False,
         }
+
+    def test_dry_run_reports_without_deleting(self, tmp_path):
+        store = self._filled_store(tmp_path, n=4)
+        real_budget = 2 * (tmp_path / "cache" / "stage" / "digest0.pkl").stat().st_size
+        preview = store.prune(max_bytes=real_budget, dry_run=True)
+        assert preview.dry_run
+        assert preview.removed_files == 2
+        assert preview.freed_bytes > 0
+        # Nothing touched: all four files and memory entries survive.
+        assert len(list((tmp_path / "cache").glob("*/*.pkl"))) == 4
+        assert all(("stage", f"digest{i}") in store for i in range(4))
+        # The preview matches what a real pass then does.
+        actual = store.prune(max_bytes=real_budget)
+        assert (actual.removed_files, actual.freed_bytes) == (
+            preview.removed_files,
+            preview.freed_bytes,
+        )
+        assert not actual.dry_run
+
+
+class TestConcurrentWriters:
+    def test_put_treats_existing_fingerprint_as_hit(self, tmp_path):
+        """Losing a write race must not rewrite the published file."""
+        import os
+
+        store = ArtifactStore(tmp_path / "cache")
+        store.put("stage", "d0", b"first")
+        path = tmp_path / "cache" / "stage" / "d0.pkl"
+        before = path.stat()
+        # A second writer (same content-addressed key) arrives late.
+        other = ArtifactStore(tmp_path / "cache")
+        other.put("stage", "d0", b"first")
+        after = path.stat()
+        assert after.st_size == before.st_size
+        assert store.get("stage", "d0") == b"first"
+        assert other.get("stage", "d0") == b"first"
+        # The skip still refreshes the LRU rank of the file.
+        old = before.st_mtime - 1000
+        os.utime(path, (old, old))
+        other.put("stage", "d0", b"first")
+        assert path.stat().st_mtime > old
+
+    def test_put_bytes_streams_to_disk_without_unpickling(self, tmp_path):
+        import pickle
+
+        store = ArtifactStore(tmp_path / "cache")
+        blob = pickle.dumps({"weights": list(range(100))})
+        store.put_bytes("stage", "d0", blob)
+        # Bytes land verbatim on disk; nothing is pinned in memory.
+        path = tmp_path / "cache" / "stage" / "d0.pkl"
+        assert path.read_bytes() == blob
+        assert len(store) == 0
+        # The artifact loads lazily, and re-uploads are hits.
+        assert store.get("stage", "d0") == {"weights": list(range(100))}
+        before = path.stat().st_mtime_ns
+        store.put_bytes("stage", "d0", blob)
+        assert path.read_bytes() == blob
+        assert path.stat().st_mtime_ns >= before
+
+    def test_put_bytes_memory_store_falls_back_to_object(self):
+        import pickle
+
+        store = ArtifactStore()
+        store.put_bytes("stage", "d0", pickle.dumps([1, 2, 3]))
+        assert store.get("stage", "d0") == [1, 2, 3]
+
+    def test_many_threads_racing_on_one_key(self, tmp_path):
+        import threading
+
+        store = ArtifactStore(tmp_path / "cache")
+        payload = {"weights": list(range(500))}
+        errors = []
+
+        def writer():
+            try:
+                local = ArtifactStore(tmp_path / "cache")
+                local.put("stage", "shared", payload)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # Exactly one published file, no leftover temp files, readable.
+        stage_dir = tmp_path / "cache" / "stage"
+        assert sorted(p.name for p in stage_dir.iterdir()) == ["shared.pkl"]
+        fresh = ArtifactStore(tmp_path / "cache")
+        assert fresh.get("stage", "shared") == payload
