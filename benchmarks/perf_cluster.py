@@ -8,10 +8,24 @@ distributed run produces records value-identical to the serial
 baseline, and writes the results to ``BENCH_cluster.json`` — the
 cluster half of the repo's performance trajectory artifacts.
 
+Two additional scenarios ride along:
+
+- **affinity** — the same 2-worker sweep with worker-affinity
+  scheduling on vs off, comparing artifact bytes transferred and
+  sync seconds (affinity keeps dependency chains on the worker already
+  holding their artifacts, so both should drop);
+- **kill-resume** (``--kill-resume``) — a ``repro cluster sweep
+  --journal`` subprocess SIGKILLed at ~50% journaled completion and
+  restarted with ``--resume``; the resumed records must be
+  value-identical to the serial Runner with no fingerprint executed
+  twice.  This is the CI crash-recovery smoke.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_cluster.py           # full run
     PYTHONPATH=src python benchmarks/perf_cluster.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/perf_cluster.py --quick \\
+        --kill-resume --skip-throughput   # CI kill-and-resume smoke
 
 The grid deliberately contains several *training-side* fingerprints
 (a seed axis), so there is real work to distribute: each worker is a
@@ -29,6 +43,8 @@ import contextlib
 import json
 import os
 import platform
+import signal
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -39,6 +55,7 @@ from repro import SparkXDConfig
 from repro.analysis.export import records_equivalent
 from repro.cluster import ClusterExecutor, local_worker_processes
 from repro.pipeline import ArtifactStore, Runner
+from repro.pipeline.runner import RunRecord
 
 FULL_CONFIG = dict(
     n_train=120, n_test=60, n_neurons=60, n_steps=60,
@@ -54,15 +71,46 @@ QUICK_GRID = {"seed": [42, 43], "voltages": [(1.325,), (1.025,)]}
 FULL_FLEETS = (1, 2, 4)
 QUICK_FLEETS = (2,)
 
+# The affinity scenario needs several DRAM-side points per training
+# chain: once both chains finish, every dram-eval job is ready at once
+# and a non-affine scheduler hands workers jobs whose upstream
+# artifacts live on the *other* worker.
+FULL_AFFINITY_GRID = {
+    "seed": [42, 43],
+    "voltages": [(1.325,), (1.250,), (1.175,), (1.100,), (1.025,)],
+}
+QUICK_AFFINITY_GRID = {
+    "seed": [42, 43],
+    "voltages": [(1.325,), (1.175,), (1.025,)],
+}
 
-def _distributed_run(config, grid, n_workers, lease_s=60.0):
-    """One cluster sweep against a fresh fleet; returns (records, seconds)."""
+# The kill-resume scenario drives the real CLI, so its workload uses
+# only CLI-expressible knobs (SparkXDConfig.small defaults otherwise).
+FULL_CLI_ARGS = ["--neurons", "30", "--train", "80", "--test", "40",
+                 "--steps", "40", "--bound", "0.5"]
+FULL_CLI_CONFIG = dict(n_neurons=30, n_train=80, n_test=40, n_steps=40,
+                       accuracy_bound=0.5, seed=42)
+QUICK_CLI_ARGS = ["--neurons", "12", "--train", "40", "--test", "25",
+                  "--steps", "30", "--bound", "0.5"]
+QUICK_CLI_CONFIG = dict(n_neurons=12, n_train=40, n_test=25, n_steps=30,
+                        accuracy_bound=0.5, seed=42)
+CLI_GRID_ARGS = ["--seeds", "42", "43", "--voltages", "1.325", "1.025"]
+CLI_GRID = {"seed": [42, 43], "voltages": [(1.325,), (1.025,)]}
+
+
+def _distributed_run(config, grid, n_workers, lease_s=60.0, affinity=True):
+    """One cluster sweep against a fresh fleet.
+
+    Returns ``(records, seconds, executor)`` — the executor exposes the
+    plan, whose per-job stats carry the transfer accounting.
+    """
     executor = ClusterExecutor(
         config,
         store=ArtifactStore(),
         lease_timeout=lease_s,
         poll_s=0.05,
         wait_timeout=1800.0,
+        affinity=affinity,
     )
     started = time.perf_counter()
     with contextlib.ExitStack() as stack:
@@ -72,7 +120,7 @@ def _distributed_run(config, grid, n_workers, lease_s=60.0):
                 local_worker_processes(address, n_workers, max_idle_s=60.0)
             ),
         )
-    return records, time.perf_counter() - started
+    return records, time.perf_counter() - started, executor
 
 
 def run_benchmark(quick: bool) -> dict:
@@ -99,7 +147,7 @@ def run_benchmark(quick: bool) -> dict:
 
     results = []
     for n_workers in fleets:
-        records, seconds = _distributed_run(config, grid, n_workers)
+        records, seconds, _ = _distributed_run(config, grid, n_workers)
         identical = records_equivalent(serial_records, records)
         results.append({
             "workers": n_workers,
@@ -130,24 +178,197 @@ def run_benchmark(quick: bool) -> dict:
     }
 
 
+def _plan_transfer_totals(executor) -> dict:
+    """Sum the per-job transfer accounting of the executor's last plan."""
+    jobs = executor.last_plan.jobs.values()
+    return {
+        "bytes_pulled": sum(j.stats.get("pulled_bytes", 0) for j in jobs),
+        "bytes_pushed": sum(j.stats.get("pushed_bytes", 0) for j in jobs),
+        "artifacts_pulled": sum(j.stats.get("pulled", 0) for j in jobs),
+        "sync_s": sum(j.stats.get("sync_s", 0.0) for j in jobs),
+    }
+
+
+def run_affinity_benchmark(quick: bool) -> dict:
+    """2-worker sweep with affinity scheduling on vs off.
+
+    With several dram-eval points per training chain, a non-affine
+    scheduler routinely grants a worker jobs whose upstream artifacts
+    the *other* worker computed — every such grant pulls the whole
+    chain over the wire.  Affinity keeps chains where their artifacts
+    live, so ``bytes_pulled``/``sync_s`` drop.
+    """
+    config = SparkXDConfig.small(**(QUICK_CONFIG if quick else FULL_CONFIG))
+    grid = QUICK_AFFINITY_GRID if quick else FULL_AFFINITY_GRID
+    serial_records = Runner(config, store=ArtifactStore()).run(grid)
+    modes = {}
+    for label, affinity in (("affinity_on", True), ("affinity_off", False)):
+        records, seconds, executor = _distributed_run(
+            config, grid, n_workers=2, affinity=affinity
+        )
+        totals = _plan_transfer_totals(executor)
+        modes[label] = {
+            "seconds": seconds,
+            "records_match_serial": bool(
+                records_equivalent(serial_records, records)
+            ),
+            **totals,
+        }
+        print(
+            f"{label:<13} | {seconds:6.2f}s | "
+            f"pulled {totals['artifacts_pulled']:2d} artifact(s) / "
+            f"{totals['bytes_pulled']:>9d} B | sync {totals['sync_s']:.3f}s"
+        )
+    on, off = modes["affinity_on"], modes["affinity_off"]
+    saved = off["bytes_pulled"] - on["bytes_pulled"]
+    print(f"affinity saved {saved} pulled byte(s) "
+          f"({off['bytes_pulled']} -> {on['bytes_pulled']})")
+    return {
+        "workers": 2,
+        "grid": {k: [list(v) if isinstance(v, tuple) else v for v in vs]
+                 for k, vs in grid.items()},
+        "bytes_pulled_saved": saved,
+        **modes,
+    }
+
+
+def run_kill_resume(quick: bool) -> dict:
+    """SIGKILL a journaled ``cluster sweep`` at ~50%, resume, verify.
+
+    Drives the real CLI in a subprocess — the same recipe an operator
+    follows after a coordinator crash (docs/cluster.md) — and checks
+    that the resumed records are value-identical to the serial Runner
+    and that no fingerprint was executed twice across both lives.
+    """
+    import tempfile
+
+    cli_config = QUICK_CLI_CONFIG if quick else FULL_CLI_CONFIG
+    cli_args = QUICK_CLI_ARGS if quick else FULL_CLI_ARGS
+    serial_records = Runner(
+        SparkXDConfig.small(**cli_config), store=ArtifactStore()
+    ).run(CLI_GRID)
+    n_jobs = 2 * 3 + len(CLI_GRID["voltages"]) * 2  # 2 chains + dram points
+    kill_at = n_jobs // 2
+
+    with tempfile.TemporaryDirectory(prefix="repro-kill-resume-") as tmp:
+        tmp_path = Path(tmp)
+        cache = tmp_path / "cache"
+        journal = cache / "journal.jsonl"
+        out = tmp_path / "records.json"
+        package_root = str(Path(__file__).resolve().parents[1] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = package_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        command = [
+            sys.executable, "-m", "repro", "cluster", "sweep",
+            *cli_args, *CLI_GRID_ARGS,
+            "--workers", "2", "--lease-s", "15", "--max-idle-s", "5",
+            "--cache-dir", str(cache), "--journal", "--out", str(out),
+        ]
+
+        def done_events():
+            if not journal.exists():
+                return []
+            events = []
+            for line in journal.read_text().splitlines():
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if event.get("event") == "done":
+                    events.append((event["stage"], event["digest"]))
+            return events
+
+        proc = subprocess.Popen(command, env=env, stdout=subprocess.DEVNULL)
+        deadline = time.monotonic() + 1800.0
+        while time.monotonic() < deadline:
+            if len(done_events()) >= kill_at or proc.poll() is not None:
+                break
+            time.sleep(0.2)
+        killed = proc.poll() is None
+        done_at_kill = len(done_events())
+        if killed:
+            proc.send_signal(signal.SIGKILL)
+        proc.wait()
+        print(f"coordinator {'SIGKILLed' if killed else 'finished'} at "
+              f"{done_at_kill}/{n_jobs} jobs done")
+
+        resumed = subprocess.run(
+            command + ["--resume"], env=env, stdout=subprocess.DEVNULL
+        )
+        records = (
+            [RunRecord.from_dict(e) for e in json.loads(out.read_text())]
+            if resumed.returncode == 0 and out.exists()
+            else []
+        )
+        done = done_events()
+        result = {
+            "killed_mid_sweep": bool(killed),
+            "jobs_done_at_kill": done_at_kill,
+            "total_jobs": n_jobs,
+            "resume_exit_code": resumed.returncode,
+            "records_match_serial": bool(
+                records and records_equivalent(serial_records, records)
+            ),
+            "reexecuted_fingerprints": len(done) - len(set(done)),
+        }
+        print(f"resume: exit {resumed.returncode}, "
+              f"identical={result['records_match_serial']}, "
+              f"re-executions={result['reexecuted_fingerprints']}")
+        return result
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="tiny sweep + 2 workers (the CI cluster smoke)")
+    parser.add_argument("--kill-resume", action="store_true",
+                        help="also SIGKILL a journaled sweep at ~50% and "
+                             "verify --resume (the crash-recovery smoke)")
+    parser.add_argument("--skip-throughput", action="store_true",
+                        help="skip the fleet-throughput and affinity scans "
+                             "(with --kill-resume: crash recovery only)")
     parser.add_argument("--out", default="BENCH_cluster.json", metavar="PATH",
                         help="output JSON path (default: ./BENCH_cluster.json)")
     args = parser.parse_args(argv)
+    if args.skip_throughput and not args.kill_resume:
+        parser.error("--skip-throughput without --kill-resume would run "
+                     "nothing; add --kill-resume or drop --skip-throughput")
 
-    payload = run_benchmark(args.quick)
+    failures = []
+    if args.skip_throughput:
+        payload = {
+            "benchmark": "repro.cluster distributed sweep throughput",
+            "quick": args.quick,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count() or 1,
+        }
+    else:
+        payload = run_benchmark(args.quick)
+        if not all(f["records_match_serial"] for f in payload["fleets"]):
+            failures.append("a distributed sweep diverged from the serial Runner")
+        payload["affinity"] = run_affinity_benchmark(args.quick)
+        for mode in ("affinity_on", "affinity_off"):
+            if not payload["affinity"][mode]["records_match_serial"]:
+                failures.append(f"{mode} sweep diverged from the serial Runner")
+
+    if args.kill_resume:
+        payload["kill_resume"] = run_kill_resume(args.quick)
+        if not payload["kill_resume"]["records_match_serial"]:
+            failures.append("resumed sweep diverged from the serial Runner")
+        if payload["kill_resume"]["reexecuted_fingerprints"]:
+            failures.append("a journaled-done fingerprint was re-executed")
+
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"results written to {out}")
 
-    if not all(f["records_match_serial"] for f in payload["fleets"]):
-        print("ERROR: a distributed sweep diverged from the serial Runner",
-              file=sys.stderr)
-        return 1
-    return 0
+    for failure in failures:
+        print(f"ERROR: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -12,7 +12,10 @@ Commands
     ``cluster coordinator`` serves a grid's jobs to networked workers,
     ``cluster worker`` runs one worker agent against a coordinator, and
     ``cluster sweep`` is the single-command localhost form (embedded
-    coordinator + N worker subprocesses).
+    coordinator + N worker subprocesses).  ``--journal`` persists job
+    transitions next to the store and ``--resume`` replays them, so a
+    coordinator killed mid-sweep restarts without re-executing done
+    work; ``--no-affinity`` disables holding-aware job placement.
 ``stages``
     Show the pipeline stages and every pluggable registry (datasets,
     error models, mapping policies, DRAM specs).
@@ -125,6 +128,22 @@ def _add_record_output_arguments(p) -> None:
                    help="print the records as JSON instead of the table")
 
 
+def _add_cluster_resilience_arguments(p) -> None:
+    """Journal/resume/affinity knobs shared by coordinator + sweep."""
+    p.add_argument("--journal", nargs="?", const="auto", default=None,
+                   metavar="PATH",
+                   help="append job transitions to a JSONL journal; with "
+                        "no PATH it lives next to the store "
+                        "(CACHE_DIR/journal.jsonl, requires --cache-dir)")
+    p.add_argument("--resume", action="store_true",
+                   help="replay an existing journal: journaled-done jobs "
+                        "whose artifacts are still cached are never "
+                        "re-leased (implies --journal)")
+    p.add_argument("--no-affinity", dest="affinity", action="store_false",
+                   help="disable worker-affinity scheduling (grants fall "
+                        "back to plain creation order)")
+
+
 def _add_sweep_parser(subparsers) -> None:
     p = subparsers.add_parser(
         "sweep",
@@ -164,6 +183,7 @@ def _add_cluster_parser(subparsers) -> None:
                             "S seconds (default: wait for workers forever)")
     coord.add_argument("--cache-dir", metavar="DIR",
                        help="artifact-store directory shared across sweeps")
+    _add_cluster_resilience_arguments(coord)
     _add_record_output_arguments(coord)
 
     worker = commands.add_parser(
@@ -199,8 +219,13 @@ def _add_cluster_parser(subparsers) -> None:
     sweep.add_argument("--max-retries", type=int, default=3, metavar="N")
     sweep.add_argument("--wait-timeout", type=float, default=600.0, metavar="S",
                        help="abort if not distributed within S seconds")
+    sweep.add_argument("--max-idle-s", type=float, default=30.0, metavar="S",
+                       help="worker subprocesses exit after S seconds of "
+                            "coordinator unreachability (bounds orphan "
+                            "lifetime after a coordinator crash)")
     sweep.add_argument("--cache-dir", metavar="DIR",
                        help="coordinator artifact-store directory")
+    _add_cluster_resilience_arguments(sweep)
     _add_record_output_arguments(sweep)
 
 
@@ -415,6 +440,29 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _resolve_journal(args):
+    """The journal path the ``--journal``/``--resume`` flags describe.
+
+    ``--resume`` implies journaling; the bare ``--journal`` flag (no
+    PATH) places the journal next to the store, which therefore
+    requires ``--cache-dir`` — an in-memory store cannot resume anyway.
+    """
+    from pathlib import Path
+
+    journal = args.journal or ("auto" if args.resume else None)
+    if journal is None:
+        return None
+    if journal == "auto":
+        if not args.cache_dir:
+            raise ValueError(
+                "--journal/--resume without a PATH places the journal next "
+                "to the store: pass --cache-dir (resume needs a disk-backed "
+                "store to hold the artifacts) or an explicit --journal PATH"
+            )
+        return Path(args.cache_dir) / "journal.jsonl"
+    return Path(journal)
+
+
 def _cmd_cluster(args) -> int:
     from repro.pipeline import ArtifactStore
 
@@ -447,6 +495,7 @@ def _cmd_cluster(args) -> int:
     base = _base_config(args).with_overrides(engine=args.engine)
     grid = _grid_from_args(args, base)
     store = ArtifactStore(args.cache_dir) if args.cache_dir else ArtifactStore()
+    journal = _resolve_journal(args)
 
     if args.cluster_command == "coordinator":
         executor = ClusterExecutor(
@@ -456,6 +505,9 @@ def _cmd_cluster(args) -> int:
             lease_timeout=args.lease_s,
             max_attempts=args.max_retries,
             wait_timeout=args.wait_timeout,
+            journal=journal,
+            resume=args.resume,
+            affinity=args.affinity,
         )
 
         def announce(address):
@@ -482,6 +534,9 @@ def _cmd_cluster(args) -> int:
             lease_timeout=args.lease_s,
             max_attempts=args.max_retries,
             wait_timeout=args.wait_timeout,
+            journal=journal,
+            resume=args.resume,
+            affinity=args.affinity,
         )
         with contextlib.ExitStack() as stack:
             # The fleet launches only once the coordinator is bound (the
@@ -492,6 +547,7 @@ def _cmd_cluster(args) -> int:
                     local_worker_processes(
                         address,
                         args.workers,
+                        max_idle_s=args.max_idle_s,
                         threads_per_worker=(
                             None if args.threads_per_worker == 0
                             else args.threads_per_worker

@@ -7,15 +7,22 @@ nothing beyond the standard library (``socket`` + ``json``):
 - a **coordinator** (:class:`CoordinatorServer` around a
   :class:`SweepPlan`) expands the grid, dedupes jobs by stage
   fingerprint and hands them out over a small line protocol with
-  leases, heartbeats, requeue-with-exclusion and bounded retries;
+  leases, heartbeats, requeue-with-exclusion, bounded retries and
+  affinity-aware grants (jobs prefer the worker already holding their
+  upstream artifacts);
 - **worker agents** (:class:`WorkerAgent`) lease jobs, run them through
   the ordinary :class:`~repro.pipeline.stages.ExperimentPipeline`
   against a local store, and sync artifacts by fingerprint
   (:class:`ArtifactSync` — idempotent, resumable by retry);
 - the **executor** (:class:`ClusterExecutor`) drives one sweep end to
-  end and assembles :class:`~repro.pipeline.runner.RunRecord` lists
-  whose values are identical to the serial
-  :class:`~repro.pipeline.runner.Runner`.
+  end — overlapping record assembly with the distribution tail — and
+  assembles :class:`~repro.pipeline.runner.RunRecord` lists whose
+  values are identical to the serial
+  :class:`~repro.pipeline.runner.Runner`;
+- an optional **journal** (:class:`SweepJournal`) persists every job
+  transition next to the store, so a coordinator killed mid-sweep
+  restarts with ``--resume`` and never re-leases a journaled-done
+  fingerprint.
 
 Minimal end-to-end (one process per block, any hosts)::
 
@@ -36,9 +43,11 @@ artifact sync contract.
 from repro.cluster.coordinator import CoordinatorServer
 from repro.cluster.executor import (
     ClusterExecutor,
+    DistributionTimeout,
     local_worker_processes,
     local_worker_threads,
 )
+from repro.cluster.journal import JournalMismatch, SweepJournal
 from repro.cluster.plan import Job, PlanFailed, SweepPlan
 from repro.cluster.protocol import (
     ClusterClient,
@@ -58,9 +67,12 @@ __all__ = [
     "ConnectionClosed",
     "CoordinatorServer",
     "DEFAULT_PORT",
+    "DistributionTimeout",
     "Job",
+    "JournalMismatch",
     "PlanFailed",
     "ProtocolError",
+    "SweepJournal",
     "SweepPlan",
     "WorkerAgent",
     "WorkerStats",

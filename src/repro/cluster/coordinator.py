@@ -165,7 +165,7 @@ class CoordinatorServer:
         if op == "hello":
             return {"ok": True, "slot": self.plan.worker_slot(worker)}, None
         if op == "lease":
-            return self._op_lease(worker), None
+            return self._op_lease(worker, payload.get("holding")), None
         if op == "heartbeat":
             ok = self.plan.heartbeat(worker, str(payload.get("job_id")))
             return {"ok": ok}, None
@@ -197,11 +197,15 @@ class CoordinatorServer:
         if op == "status":
             counts = self.plan.counts()
             counts["failure"] = self.plan.failure
+            counts["workers"] = {
+                name: round(age, 3)
+                for name, age in self.plan.worker_ages().items()
+            }
             return counts, None
         return {"error": f"unknown op {op!r}"}, None
 
     # ------------------------------------------------------------------
-    def _op_lease(self, worker: str) -> Dict[str, Any]:
+    def _op_lease(self, worker: str, holding: Optional[Any] = None) -> Dict[str, Any]:
         # Note "reason", not "error": the client treats an "error" key
         # as a protocol failure and raises, which would turn the
         # graceful plan-failed shutdown into apparent unreachability.
@@ -209,7 +213,7 @@ class CoordinatorServer:
             return {"shutdown": True, "reason": self.plan.failure}
         if self.plan.done:
             return {"shutdown": True}
-        job = self.plan.lease(worker)
+        job = self.plan.lease(worker, holding=holding)
         if job is None:
             if self.plan.failed:
                 return {"shutdown": True, "reason": self.plan.failure}

@@ -11,6 +11,18 @@ every grid; only the execution-dependent record fields differ, and each
 record additionally carries per-job placement/transfer stats under
 ``cluster/…`` keys in ``stage_timings``.
 
+Record assembly **overlaps the tail of distribution**: grid points are
+assembled in order as soon as their own chain is fully cached, while
+stragglers for later points are still computing on the workers — the
+coordinator never sits idle waiting for the last lease to finish
+before it starts pulling finished results together.
+
+With ``journal=...`` the executor keeps a disk journal of every job
+transition next to the store; ``resume=True`` replays it so a
+coordinator killed mid-sweep restarts without re-leasing a single
+journaled-done fingerprint (see docs/cluster.md, "Journal and
+resume").
+
 ``Runner(coordinator=...)`` delegates here, so existing sweep call
 sites scale out by adding one argument.
 """
@@ -24,9 +36,10 @@ import sys
 import threading
 import time
 from pathlib import Path
-from typing import Any, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.cluster.coordinator import CoordinatorServer
+from repro.cluster.journal import SweepJournal
 from repro.cluster.plan import PlanFailed, SweepPlan
 from repro.cluster.protocol import format_address, parse_address
 from repro.cluster.worker import WorkerAgent
@@ -34,6 +47,26 @@ from repro.core.config import SparkXDConfig
 from repro.pipeline.runner import RunRecord
 from repro.pipeline.stages import ExperimentPipeline
 from repro.pipeline.store import ArtifactStore
+
+
+class DistributionTimeout(TimeoutError):
+    """``wait_timeout`` elapsed with the sweep still incomplete.
+
+    Carries the scheduling diagnostics an operator needs to tell "no
+    workers ever connected" apart from "a worker went quiet mid-sweep":
+    ``counts`` is the job-state histogram at expiry and ``worker_ages``
+    maps each known worker to seconds since its last contact.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        counts: Dict[str, int],
+        worker_ages: Dict[str, float],
+    ):
+        super().__init__(message)
+        self.counts = dict(counts)
+        self.worker_ages = dict(worker_ages)
 
 
 class ClusterExecutor:
@@ -51,7 +84,21 @@ class ClusterExecutor:
         Lease semantics (see :mod:`repro.cluster.plan`).
     wait_timeout:
         Optional ceiling in seconds on one sweep's distribution phase;
-        ``None`` waits for workers indefinitely.
+        ``None`` waits for workers indefinitely.  On expiry a
+        :class:`DistributionTimeout` is raised carrying the job-state
+        counts and each worker's last-contact age.
+    journal:
+        Optional path to the coordinator journal (JSONL of job
+        transitions, conventionally next to the store).  An existing
+        journal is refused unless ``resume=True``.
+    resume:
+        Replay an existing journal before distributing: jobs whose
+        ``done`` events are journaled and whose artifacts are still in
+        the store are never re-leased.
+    affinity:
+        Enable worker-affinity scheduling (default).  ``False``
+        restores plain creation-order grants — kept for comparison
+        benchmarks (see benchmarks/perf_cluster.py).
     """
 
     def __init__(
@@ -64,6 +111,9 @@ class ClusterExecutor:
         max_attempts: int = 3,
         poll_s: Optional[float] = None,
         wait_timeout: Optional[float] = None,
+        journal: Optional[Union[str, Path]] = None,
+        resume: bool = False,
+        affinity: bool = True,
     ):
         self.base_config = base_config or SparkXDConfig()
         self.store = store if store is not None else ArtifactStore()
@@ -72,6 +122,9 @@ class ClusterExecutor:
         self.max_attempts = int(max_attempts)
         self.poll_s = poll_s
         self.wait_timeout = wait_timeout
+        self.journal_path = Path(journal) if journal is not None else None
+        self.resume = bool(resume)
+        self.affinity = bool(affinity)
         #: Actual bound address of the most recent (or current) run.
         self.address: Optional[Tuple[str, int]] = None
         #: The plan of the most recent run (inspection/tests).
@@ -90,84 +143,138 @@ class ClusterExecutor:
         convenient for launching a worker fleet against an ephemeral
         port (see :func:`local_worker_processes`).
         """
-        plan = SweepPlan(
-            self.base_config,
-            grid,
-            self.store,
-            lease_timeout=self.lease_timeout,
-            max_attempts=self.max_attempts,
+        journal = (
+            SweepJournal(self.journal_path, resume=self.resume)
+            if self.journal_path is not None
+            else None
         )
-        self.last_plan = plan
-        host, port = self.bind_address
-        with CoordinatorServer(
-            plan, self.store, host=host, port=port, poll_s=self.poll_s
-        ) as server:
-            self.address = server.address
-            if on_ready is not None:
-                on_ready(server.address)
-            self._wait_for_distribution(plan)
-            # Assemble while the server still answers: late pollers get
-            # their shutdown reply instead of a connection error.
-            records = self._assemble(plan)
-        return records
+        try:
+            plan = SweepPlan(
+                self.base_config,
+                grid,
+                self.store,
+                lease_timeout=self.lease_timeout,
+                max_attempts=self.max_attempts,
+                journal=journal,
+                affinity=self.affinity,
+            )
+            self.last_plan = plan
+            host, port = self.bind_address
+            with CoordinatorServer(
+                plan, self.store, host=host, port=port, poll_s=self.poll_s
+            ) as server:
+                self.address = server.address
+                if on_ready is not None:
+                    on_ready(server.address)
+                # Assembly overlaps the distribution tail: each grid
+                # point is assembled the moment its own chain is fully
+                # cached, while later points' jobs are still running —
+                # and the server keeps answering throughout, so late
+                # pollers get their shutdown reply instead of a
+                # connection error.
+                records = self._assemble(plan)
+            return records
+        finally:
+            if journal is not None:
+                journal.close()
 
-    def _wait_for_distribution(self, plan: SweepPlan) -> None:
-        deadline = (
-            None if self.wait_timeout is None else time.monotonic() + self.wait_timeout
-        )
-        while not plan.done:
-            # The tick below is what detects worker death even when no
-            # other worker ever polls again.
+    def _wait_for_keys(
+        self,
+        plan: SweepPlan,
+        keys: Sequence[Tuple[str, str]],
+        deadline: Optional[float],
+    ) -> None:
+        """Block until every ``(stage, digest)`` in ``keys`` is satisfied.
+
+        A key is satisfied when it has no job (cached before the sweep
+        started) or its job is done (which implies the artifact reached
+        the store).  Raises :class:`PlanFailed` on plan failure and a
+        diagnostic :class:`DistributionTimeout` once ``deadline``
+        passes — never returns with the keys incomplete.
+        """
+        while True:
+            # The expiry tick below is what detects worker death even
+            # when no other worker ever polls again.
             plan.expire_leases()
             plan.raise_on_failure()
+            if all(
+                (job := plan.job_for(stage, digest)) is None or job.state == "done"
+                for stage, digest in keys
+            ):
+                return
             if deadline is not None and time.monotonic() > deadline:
                 counts = plan.counts()
-                raise TimeoutError(
+                ages = plan.worker_ages()
+                contacts = (
+                    ", ".join(
+                        f"{name} seen {age:.1f}s ago"
+                        for name, age in sorted(ages.items(), key=lambda kv: kv[1])
+                    )
+                    or "none ever connected"
+                )
+                raise DistributionTimeout(
                     f"distributed sweep incomplete after {self.wait_timeout}s "
-                    f"(job states: {counts}) — are workers connected to "
-                    f"{format_address(self.address)}?"
+                    f"(job states: {counts}; workers: {contacts}) — are "
+                    f"workers connected to {format_address(self.address)}?",
+                    counts=counts,
+                    worker_ages=ages,
                 )
             time.sleep(0.05)
 
     # ------------------------------------------------------------------
     def _assemble(self, plan: SweepPlan) -> List[RunRecord]:
-        """Serial, deterministic record assembly from the warmed store.
+        """Deterministic record assembly, overlapped with distribution.
 
-        Identical to :meth:`Runner.run`'s assembly loop: every stage now
-        hits the cache, so values are exactly the serial runner's; the
-        volatile fields additionally record where each job ran and how
-        long transfers took.
+        Identical in values to :meth:`Runner.run`'s assembly loop —
+        grid order, warmed cache — but each record is built as soon as
+        *its* chain is fully cached instead of after the whole plan
+        drains, so assembly of finished grid points proceeds while
+        stragglers run.  The volatile fields additionally record where
+        each job ran, how long transfers took and how many bytes moved.
         """
+        deadline = (
+            None if self.wait_timeout is None else time.monotonic() + self.wait_timeout
+        )
         records: List[RunRecord] = []
-        for params, config in zip(plan.param_sets, plan.configs):
+        for params, config, keys in zip(plan.param_sets, plan.configs, plan.chain_keys):
+            self._wait_for_keys(plan, keys, deadline)
             started = time.perf_counter()
-            before = self.store.stats.snapshot()
-            pipeline = ExperimentPipeline(config, store=self.store)
+            # A per-record stats view keeps the hit/miss deltas
+            # attributable to THIS record's assembly: the shared store's
+            # counters are concurrently bumped by the server threads
+            # still serving straggler uploads.
+            view = self.store.stats_view()
+            pipeline = ExperimentPipeline(config, store=view)
             result = pipeline.run()
-            after = self.store.stats
             record = RunRecord.from_result(
                 result,
                 params=params,
                 wall_time_s=time.perf_counter() - started,
-                cache_hits=after.hits - before.hits,
-                cache_misses=after.misses - before.misses,
+                cache_hits=view.stats.hits,
+                cache_misses=view.stats.misses,
                 stage_timings=pipeline.stage_timings,
             )
-            for stage in plan.chain:
-                job = plan.job_for(stage.name, stage.cache_key(config))
+            for (stage_name, digest) in keys:
+                job = plan.job_for(stage_name, digest)
                 if job is None or not job.stats:
                     continue
-                prefix = f"cluster/{stage.name}"
-                exec_s = (job.stats.get("exec_s") or {}).get(stage.name)
+                prefix = f"cluster/{stage_name}"
+                exec_s = (job.stats.get("exec_s") or {}).get(stage_name)
                 if exec_s is not None:
                     record.stage_timings[prefix] = float(exec_s)
                 record.stage_timings[f"{prefix}:sync_s"] = float(
                     job.stats.get("sync_s", 0.0)
                 )
+                record.stage_timings[f"{prefix}:sync_bytes"] = float(
+                    job.stats.get("pulled_bytes", 0)
+                ) + float(job.stats.get("pushed_bytes", 0))
                 record.stage_timings[f"{prefix}:worker"] = float(
                     job.stats.get("slot", -1)
                 )
             records.append(record)
+        # Belt and braces: every job must be done once all records are
+        # assembled (chain keys cover every job by construction).
+        plan.raise_on_failure()
         return records
 
 
@@ -292,6 +399,7 @@ def local_worker_processes(
 
 __all__ = [
     "ClusterExecutor",
+    "DistributionTimeout",
     "PlanFailed",
     "local_worker_processes",
     "local_worker_threads",

@@ -1,0 +1,164 @@
+"""Append-only coordinator journal: sweep job transitions on disk.
+
+A :class:`SweepJournal` is one JSONL file living next to the
+coordinator's artifact store.  Every scheduling transition of a
+:class:`~repro.cluster.plan.SweepPlan` — lease grants, requeues,
+completions, plan failure — is appended as a single JSON line and
+flushed before the scheduling call returns, so a coordinator killed at
+any instant (SIGKILL included) loses at most the line being written.
+
+On restart, the plan **replays** the journal: every ``done`` event
+whose target artifact is still present in the store marks the matching
+job done — with the original worker attribution and placement stats —
+so an interrupted sweep resumes without re-leasing (or re-executing)
+a single journaled-done fingerprint.  A ``done`` event whose artifact
+has since vanished (pruned cache) is ignored and the job simply runs
+again: the store, not the journal, is the source of truth for bytes.
+
+Two guards keep replay honest:
+
+- each plan construction appends a ``plan`` header carrying a
+  ``plan_id`` fingerprint of the full (config × stage) digest matrix;
+  replaying a journal whose headers name a *different* sweep raises
+  :class:`JournalMismatch` instead of silently mixing state;
+- a truncated tail line (the one a crash interrupted) is tolerated and
+  skipped; malformed lines elsewhere are skipped too, never fatal.
+
+The journal is intentionally *not* a write-ahead log: it records
+transitions after they happen, and artifacts themselves travel through
+the content-addressed store whose publishes are already atomic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+
+class JournalMismatch(ValueError):
+    """The journal on disk belongs to a different sweep."""
+
+
+class SweepJournal:
+    """One append-only JSONL transition log, replayable after a crash.
+
+    Parameters
+    ----------
+    path:
+        The journal file.  Parent directories are created as needed.
+    resume:
+        With ``False`` (the default) an existing non-empty journal is
+        refused with a :class:`ValueError` — starting a *new* sweep on
+        top of an old journal is almost always an operator mistake
+        (pass ``resume=True`` to replay it, or delete the file).
+    """
+
+    def __init__(self, path: Union[str, Path], resume: bool = False):
+        self.path = Path(path)
+        self.resume = bool(resume)
+        existing = self.path.exists() and self.path.stat().st_size > 0
+        if existing and not self.resume:
+            raise ValueError(
+                f"journal {self.path} already exists; resume the interrupted "
+                "sweep (resume=True / --resume) or delete the file to start "
+                "fresh"
+            )
+        self._events: List[Dict[str, Any]] = self._load() if existing else []
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if existing and not self._ends_with_newline():
+            # The previous life crashed mid-write, leaving a torn tail
+            # with no terminator.  Appending onto it would glue the
+            # next event to the partial line, corrupting BOTH for every
+            # later replay — seal the tear first.
+            self._handle.write("\n")
+            self._handle.flush()
+
+    def _ends_with_newline(self) -> bool:
+        with open(self.path, "rb") as handle:
+            handle.seek(-1, os.SEEK_END)
+            return handle.read(1) == b"\n"
+
+    # ------------------------------------------------------------------
+    def _load(self) -> List[Dict[str, Any]]:
+        events: List[Dict[str, Any]] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    # The line a crash truncated mid-write (or stray
+                    # corruption): skip — every complete transition is
+                    # on its own line, so nothing else is affected.
+                    continue
+                if isinstance(event, dict):
+                    events.append(event)
+        return events
+
+    def replay(self) -> List[Dict[str, Any]]:
+        """The events read from disk at open time (oldest first)."""
+        return list(self._events)
+
+    def done_events(self, plan_id: Optional[str] = None) -> Dict[tuple, Dict[str, Any]]:
+        """``(stage, digest) -> last done event``, verifying plan headers.
+
+        With ``plan_id`` given, any ``plan`` header naming a different
+        sweep raises :class:`JournalMismatch` — replaying another
+        grid's journal must fail loudly, not half-apply.
+        """
+        done: Dict[tuple, Dict[str, Any]] = {}
+        for event in self._events:
+            kind = event.get("event")
+            if kind == "plan" and plan_id is not None:
+                recorded = event.get("plan_id")
+                if recorded is not None and recorded != plan_id:
+                    raise JournalMismatch(
+                        f"journal {self.path} was written by a different sweep "
+                        f"(plan_id {recorded[:16]}… != {plan_id[:16]}…); "
+                        "point --journal elsewhere or delete it"
+                    )
+            elif kind == "done":
+                stage, digest = event.get("stage"), event.get("digest")
+                if stage and digest:
+                    done[(str(stage), str(digest))] = event
+        return done
+
+    # ------------------------------------------------------------------
+    def append(self, event: Dict[str, Any]) -> None:
+        """Write one transition line and flush it to the OS.
+
+        A flush is enough for process-kill durability (the page cache
+        outlives the process); fsync-per-event would only add OS-crash
+        coverage at a latency cost the scheduler lock would feel.
+        """
+        event = dict(event)
+        event.setdefault("t", round(time.time(), 3))
+        line = json.dumps(event, sort_keys=True, default=str)
+        with self._lock:
+            if self._handle.closed:  # pragma: no cover - post-close race
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+        self._events.append(event)
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["JournalMismatch", "SweepJournal"]

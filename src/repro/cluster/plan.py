@@ -20,7 +20,17 @@ networked workers:
   worker may take a job it is excluded from iff no other live worker
   could;
 - **bounded retries** — a job leased ``max_attempts`` times without a
-  completion fails the whole plan with a diagnostic.
+  completion fails the whole plan with a diagnostic;
+- **affinity** — a leasing worker reports which artifacts it already
+  holds locally; among the ready jobs it is granted the one with the
+  most upstream artifacts already in its hands, so dependency chains
+  stay on the worker that computed (or pulled) them and transfer bytes
+  stay down.  With nothing reported (or ``affinity=False``) grants fall
+  back to plain creation order, exactly the pre-affinity behaviour;
+- **journal** — with a :class:`~repro.cluster.journal.SweepJournal`
+  attached, every transition is appended to disk and a reconstructed
+  plan replays ``done`` events (validated against the store), so a
+  coordinator crash never re-leases a finished fingerprint.
 
 The plan is deliberately socket-free (all methods are plain calls under
 an internal lock, time is injectable) so the scheduling semantics are
@@ -32,12 +42,24 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.config import SparkXDConfig
+from repro.cluster.journal import SweepJournal
 from repro.pipeline.runner import sweep_grid
 from repro.pipeline.stages import default_stages
-from repro.pipeline.store import ArtifactStore
+from repro.pipeline.store import ArtifactStore, fingerprint
 
 
 @dataclass
@@ -55,20 +77,30 @@ class Job:
     digest: str
     config: SparkXDConfig
     deps: Set[str] = field(default_factory=set)
+    #: Every upstream ``(stage, digest)`` key of the chain prefix —
+    #: exactly what the executing worker must hold (pull or recompute)
+    #: before running; the affinity scorer counts these.
+    upstream: Tuple[Tuple[str, str], ...] = ()
     state: str = "pending"  # pending | leased | done | failed
     attempts: int = 0
     excluded: Set[str] = field(default_factory=set)
     worker: Optional[str] = None
     deadline: Optional[float] = None
     #: Placement/transfer stats of the completing worker (exec_s per
-    #: stage, sync_s, worker slot) — merged into the assembled records'
-    #: ``stage_timings``.
+    #: stage, sync_s/sync bytes, worker slot) — merged into the
+    #: assembled records' ``stage_timings``.
     stats: Dict[str, Any] = field(default_factory=dict)
     error: Optional[str] = None
+
+    @property
+    def short_id(self) -> str:
+        """Abbreviated display form (job identity is the *full* digest)."""
+        return f"{self.stage}:{self.digest[:16]}"
 
     def to_wire(self, lease_timeout: float) -> Dict[str, Any]:
         return {
             "job_id": self.job_id,
+            "display_id": self.short_id,
             "stage": self.stage,
             "depth": self.depth,
             "digest": self.digest,
@@ -97,6 +129,18 @@ class SweepPlan:
         Lease grants per job before the plan fails.
     clock:
         Injectable monotonic time source (tests).
+    journal:
+        Optional :class:`~repro.cluster.journal.SweepJournal`.  Job
+        transitions are appended to it, and ``done`` events already on
+        disk are replayed at construction: a journaled-done fingerprint
+        whose artifact is still in the store comes back as a done job
+        (original worker attribution and stats intact) and is never
+        re-leased.
+    affinity:
+        With ``True`` (default), :meth:`lease` prefers the ready job
+        with the most upstream artifacts among those the worker
+        reported holding; ``False`` restores plain creation-order
+        grants (the pre-affinity scheduler).
     """
 
     def __init__(
@@ -108,6 +152,8 @@ class SweepPlan:
         lease_timeout: float = 30.0,
         max_attempts: int = 3,
         clock: Callable[[], float] = time.monotonic,
+        journal: Optional[SweepJournal] = None,
+        affinity: bool = True,
     ):
         if lease_timeout <= 0:
             raise ValueError(f"lease_timeout must be > 0, got {lease_timeout}")
@@ -117,10 +163,24 @@ class SweepPlan:
         self.lease_timeout = float(lease_timeout)
         self.max_attempts = int(max_attempts)
         self.clock = clock
+        self.journal = journal
+        self.affinity = bool(affinity)
         self._lock = threading.Lock()
         self.param_sets = sweep_grid(grid)
         self.configs = [base_config.with_overrides(**p) for p in self.param_sets]
         self.chain = default_stages()
+        #: Full (stage, digest) chain per config, in chain order —
+        #: shared by job construction, the plan identity below, and the
+        #: executor's per-grid-point readiness checks.
+        self.chain_keys: List[List[Tuple[str, str]]] = [
+            [(stage.name, stage.cache_key(config)) for stage in self.chain]
+            for config in self.configs
+        ]
+        #: Stable identity of this sweep: the full config × stage digest
+        #: matrix.  Independent of store warmth, so a resumed plan gets
+        #: the same id and journal replay can verify it is reading the
+        #: journal of *this* sweep.
+        self.plan_id = fingerprint([list(map(list, keys)) for keys in self.chain_keys])
         self.jobs: Dict[str, Job] = {}
         self._order: List[str] = []  # creation order: grid-major, depth-minor
         self.failure: Optional[str] = None
@@ -128,26 +188,53 @@ class SweepPlan:
         self._workers: Dict[str, float] = {}
         #: worker name -> stable integer slot (first-contact order)
         self._slots: Dict[str, int] = {}
-        self._build_jobs()
+        #: worker name -> (stage, digest) keys it reported holding
+        self._holdings: Dict[str, Set[Tuple[str, str]]] = {}
+        replayed = (
+            journal.done_events(plan_id=self.plan_id) if journal is not None else {}
+        )
+        self._build_jobs(replayed)
+        self.replayed_done = sum(
+            1 for job in self.jobs.values() if job.state == "done"
+        )
+        self._journal_event({
+            "event": "plan",
+            "plan_id": self.plan_id,
+            "jobs": len(self.jobs),
+            "replayed_done": self.replayed_done,
+            "grid_points": len(self.configs),
+        })
 
     # ------------------------------------------------------------------
     # Construction.
 
-    def _build_jobs(self) -> None:
-        for config in self.configs:
+    def _build_jobs(self, replayed: Mapping[Tuple[str, str], Dict[str, Any]]) -> None:
+        for config, keys in zip(self.configs, self.chain_keys):
             last_job_id: Optional[str] = None
+            upstream: List[Tuple[str, str]] = []
             for depth, stage in enumerate(self.chain):
-                digest = stage.cache_key(config)
-                job_id = f"{stage.name}:{digest[:16]}"
+                digest = keys[depth][1]
+                # Jobs are keyed by the FULL digest: a 16-hex-char
+                # prefix (~64 bits) silently aliased distinct
+                # fingerprints onto one job, losing the second config's
+                # artifact entirely.  Display forms may abbreviate
+                # (Job.short_id); identity never does.
+                job_id = f"{stage.name}:{digest}"
+                key = (stage.name, digest)
                 existing = self.jobs.get(job_id)
                 if existing is not None:
                     last_job_id = job_id
+                    upstream.append(key)
                     continue
-                if (stage.name, digest) in self.store:
-                    # Cached on the coordinator already: no job.  The
-                    # dependency chain continues from the last job this
-                    # config did create (if any) so downstream jobs
-                    # still wait for every artifact they must pull.
+                in_store = key in self.store
+                replay_event = replayed.get(key)
+                if in_store and replay_event is None:
+                    # Cached on the coordinator before this sweep ever
+                    # ran: no job.  The dependency chain continues from
+                    # the last job this config did create (if any) so
+                    # downstream jobs still wait for every artifact
+                    # they must pull.
+                    upstream.append(key)
                     continue
                 job = Job(
                     job_id=job_id,
@@ -156,10 +243,27 @@ class SweepPlan:
                     digest=digest,
                     config=config,
                     deps=set() if last_job_id is None else {last_job_id},
+                    upstream=tuple(upstream),
                 )
+                if in_store and replay_event is not None:
+                    # Journaled done AND the artifact survived: replay
+                    # as a finished job so the resumed plan's counts,
+                    # stats and dependency graph cover the whole sweep
+                    # — without a single re-lease or re-execution.  A
+                    # journaled done whose artifact vanished (pruned
+                    # store) is NOT replayed: bytes win over history,
+                    # the job simply runs again.
+                    job.state = "done"
+                    job.worker = replay_event.get("worker")
+                    job.stats = dict(replay_event.get("stats") or {})
                 self.jobs[job_id] = job
                 self._order.append(job_id)
                 last_job_id = job_id
+                upstream.append(key)
+
+    def _journal_event(self, event: Dict[str, Any]) -> None:
+        if self.journal is not None:
+            self.journal.append(event)
 
     # ------------------------------------------------------------------
     # State inspection.
@@ -186,6 +290,12 @@ class SweepPlan:
     def worker_slot(self, worker: str) -> int:
         with self._lock:
             return self._slot_locked(worker)
+
+    def worker_ages(self) -> Dict[str, float]:
+        """Seconds since each known worker was last heard from."""
+        now = self.clock()
+        with self._lock:
+            return {name: now - seen for name, seen in self._workers.items()}
 
     def _slot_locked(self, worker: str) -> int:
         if worker not in self._slots:
@@ -232,8 +342,19 @@ class SweepPlan:
             self.failure = (
                 f"job {job.job_id} failed after {job.attempts} attempt(s): {reason}"
             )
+            self._journal_event({
+                "event": "plan-failed",
+                "job": job.job_id,
+                "failure": self.failure,
+            })
         else:
             job.state = "pending"
+            self._journal_event({
+                "event": "requeue",
+                "job": job.job_id,
+                "worker": worker,
+                "reason": reason,
+            })
 
     def expire_leases(self) -> List[str]:
         """Requeue every lease past its deadline; returns the job ids."""
@@ -249,22 +370,56 @@ class SweepPlan:
                     expired.append(job.job_id)
         return expired
 
-    def lease(self, worker: str) -> Optional[Job]:
-        """Grant the first ready, eligible job to ``worker`` (or None)."""
+    def lease(
+        self,
+        worker: str,
+        holding: Optional[Iterable[Sequence[str]]] = None,
+    ) -> Optional[Job]:
+        """Grant a ready, eligible job to ``worker`` (or ``None``).
+
+        ``holding`` — the ``(stage, digest)`` keys the worker reports
+        having locally — steers the grant: among the ready jobs, the
+        one with the most upstream artifacts already on that worker
+        wins (ties break by creation order), so chains stay where
+        their artifacts live and sync traffic shrinks.  Without a
+        report (or with ``affinity=False``) the first ready job in
+        creation order is granted, exactly as before.
+        """
         self.expire_leases()
         with self._lock:
             self._touch(worker)
+            if holding is not None:
+                self._holdings[worker] = {
+                    (str(stage), str(digest)) for stage, digest in holding
+                }
             if self.failure is not None:
                 return None
+            held = self._holdings.get(worker, ()) if self.affinity else ()
+            best: Optional[Job] = None
+            best_score = -1
             for job_id in self._order:
                 job = self.jobs[job_id]
-                if self._ready(job) and self._eligible(job, worker):
-                    job.state = "leased"
-                    job.worker = worker
-                    job.attempts += 1
-                    job.deadline = self.clock() + self.lease_timeout
-                    return job
-            return None
+                if not (self._ready(job) and self._eligible(job, worker)):
+                    continue
+                if not held:
+                    best = job
+                    break
+                score = sum(1 for key in job.upstream if key in held)
+                if score > best_score:
+                    best, best_score = job, score
+            if best is None:
+                return None
+            best.state = "leased"
+            best.worker = worker
+            best.attempts += 1
+            best.deadline = self.clock() + self.lease_timeout
+            self._journal_event({
+                "event": "lease",
+                "job": best.job_id,
+                "worker": worker,
+                "attempt": best.attempts,
+            })
+            return best
 
     def heartbeat(self, worker: str, job_id: str) -> bool:
         """Extend the lease; False means the lease is no longer held."""
@@ -317,6 +472,14 @@ class SweepPlan:
                 job.stats = dict(stats or {})
                 job.stats.setdefault("worker", worker)
                 job.stats.setdefault("slot", self._slot_locked(worker))
+            self._journal_event({
+                "event": "done",
+                "job": job.job_id,
+                "stage": job.stage,
+                "digest": job.digest,
+                "worker": worker,
+                "stats": job.stats,
+            })
             return True
 
     def fail(self, worker: str, job_id: str, error: str) -> None:
@@ -338,4 +501,4 @@ class SweepPlan:
     # ------------------------------------------------------------------
     def job_for(self, stage_name: str, digest: str) -> Optional[Job]:
         """The job that produced ``(stage_name, digest)``, if one ran."""
-        return self.jobs.get(f"{stage_name}:{digest[:16]}")
+        return self.jobs.get(f"{stage_name}:{digest}")

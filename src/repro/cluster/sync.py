@@ -37,6 +37,10 @@ class ArtifactSync:
         self.seconds = 0.0
         self.pulled = 0
         self.pushed = 0
+        #: Cumulative artifact payload bytes moved in each direction —
+        #: the quantity affinity scheduling exists to shrink.
+        self.pulled_bytes = 0
+        self.pushed_bytes = 0
 
     # ------------------------------------------------------------------
     def pull(self, stage: str, digest: str) -> bool:
@@ -50,6 +54,7 @@ class ArtifactSync:
                 return False
             self.store.put(stage, digest, pickle.loads(blob))
             self.pulled += 1
+            self.pulled_bytes += len(blob)
             return True
         finally:
             self.seconds += time.perf_counter() - started
@@ -66,6 +71,7 @@ class ArtifactSync:
                 {"op": "put", "stage": stage, "digest": digest}, blob=blob
             )
             self.pushed += 1
+            self.pushed_bytes += len(blob)
             return True
         finally:
             self.seconds += time.perf_counter() - started

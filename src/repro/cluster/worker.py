@@ -52,6 +52,8 @@ class WorkerStats:
     jobs_failed: int = 0
     artifacts_pulled: int = 0
     artifacts_pushed: int = 0
+    bytes_pulled: int = 0
+    bytes_pushed: int = 0
     sync_s: float = 0.0
     exec_s: float = 0.0
     errors: list = field(default_factory=list)
@@ -62,6 +64,8 @@ class WorkerStats:
             "jobs_failed": self.jobs_failed,
             "artifacts_pulled": self.artifacts_pulled,
             "artifacts_pushed": self.artifacts_pushed,
+            "bytes_pulled": self.bytes_pulled,
+            "bytes_pushed": self.bytes_pushed,
             "sync_s": self.sync_s,
             "exec_s": self.exec_s,
             "errors": list(self.errors),
@@ -121,6 +125,10 @@ class WorkerAgent:
         Continuous coordinator-unreachable seconds before the agent
         gives up and returns.  Polling ``wait`` replies does not count —
         only connection failures do.
+    max_jobs:
+        Optional ceiling on completed jobs, after which the agent
+        returns (tests and controlled-drain scenarios; ``None`` =
+        unlimited).
     """
 
     def __init__(
@@ -131,14 +139,24 @@ class WorkerAgent:
         max_idle_s: float = 30.0,
         retry_s: float = 0.5,
         client_timeout: float = 30.0,
+        max_jobs: Optional[int] = None,
     ):
         self.client = ClusterClient(address, timeout=client_timeout)
         self.name = name or default_worker_name()
         self.store = store if store is not None else ArtifactStore()
         self.max_idle_s = float(max_idle_s)
         self.retry_s = float(retry_s)
+        self.max_jobs = None if max_jobs is None else int(max_jobs)
         self.stats = WorkerStats()
         self._stop = threading.Event()
+        #: (stage, digest) keys this agent holds locally — computed or
+        #: pulled this session.  Reported on lease requests (only when
+        #: changed since the last delivered report — the coordinator
+        #: remembers the previous one, so idle wait-polls stay small)
+        #: so the affinity scheduler can keep dependency chains on the
+        #: worker that already has their artifacts.
+        self._holding: set = set()
+        self._holding_reported = False
 
     def stop(self) -> None:
         """Ask the agent loop to exit after the current request."""
@@ -149,11 +167,18 @@ class WorkerAgent:
         """Serve jobs until the coordinator says shutdown (or vanishes)."""
         unreachable_since: Optional[float] = None
         while not self._stop.is_set():
+            if self.max_jobs is not None and self.stats.jobs_done >= self.max_jobs:
+                break
+            request: Dict[str, Any] = {"op": "lease", "worker": self.name}
+            if self._holding and not self._holding_reported:
+                request["holding"] = sorted(list(key) for key in self._holding)
             try:
-                reply, _ = self.client.request(
-                    {"op": "lease", "worker": self.name}
-                )
+                reply, _ = self.client.request(request)
             except (OSError, ProtocolError) as error:
+                # The coordinator may be restarting (crash + --resume):
+                # its holdings map starts empty, so re-report ours on
+                # the first lease that gets through.
+                self._holding_reported = False
                 now = time.monotonic()
                 if unreachable_since is None:
                     unreachable_since = now
@@ -163,6 +188,8 @@ class WorkerAgent:
                 self._stop.wait(self.retry_s)
                 continue
             unreachable_since = None
+            if "holding" in request:
+                self._holding_reported = True  # delivered; resend on change
             if reply.get("shutdown"):
                 if reply.get("reason"):
                     self.stats.errors.append(
@@ -229,15 +256,27 @@ class WorkerAgent:
             "sync_s": sync.seconds,
             "pulled": sync.pulled,
             "pushed": sync.pushed,
+            "pulled_bytes": sync.pulled_bytes,
+            "pushed_bytes": sync.pushed_bytes,
             "wall_s": wall_s,
             # True when an expiry raced the computation: the coordinator
             # may have re-leased this job elsewhere, making our (still
             # accepted, idempotent) completion a duplicate.
             "lease_lost": heartbeat.lease_lost,
         }
+        # Everything in the chain is now local: report it on the next
+        # lease so affinity scheduling can route dependants back here.
+        before = len(self._holding)
+        self._holding.update(
+            (stage.name, stage.cache_key(config)) for stage in chain
+        )
+        if len(self._holding) != before:
+            self._holding_reported = False
         self.stats.jobs_done += 1
         self.stats.artifacts_pulled += sync.pulled
         self.stats.artifacts_pushed += sync.pushed
+        self.stats.bytes_pulled += sync.pulled_bytes
+        self.stats.bytes_pushed += sync.pushed_bytes
         self.stats.sync_s += sync.seconds
         self.stats.exec_s += sum(pipeline.stage_timings.values())
         try:

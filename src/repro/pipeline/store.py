@@ -21,15 +21,17 @@ any other local build cache.
 from __future__ import annotations
 
 import contextlib
+import copy
 import dataclasses
 import hashlib
 import json
 import os
 import pickle
 import tempfile
+import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Optional, Sequence, Set, Tuple, Union
 
 #: Sentinel distinguishing "no cached artifact" from a cached ``None``.
 MISS = object()
@@ -110,6 +112,36 @@ class ArtifactStore:
             self.root.mkdir(parents=True, exist_ok=True)
         self._memory: Dict[Tuple[str, str], Any] = {}
         self.stats = CacheStats()
+        # The memory map and the CacheStats counters are read-modify-
+        # written from every thread of a ThreadingTCPServer coordinator
+        # (has/get/put handlers), so all their mutations go through this
+        # lock.  File I/O deliberately stays outside it: disk publishes
+        # are atomic (and treat a lost race as a hit), so artifact
+        # traffic from many workers stays concurrent.
+        self._lock = threading.RLock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks don't pickle; each process gets its own
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
+    def stats_view(self) -> "ArtifactStore":
+        """A view sharing this store's memory, disk and lock — but with
+        its own fresh :class:`CacheStats`.
+
+        Lets one reader attribute hits/misses to *its* traffic while
+        other threads hammer the same store through the original handle
+        (the cluster executor's overlapped assembly runs while worker
+        uploads are still being served).
+        """
+        view = copy.copy(self)
+        view._lock = self._lock  # one lock per underlying store
+        view.stats = CacheStats()
+        return view
 
     # ------------------------------------------------------------------
     def _path(self, key: Tuple[str, str]) -> Path:
@@ -119,33 +151,45 @@ class ArtifactStore:
     def get(self, stage: str, digest: str) -> Any:
         """Return the cached artifact or the :data:`MISS` sentinel."""
         key = (stage, digest)
-        if key in self._memory:
-            self.stats.hits += 1
+        with self._lock:
+            if key in self._memory:
+                self.stats.hits += 1
+                artifact = self._memory[key]
+                served_from_memory = True
+            else:
+                served_from_memory = False
+        if served_from_memory:
             if self.root is not None:
                 # Keep prune()'s LRU ranking honest for artifacts served
                 # from memory: their disk twin is still "in use".
                 with contextlib.suppress(OSError):
                     os.utime(self._path(key), None)
-            return self._memory[key]
+            return artifact
         if self.root is not None:
             path = self._path(key)
             if path.exists():
+                # Load outside the lock: two threads racing on one key
+                # both unpickle the same published bytes and the loser
+                # merely overwrites an identical object.
                 with open(path, "rb") as handle:
                     artifact = pickle.load(handle)
                 # Refresh the mtime so prune()'s LRU ordering reflects
                 # use, not just creation.
                 with contextlib.suppress(OSError):
                     os.utime(path, None)
-                self._memory[key] = artifact
-                self.stats.hits += 1
+                with self._lock:
+                    self._memory[key] = artifact
+                    self.stats.hits += 1
                 return artifact
-        self.stats.misses += 1
+        with self._lock:
+            self.stats.misses += 1
         return MISS
 
     def put(self, stage: str, digest: str, artifact: Any) -> None:
         key = (stage, digest)
-        self._memory[key] = artifact
-        self.stats.puts += 1
+        with self._lock:
+            self._memory[key] = artifact
+            self.stats.puts += 1
         if self.root is not None:
             self._publish(
                 key, lambda: pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
@@ -165,7 +209,8 @@ class ArtifactStore:
         if self.root is None:
             self.put(stage, digest, pickle.loads(blob))
             return
-        self.stats.puts += 1
+        with self._lock:
+            self.stats.puts += 1
         self._publish((stage, digest), lambda: blob)
 
     def _publish(self, key: Tuple[str, str], make_blob) -> None:
@@ -232,7 +277,8 @@ class ArtifactStore:
                     path.unlink()
                 except OSError:
                     continue
-                self._memory.pop((path.parent.name, path.stem), None)
+                with self._lock:
+                    self._memory.pop((path.parent.name, path.stem), None)
             removed += 1
             freed += size
             total -= size
@@ -245,13 +291,27 @@ class ArtifactStore:
         )
 
     def __contains__(self, key: Tuple[str, str]) -> bool:
-        if key in self._memory:
-            return True
+        with self._lock:
+            if key in self._memory:
+                return True
         return self.root is not None and self._path(key).exists()
 
     def __len__(self) -> int:
-        return len(self._memory)
+        """Distinct cached artifacts — disk entries included.
+
+        A disk-backed store counts what is actually cached, not just
+        what has been faulted into memory (an uploaded-but-never-read
+        artifact is cached all the same).  Memory-only keys whose disk
+        twin vanished are still counted once.
+        """
+        with self._lock:
+            keys: Set[Tuple[str, str]] = set(self._memory)
+        if self.root is not None:
+            for path in self.root.glob("*/*.pkl"):
+                keys.add((path.parent.name, path.stem))
+        return len(keys)
 
     def clear(self) -> None:
         """Drop every in-memory entry (disk entries are left alone)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()

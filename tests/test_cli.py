@@ -57,6 +57,46 @@ class TestClusterParser:
         assert args.workers == 2
         assert args.port == 0
         assert args.wait_timeout == 600.0
+        assert args.max_idle_s == 30.0
+        assert args.journal is None
+        assert args.resume is False
+        assert args.affinity is True
+
+    def test_journal_resume_affinity_flags(self):
+        for command in (["cluster", "coordinator"], ["cluster", "sweep"]):
+            args = build_parser().parse_args(
+                command + ["--journal", "--resume", "--no-affinity"]
+            )
+            assert args.journal == "auto"  # bare flag: next to the store
+            assert args.resume is True
+            assert args.affinity is False
+            args = build_parser().parse_args(
+                command + ["--journal", "/tmp/j.jsonl"]
+            )
+            assert args.journal == "/tmp/j.jsonl"
+
+    def test_journal_path_resolution(self, tmp_path):
+        from repro.cli import _resolve_journal
+
+        # Bare --journal/--resume need --cache-dir to place the file.
+        args = build_parser().parse_args(
+            ["cluster", "sweep", "--journal", "--cache-dir", str(tmp_path)]
+        )
+        assert _resolve_journal(args) == tmp_path / "journal.jsonl"
+        args = build_parser().parse_args(
+            ["cluster", "sweep", "--resume", "--cache-dir", str(tmp_path)]
+        )
+        assert _resolve_journal(args) == tmp_path / "journal.jsonl"
+        args = build_parser().parse_args(["cluster", "sweep", "--resume"])
+        with pytest.raises(ValueError, match="cache-dir"):
+            _resolve_journal(args)
+        # Explicit paths pass through, no journal means None.
+        args = build_parser().parse_args(
+            ["cluster", "sweep", "--journal", str(tmp_path / "j.jsonl")]
+        )
+        assert _resolve_journal(args) == tmp_path / "j.jsonl"
+        args = build_parser().parse_args(["cluster", "sweep"])
+        assert _resolve_journal(args) is None
 
 
 class TestDramCommand:

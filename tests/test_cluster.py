@@ -490,3 +490,314 @@ class TestRecordValueHelpers:
         assert not records_equivalent([a], [])
         c = run_record_factory(baseline_accuracy=0.9)
         assert not records_equivalent([a], [c])
+
+
+# ----------------------------------------------------------------------
+# Journal, resume and distribution diagnostics.
+
+
+@pytest.fixture(scope="module")
+def cli_reference():
+    """Serial reference records for the exact config the CLI builds."""
+    base = SparkXDConfig.small(
+        n_neurons=12, n_train=40, n_test=25, n_steps=30,
+        accuracy_bound=0.5, seed=42,
+    )
+    records = Runner(base, store=ArtifactStore()).run(
+        {"voltages": [(1.325,), (1.025,)]}
+    )
+    return base, records
+
+
+class TestDistributionTimeout:
+    def test_no_workers_raises_diagnostic_timeout(self):
+        from repro.cluster import DistributionTimeout
+
+        executor = ClusterExecutor(
+            TINY, store=ArtifactStore(), wait_timeout=0.3, poll_s=0.05
+        )
+        with pytest.raises(DistributionTimeout) as info:
+            executor.run(GRID)
+        error = info.value
+        assert isinstance(error, TimeoutError)  # old except clauses still work
+        assert error.counts["pending"] == len(executor.last_plan.jobs)
+        assert error.worker_ages == {}
+        assert "none ever connected" in str(error)
+
+    def test_timeout_reports_last_worker_contact(self):
+        from repro.cluster import DistributionTimeout
+
+        executor = ClusterExecutor(
+            TINY,
+            store=ArtifactStore(),
+            wait_timeout=0.8,
+            lease_timeout=30.0,
+            poll_s=0.05,
+        )
+
+        def poke(address):
+            # One worker leases a job and is never heard from again.
+            ClusterClient(address, timeout=5.0).request(
+                {"op": "lease", "worker": "ghost"}
+            )
+
+        with pytest.raises(DistributionTimeout) as info:
+            executor.run(GRID, on_ready=poke)
+        error = info.value
+        assert "ghost" in error.worker_ages
+        assert error.counts["leased"] == 1
+        assert "ghost" in str(error) and "seen" in str(error)
+
+
+class TestJournalResume:
+    """Coordinator crash -> --resume: identical records, zero re-runs."""
+
+    def test_interrupted_sweep_resumes_without_reexecution(
+        self, serial_sweep, tmp_path
+    ):
+        import contextlib
+
+        from repro.cluster import CoordinatorServer, SweepJournal, SweepPlan
+
+        serial_records, _ = serial_sweep
+        root = tmp_path / "cache"
+        journal_path = root / "journal.jsonl"
+
+        # ---- Phase 1: a sweep that dies after 2 of 5 jobs. ----------
+        store1 = ArtifactStore(root)
+        journal1 = SweepJournal(journal_path)
+        plan1 = SweepPlan(
+            TINY, GRID, store1, lease_timeout=10.0, journal=journal1
+        )
+        n_jobs = len(plan1.jobs)
+        with CoordinatorServer(plan1, store1, poll_s=0.05) as server:
+            agent = WorkerAgent(
+                server.address, name="mortal", max_jobs=2, max_idle_s=30.0
+            )
+            agent.run_forever()  # returns after 2 completed jobs
+        journal1.close()  # the "crash": server gone, journal on disk
+        assert agent.stats.jobs_done == 2
+        done_phase1 = [j for j in plan1.jobs.values() if j.state == "done"]
+        assert len(done_phase1) == 2
+
+        # ---- Phase 2: restart with --resume semantics. --------------
+        store2 = ArtifactStore(root)  # fresh instance, same disk
+        executor = ClusterExecutor(
+            TINY,
+            store=store2,
+            lease_timeout=10.0,
+            poll_s=0.05,
+            wait_timeout=300.0,
+            journal=journal_path,
+            resume=True,
+        )
+        with contextlib.ExitStack() as stack:
+            records = executor.run(
+                GRID,
+                on_ready=lambda address: stack.enter_context(
+                    local_worker_threads(address, 1, max_idle_s=60.0)
+                ),
+            )
+
+        # Value-identical to an uninterrupted serial run.
+        assert records_equivalent(serial_records, records)
+        plan2 = executor.last_plan
+        assert len(plan2.jobs) == n_jobs  # the whole sweep is visible
+        assert plan2.replayed_done == 2
+        for job in done_phase1:
+            resumed = plan2.jobs[job.job_id]
+            assert resumed.state == "done"
+            assert resumed.attempts == 0  # never re-leased
+            assert resumed.worker == "mortal"  # attribution survives
+        # Zero re-executions of journaled-done fingerprints: the
+        # resumed coordinator accepted uploads only for the 3 jobs
+        # phase 1 never finished.
+        assert store2.stats.puts == n_jobs - 2
+
+    def test_resumed_fully_done_sweep_needs_no_workers(
+        self, serial_sweep, tmp_path
+    ):
+        import contextlib
+
+        from repro.cluster import SweepJournal
+
+        serial_records, _ = serial_sweep
+        root = tmp_path / "cache"
+        journal_path = root / "journal.jsonl"
+        store = ArtifactStore(root)
+        executor = ClusterExecutor(
+            TINY,
+            store=store,
+            lease_timeout=10.0,
+            poll_s=0.05,
+            wait_timeout=300.0,
+            journal=journal_path,
+        )
+        with contextlib.ExitStack() as stack:
+            first = executor.run(
+                GRID,
+                on_ready=lambda address: stack.enter_context(
+                    local_worker_threads(address, 2, max_idle_s=60.0)
+                ),
+            )
+        assert records_equivalent(serial_records, first)
+
+        # Resume after completion: everything replays, nothing runs.
+        resumed = ClusterExecutor(
+            TINY,
+            store=ArtifactStore(root),
+            wait_timeout=30.0,
+            journal=journal_path,
+            resume=True,
+        )
+        records = resumed.run(GRID)  # no workers connected at all
+        assert records_equivalent(serial_records, records)
+        plan = resumed.last_plan
+        assert all(job.state == "done" for job in plan.jobs.values())
+        assert all(job.attempts == 0 for job in plan.jobs.values())
+        # The pre-crash placement stats flow into the resumed records.
+        cluster_keys = [
+            key
+            for record in records
+            for key in record.stage_timings
+            if key.startswith("cluster/")
+        ]
+        assert any(key.endswith(":sync_bytes") for key in cluster_keys)
+
+
+class TestKillResumeSubprocess:
+    @pytest.mark.slow
+    def test_sigkill_mid_sweep_then_resume_matches_serial(
+        self, cli_reference, tmp_path
+    ):
+        """The operational recipe end to end: ``cluster sweep --journal``
+        SIGKILLed mid-run, restarted with ``--resume``, records
+        value-identical to serial and no fingerprint executed twice."""
+        import json
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time as _time
+        from pathlib import Path
+
+        import repro
+        from repro.pipeline.runner import RunRecord
+
+        base, serial_records = cli_reference
+        cache = tmp_path / "cache"
+        journal = cache / "journal.jsonl"
+        out = tmp_path / "records.json"
+        package_root = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = package_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        command = [
+            sys.executable, "-m", "repro", "cluster", "sweep",
+            "--neurons", "12", "--train", "40", "--test", "25",
+            "--steps", "30", "--bound", "0.5",
+            "--voltages", "1.325", "1.025",
+            "--workers", "2", "--lease-s", "15", "--max-idle-s", "5",
+            "--cache-dir", str(cache), "--journal",
+            "--out", str(out),
+        ]
+
+        def journal_done_count():
+            if not journal.exists():
+                return 0
+            return sum(
+                1 for line in journal.read_text().splitlines()
+                if '"event": "done"' in line or '"event":"done"' in line
+            )
+
+        proc = subprocess.Popen(
+            command, env=env, stdout=subprocess.DEVNULL
+        )
+        try:
+            # SIGKILL the coordinator at ~50% of the 5-job sweep.
+            deadline = _time.monotonic() + 300.0
+            while _time.monotonic() < deadline:
+                if journal_done_count() >= 2 or proc.poll() is not None:
+                    break
+                _time.sleep(0.2)
+            killed = proc.poll() is None
+            if killed:
+                proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30.0)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup path
+                proc.kill()
+        assert journal.exists()
+
+        resumed = subprocess.run(
+            command + ["--resume"], env=env,
+            stdout=subprocess.DEVNULL, timeout=600.0,
+        )
+        assert resumed.returncode == 0
+        records = [
+            RunRecord.from_dict(entry) for entry in json.loads(out.read_text())
+        ]
+        assert records_equivalent(serial_records, records)
+        # No (stage, digest) was executed twice across both lives.
+        done = [
+            (event["stage"], event["digest"])
+            for event in map(json.loads, journal.read_text().splitlines())
+            if event.get("event") == "done"
+        ]
+        assert len(done) == len(set(done))
+        if killed:
+            assert len(done) >= 2  # phase 1 really contributed
+
+
+class TestWorkerAffinityE2E:
+    def test_workers_report_holdings_and_get_affine_jobs(self, serial_sweep):
+        """With chains for two seeds and one worker per seed, affinity
+        keeps every dram-eval job on the worker already holding its
+        upstream artifacts — zero dram-side pulls."""
+        import contextlib
+
+        serial_records, serial_store = serial_sweep
+        # Warm the coordinator with BOTH training chains so only the
+        # dram-eval jobs distribute (they are all ready at once), and
+        # pre-seed each worker's local store with one seed's chain.
+        store = ArtifactStore()
+        for stage in default_stages()[:-1]:
+            digest = stage.cache_key(TINY)
+            store.put(stage.name, digest, serial_store.get(stage.name, digest))
+        worker_store = ArtifactStore()
+        for stage in default_stages()[:-1]:
+            digest = stage.cache_key(TINY)
+            worker_store.put(
+                stage.name, digest, serial_store.get(stage.name, digest)
+            )
+
+        executor = ClusterExecutor(
+            TINY, store=store, lease_timeout=10.0, poll_s=0.05,
+            wait_timeout=300.0,
+        )
+        agents = []
+        with contextlib.ExitStack() as stack:
+
+            def launch(address):
+                agent = WorkerAgent(
+                    address, name="warm", store=worker_store, max_idle_s=60.0
+                )
+                # Tell the scheduler what this worker already holds.
+                agent._holding.update(
+                    (stage.name, stage.cache_key(TINY))
+                    for stage in default_stages()[:-1]
+                )
+                thread = threading.Thread(target=agent.run_forever, daemon=True)
+                thread.start()
+                agents.append(agent)
+                stack.callback(thread.join, 10.0)
+                stack.callback(agent.stop)
+
+            records = executor.run(GRID, on_ready=launch)
+        assert records_equivalent(serial_records, records)
+        (agent,) = agents
+        # The warm worker held every upstream artifact: nothing pulled.
+        assert agent.stats.artifacts_pulled == 0
+        assert agent.stats.bytes_pulled == 0
+        assert agent.stats.jobs_done == 2

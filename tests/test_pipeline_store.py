@@ -115,7 +115,25 @@ class TestArtifactStore:
         first.put("stage", "abc", 1)
         second = ArtifactStore(tmp_path / "cache")
         assert ("stage", "abc") in second
-        assert len(second) == 0  # not loaded into memory yet
+        assert not second._memory  # not loaded into memory yet
+        # ...but the disk entry still counts as cached.
+        assert len(second) == 1
+
+    def test_len_counts_disk_entries(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        store.put("stage", "d0", 1)
+        store.put("other", "d1", 2)
+        # A fresh instance over the same root sees both artifacts
+        # without faulting anything into memory.
+        fresh = ArtifactStore(tmp_path / "cache")
+        assert len(fresh) == 2
+        # Memory and disk twins of one key are counted once.
+        fresh.get("stage", "d0")
+        assert len(fresh) == 2
+        # A memory-only store still counts its map.
+        memory = ArtifactStore()
+        memory.put("stage", "d0", 1)
+        assert len(memory) == 1
 
 
 class TestPrune:
@@ -246,7 +264,7 @@ class TestConcurrentWriters:
         # Bytes land verbatim on disk; nothing is pinned in memory.
         path = tmp_path / "cache" / "stage" / "d0.pkl"
         assert path.read_bytes() == blob
-        assert len(store) == 0
+        assert not store._memory
         # The artifact loads lazily, and re-uploads are hits.
         assert store.get("stage", "d0") == {"weights": list(range(100))}
         before = path.stat().st_mtime_ns
@@ -286,3 +304,92 @@ class TestConcurrentWriters:
         assert sorted(p.name for p in stage_dir.iterdir()) == ["shared.pkl"]
         fresh = ArtifactStore(tmp_path / "cache")
         assert fresh.get("stage", "shared") == payload
+
+
+class TestThreadSafety:
+    """One shared store under many threads — the coordinator's shape.
+
+    ``CoordinatorServer`` is a ThreadingTCPServer mutating one store
+    from every request thread; the memory map and CacheStats counters
+    must therefore be lock-protected read-modify-writes.
+    """
+
+    def test_concurrent_puts_and_gets_keep_stats_consistent(self):
+        import threading
+
+        store = ArtifactStore()
+        n_threads, n_ops = 8, 200
+        errors = []
+
+        def hammer(worker_id):
+            try:
+                for i in range(n_ops):
+                    store.put("stage", f"w{worker_id}-{i}", i)
+                    assert store.get("stage", f"w{worker_id}-{i}") == i
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # Without the internal lock the += read-modify-writes lose
+        # updates under contention and these exact totals fail.
+        assert store.stats.puts == n_threads * n_ops
+        assert store.stats.hits == n_threads * n_ops
+        assert store.stats.misses == 0
+        assert len(store) == n_threads * n_ops
+
+    def test_concurrent_disk_backed_access(self, tmp_path):
+        import threading
+
+        store = ArtifactStore(tmp_path / "cache")
+        for i in range(20):
+            store.put("stage", f"d{i}", list(range(i)))
+        store.clear()  # every get below faults in from disk
+        errors = []
+
+        def reader():
+            try:
+                for i in range(20):
+                    assert store.get("stage", f"d{i}") == list(range(i))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=reader) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert store.stats.hits == 6 * 20
+
+    def test_store_pickles_without_its_lock(self, tmp_path):
+        import pickle
+
+        store = ArtifactStore(tmp_path / "cache")
+        store.put("stage", "d0", {"x": 1})
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.get("stage", "d0") == {"x": 1}
+        clone.put("stage", "d1", 2)  # the restored lock works
+
+    def test_stats_view_shares_bytes_but_not_counters(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        store.put("stage", "d0", {"x": 1})
+        view = store.stats_view()
+        # Same artifacts, same lock, fresh counters.
+        assert view._memory is store._memory
+        assert view._lock is store._lock
+        assert view.get("stage", "d0") == {"x": 1}
+        assert view.stats.hits == 1
+        assert store.stats.hits == 0  # untouched by the view's traffic
+        assert view.get("stage", "gone") is MISS
+        assert (view.stats.hits, view.stats.misses) == (1, 1)
+        assert (store.stats.hits, store.stats.misses) == (0, 0)
+        # Writes through the view land in the shared store.
+        view.put("stage", "d1", 2)
+        assert store.get("stage", "d1") == 2
