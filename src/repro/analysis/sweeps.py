@@ -11,6 +11,7 @@ from repro.datasets.base import Dataset
 from repro.dram.controller import DramController
 from repro.dram.specs import DramSpec
 from repro.errors.injection import ErrorInjector
+from repro.rng import ensure_rng
 from repro.snn.network import DiehlCookNetwork, NetworkParameters
 from repro.snn.training import TrainedModel, evaluate_accuracy
 from repro.trace.generator import InferenceTraceSpec, inference_read_trace
@@ -43,7 +44,7 @@ def accuracy_vs_ber_sweep(
     """
     if trials <= 0:
         raise ValueError("trials must be > 0")
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     params = NetworkParameters(n_input=model.n_input, n_neurons=model.n_neurons)
     network = DiehlCookNetwork(params, rng=rng)
     model.install_into(network)

@@ -12,10 +12,12 @@ Commands
     ``cluster coordinator`` serves a grid's jobs to networked workers,
     ``cluster worker`` runs one worker agent against a coordinator, and
     ``cluster sweep`` is the single-command localhost form (embedded
-    coordinator + N worker subprocesses).  ``--journal`` persists job
-    transitions next to the store and ``--resume`` replays them, so a
-    coordinator killed mid-sweep restarts without re-executing done
-    work; ``--no-affinity`` disables holding-aware job placement.
+    coordinator + N worker subprocesses), and ``cluster status``
+    queries a running coordinator for job-state counts and worker
+    ages.  ``--journal`` persists job transitions next to the store
+    and ``--resume`` replays them, so a coordinator killed mid-sweep
+    restarts without re-executing done work; ``--no-affinity``
+    disables holding-aware job placement.
 ``stages``
     Show the pipeline stages and every pluggable registry (datasets,
     error models, mapping policies, DRAM specs).
@@ -27,6 +29,10 @@ Commands
     Manage the artifact disk cache (``cache prune`` evicts
     least-recently-used artifacts down to a byte budget;
     ``--dry-run`` reports what would be evicted without deleting).
+``lint``
+    Run the project invariant checkers (fingerprint completeness, RNG
+    discipline, lock discipline, wire-protocol consistency) over the
+    source tree; ``--check`` gates on new findings (see docs/lint.md).
 
 Every data-producing command accepts ``--json`` for machine-readable
 output on stdout.
@@ -202,6 +208,17 @@ def _add_cluster_parser(subparsers) -> None:
     worker.add_argument("--json", action="store_true",
                         help="print the worker's lifetime stats as JSON")
 
+    status = commands.add_parser(
+        "status",
+        help="query a running coordinator: job-state counts + worker ages",
+    )
+    status.add_argument("--coordinator", required=True, metavar="HOST:PORT",
+                        help="coordinator address to query")
+    status.add_argument("--timeout", type=float, default=10.0, metavar="S",
+                        help="connection timeout in seconds")
+    status.add_argument("--json", action="store_true",
+                        help="print the raw status reply as JSON")
+
     sweep = commands.add_parser(
         "sweep",
         help="localhost cluster sweep: embedded coordinator + N worker "
@@ -288,6 +305,31 @@ def _add_cache_parser(subparsers) -> None:
     prune.add_argument("--json", action="store_true")
 
 
+def _add_lint_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "lint",
+        help="run the project invariant checkers (see docs/lint.md)",
+    )
+    p.add_argument("--root", default=None, metavar="DIR",
+                   help="tree to lint (default: the installed repro package)")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="known-findings file; only findings absent from it "
+                        "gate --check (default: lint-baseline.json in the "
+                        "current directory, if present)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline file with the current "
+                        "findings and exit 0")
+    p.add_argument("--check", action="store_true",
+                   help="gate mode: exit 1 if any new error/warning "
+                        "finding exists (info never gates)")
+    p.add_argument("--rules", nargs="+", metavar="RULE",
+                   help="run only these rules (default: all)")
+    p.add_argument("--report", metavar="FILE",
+                   help="also write the full JSON report to FILE")
+    p.add_argument("--json", action="store_true",
+                   help="print the JSON report on stdout instead of text")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser with all subcommands attached."""
     parser = argparse.ArgumentParser(
@@ -302,6 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dram_parser(subparsers)
     _add_tolerance_parser(subparsers)
     _add_cache_parser(subparsers)
+    _add_lint_parser(subparsers)
     return parser
 
 
@@ -489,6 +532,26 @@ def _cmd_cluster(args) -> int:
                 f"{stats.artifacts_pushed} pushed"
             )
         return 0 if not stats.jobs_failed else 1
+
+    if args.cluster_command == "status":
+        from repro.cluster import ClusterClient
+
+        client = ClusterClient(args.coordinator, timeout=args.timeout)
+        status = client.status()
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+        else:
+            counts = ", ".join(
+                f"{state}={status.get(state, 0)}"
+                for state in ("pending", "leased", "done", "failed")
+            )
+            print(f"jobs: {counts}")
+            workers = status.get("workers") or {}
+            for name in sorted(workers):
+                print(f"worker {name}: seen {workers[name]:.1f}s ago")
+            if status.get("failure"):
+                print(f"failure: {status['failure']}")
+        return 1 if status.get("failure") else 0
 
     from repro.cluster import ClusterExecutor, format_address
 
@@ -707,6 +770,78 @@ def _cmd_cache(args) -> int:
     raise ValueError(f"unknown cache command {args.cache_command!r}")
 
 
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.lint import Baseline, default_checkers, run_lint
+
+    if args.root is not None:
+        root = Path(args.root)
+    else:
+        import repro
+
+        root = Path(repro.__file__).parent
+
+    checkers = default_checkers()
+    if args.rules:
+        known = {c.rule for c in checkers}
+        unknown = [r for r in args.rules if r not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown rule(s) {unknown}; available: {sorted(known)}"
+            )
+        checkers = tuple(c for c in checkers if c.rule in args.rules)
+
+    baseline_path: Optional[Path] = None
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    elif Path("lint-baseline.json").is_file():
+        baseline_path = Path("lint-baseline.json")
+
+    if args.update_baseline:
+        if baseline_path is None:
+            baseline_path = Path("lint-baseline.json")
+        report = run_lint(root, checkers=checkers)
+        Baseline.from_findings(report.findings).write(baseline_path)
+        if not args.json:
+            print(
+                f"baseline {baseline_path}: {len(report.findings)} "
+                "finding(s) recorded"
+            )
+        return 0
+
+    report = run_lint(
+        root,
+        checkers=checkers,
+        baseline=baseline_path if baseline_path and baseline_path.is_file() else None,
+    )
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            marker = "" if finding in report.new_findings else " (baselined)"
+            print(f"{finding.format()}{marker}")
+        summary = (
+            f"lint: {report.files_scanned} file(s), "
+            f"{len(report.findings)} finding(s) "
+            f"({len(report.new_findings)} new, "
+            f"{report.suppressed} suppressed)"
+        )
+        print(summary)
+    if args.check and not report.ok:
+        if not args.json:
+            print(
+                f"lint --check: {len(report.gating)} new gating finding(s)",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Parse ``argv`` (default: process args) and run the subcommand."""
     args = build_parser().parse_args(argv)
@@ -718,6 +853,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "dram": _cmd_dram,
         "tolerance": _cmd_tolerance,
         "cache": _cmd_cache,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args)

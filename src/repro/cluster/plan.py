@@ -305,7 +305,7 @@ class SweepPlan:
     # ------------------------------------------------------------------
     # Scheduling.
 
-    def _touch(self, worker: str) -> None:
+    def _touch_locked(self, worker: str) -> None:
         self._workers[worker] = self.clock()
         self._slot_locked(worker)
 
@@ -387,7 +387,7 @@ class SweepPlan:
         """
         self.expire_leases()
         with self._lock:
-            self._touch(worker)
+            self._touch_locked(worker)
             if holding is not None:
                 self._holdings[worker] = {
                     (str(stage), str(digest)) for stage, digest in holding
@@ -424,7 +424,7 @@ class SweepPlan:
     def heartbeat(self, worker: str, job_id: str) -> bool:
         """Extend the lease; False means the lease is no longer held."""
         with self._lock:
-            self._touch(worker)
+            self._touch_locked(worker)
             job = self.jobs.get(job_id)
             if job is None or job.state != "leased" or job.worker != worker:
                 return False
@@ -446,7 +446,7 @@ class SweepPlan:
         completion whose target artifact never reached the store.
         """
         with self._lock:
-            self._touch(worker)
+            self._touch_locked(worker)
             job = self.jobs.get(job_id)
             if job is None:
                 return False
@@ -485,7 +485,7 @@ class SweepPlan:
     def fail(self, worker: str, job_id: str, error: str) -> None:
         """A worker reported a job exception: requeue with exclusion."""
         with self._lock:
-            self._touch(worker)
+            self._touch_locked(worker)
             job = self.jobs.get(job_id)
             if job is None or job.state in ("done", "failed"):
                 return

@@ -50,6 +50,9 @@ class WorkerStats:
 
     jobs_done: int = 0
     jobs_failed: int = 0
+    #: Stable slot index the coordinator assigned on ``hello`` (None
+    #: until registration succeeds; registration is best-effort).
+    slot: Optional[int] = None
     artifacts_pulled: int = 0
     artifacts_pushed: int = 0
     bytes_pulled: int = 0
@@ -60,6 +63,7 @@ class WorkerStats:
 
     def to_dict(self) -> Dict[str, Any]:
         return {
+            "slot": self.slot,
             "jobs_done": self.jobs_done,
             "jobs_failed": self.jobs_failed,
             "artifacts_pulled": self.artifacts_pulled,
@@ -165,6 +169,16 @@ class WorkerAgent:
     # ------------------------------------------------------------------
     def run_forever(self) -> WorkerStats:
         """Serve jobs until the coordinator says shutdown (or vanishes)."""
+        # Register up front so the coordinator assigns the stable slot
+        # before any lease, and monitoring sees the worker immediately.
+        # Best-effort: a coordinator that is still starting up learns
+        # our name from the first lease instead.
+        try:
+            reply, _ = self.client.request({"op": "hello", "worker": self.name})
+            if "slot" in reply:
+                self.stats.slot = int(reply["slot"])
+        except (OSError, ProtocolError):
+            pass
         unreachable_since: Optional[float] = None
         while not self._stop.is_set():
             if self.max_jobs is not None and self.stats.jobs_done >= self.max_jobs:

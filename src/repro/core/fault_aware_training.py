@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.datasets.base import Dataset
 from repro.errors.injection import ErrorInjector
+from repro.rng import ensure_rng
 from repro.snn.network import DiehlCookNetwork, NetworkParameters
 from repro.snn.stdp import STDPParameters
 from repro.snn.training import (
@@ -119,7 +120,7 @@ def improve_error_tolerance(
         Compute precision of training and the per-stage evaluations
         (``numpy.float64`` default or ``numpy.float32``).
     """
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     rates = tuple(sorted(float(r) for r in rates))
     if not rates:
         raise ValueError("need at least one BER stage")
@@ -225,7 +226,7 @@ def train_baseline(
     ``batch_size``/``dtype`` select the minibatch size and compute
     precision of the STDP engine (see :func:`improve_error_tolerance`).
     """
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     params = network_parameters or NetworkParameters(
         n_input=dataset.train_images.shape[1], n_neurons=n_neurons
     )

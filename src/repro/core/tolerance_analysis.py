@@ -23,6 +23,7 @@ from repro.datasets.base import Dataset
 from repro.engine import BatchedEvaluator, ChunkPolicy
 from repro.errors.ber import BerVoltageCurve, DEFAULT_BER_CURVE
 from repro.errors.injection import ErrorInjector
+from repro.rng import ensure_rng
 from repro.snn.network import NetworkParameters
 from repro.snn.training import TrainedModel
 
@@ -112,7 +113,7 @@ def analyze_error_tolerance(
         raise ValueError(f"accuracy_bound must be >= 0, got {accuracy_bound}")
     if trials <= 0:
         raise ValueError(f"trials must be > 0, got {trials}")
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     rates = tuple(sorted(float(r) for r in rates))
     target = baseline_accuracy - accuracy_bound
 

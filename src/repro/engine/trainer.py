@@ -55,6 +55,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.engine.encoding import Encoder, encode_spike_trains
+from repro.rng import ensure_rng
 from repro.snn.encoding import poisson_rate_code
 from repro.snn.network import DiehlCookNetwork, make_stdp
 from repro.snn.stdp import STDPParameters
@@ -129,7 +130,7 @@ class BatchedTrainer:
             raise ValueError(f"n_steps must be > 0, got {n_steps}")
         if epochs <= 0:
             raise ValueError(f"epochs must be > 0, got {epochs}")
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         images = np.asarray(images)
         for _epoch in range(epochs):
             order = rng.permutation(len(images))

@@ -1,0 +1,173 @@
+"""Finding records, suppression comments and the committed baseline.
+
+A :class:`Finding` is one rule violation anchored to a file and line.
+Its :attr:`~Finding.identity` deliberately excludes the line number, so
+a baseline entry survives unrelated edits that shift code around; two
+findings with the same identity on one file are disambiguated by an
+occurrence counter, never by position.
+
+Suppression is per line: a violation whose line carries a
+``# lint: disable=RULE`` (or ``disable=RULE1,RULE2``, or
+``disable=all``) comment is dropped before reporting.  The baseline
+file is the *bulk* form of the same idea — a committed JSON list of
+finding identities that are accepted for now; ``repro lint --check``
+fails only on findings *not* in it.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Tuple, Union
+
+#: Severity ladder, most severe first.  ``error`` and ``warning``
+#: findings gate ``--check``; ``info`` findings are advisory only.
+SEVERITIES = ("error", "warning", "info")
+
+#: Severities that fail a ``--check`` run when not baselined.
+GATING_SEVERITIES = frozenset({"error", "warning"})
+
+BASELINE_VERSION = 1
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at ``path:line``."""
+
+    rule: str
+    severity: str
+    path: str  # posix path relative to the linted root
+    line: int
+    message: str
+    #: Stable anchor within the file (``Class.method``, op name, …) —
+    #: part of the identity so baselines survive line-number churn.
+    symbol: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; choose from {SEVERITIES}"
+            )
+
+    @property
+    def identity(self) -> str:
+        """Line-free identity used by suppression baselines."""
+        return f"{self.path}::{self.rule}::{self.symbol}::{self.message}"
+
+    @property
+    def gating(self) -> bool:
+        return self.severity in GATING_SEVERITIES
+
+    def sort_key(self) -> Tuple:
+        return (
+            SEVERITIES.index(self.severity),
+            self.path,
+            self.line,
+            self.rule,
+            self.message,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+            "identity": self.identity,
+        }
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.severity}: [{self.rule}] {self.message}"
+
+
+# ----------------------------------------------------------------------
+# Suppression comments.
+
+
+def parse_suppressions(text: str) -> Dict[int, Set[str]]:
+    """``line number -> suppressed rule names`` from ``# lint:`` comments.
+
+    Regex-over-lines is deliberate: it sees comments inside decorators
+    and multi-line calls where ``ast`` has no node per physical line.
+    A rule list of ``all`` suppresses every rule on that line.
+    """
+    suppressed: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        if rules:
+            suppressed[lineno] = rules
+    return suppressed
+
+
+def is_suppressed(finding: Finding, suppressions: Dict[int, Set[str]]) -> bool:
+    rules = suppressions.get(finding.line)
+    if not rules:
+        return False
+    return finding.rule in rules or "all" in rules
+
+
+# ----------------------------------------------------------------------
+# Baseline file.
+
+
+@dataclass
+class Baseline:
+    """Accepted finding identities (a multiset: duplicates count)."""
+
+    identities: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise ValueError(
+                f"baseline {path} is not a lint baseline "
+                "(expected a JSON object with a 'findings' list)"
+            )
+        return cls(identities=Counter(str(i) for i in payload["findings"]))
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(identities=Counter(f.identity for f in findings))
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": sorted(self.identities.elements()),
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return path
+
+    def new_findings(self, findings: Sequence[Finding]) -> List[Finding]:
+        """The findings not covered by this baseline (multiset diff)."""
+        budget = Counter(self.identities)
+        fresh: List[Finding] = []
+        for finding in sorted(findings, key=Finding.sort_key):
+            if budget[finding.identity] > 0:
+                budget[finding.identity] -= 1
+            else:
+                fresh.append(finding)
+        return fresh
+
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "GATING_SEVERITIES",
+    "SEVERITIES",
+    "is_suppressed",
+    "parse_suppressions",
+]

@@ -1,0 +1,144 @@
+"""rng-discipline: all randomness flows through seeded generators.
+
+The reproduction's bit-exactness claims (cache fingerprints that cover
+"everything that influenced the artifact, including its recorded RNG
+state" — see ``repro.pipeline.stages``) hold only if no code path draws
+from process-global or OS-entropy-seeded randomness.  This rule flags:
+
+- ``np.random.<anything>(...)`` global-state calls (``seed``, ``rand``,
+  ``shuffle``, …) and the legacy ``RandomState`` constructor;
+- ``np.random.default_rng()`` with **no arguments** — OS-entropy
+  seeding, unreproducible by definition (pass a seed, restore a
+  recorded state, or route through :func:`repro.rng.ensure_rng`);
+- the stdlib ``random`` module (bare ``random.random()`` or
+  ``from random import shuffle`` style usage).
+
+Type references (``np.random.Generator`` annotations) are never calls
+and are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator
+
+from repro.lint.base import Checker, SourceModule, attribute_chain, enclosing_symbols
+from repro.lint.findings import Finding
+
+#: ``numpy.random`` attributes that are legitimate when *called* —
+#: everything else on the module is global-state or legacy API.
+_SANCTIONED_NUMPY_CALLS = {"default_rng", "Generator", "SeedSequence"}
+
+#: Generator-producing calls that are only reproducible when given a
+#: seed (or wrapped state).
+_SEED_REQUIRED = {"default_rng", "SeedSequence"}
+
+
+class RngDisciplineChecker(Checker):
+    rule = "rng-discipline"
+    description = (
+        "randomness must flow through seeded numpy Generators, never "
+        "global state, legacy RandomState, or the stdlib random module"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        aliases = _import_aliases(module.tree)
+        symbols = enclosing_symbols(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attribute_chain(node.func)
+            if chain is None:
+                continue
+            resolved = _resolve(chain, aliases)
+            finding = self._classify(resolved, node, module, symbols.get(node, ""))
+            if finding is not None:
+                yield finding
+
+    # ------------------------------------------------------------------
+    def _classify(self, resolved, call, module, symbol):
+        if resolved is None:
+            return None
+        if resolved.startswith("numpy.random."):
+            member = resolved[len("numpy.random.") :]
+            head = member.split(".", 1)[0]
+            if head not in _SANCTIONED_NUMPY_CALLS:
+                return self._finding(
+                    module,
+                    call,
+                    symbol,
+                    f"numpy.random.{member}() uses numpy's global/legacy RNG "
+                    "state; draw from a seeded np.random.default_rng(...) "
+                    "Generator instead",
+                )
+            if head in _SEED_REQUIRED and not call.args and not call.keywords:
+                return self._finding(
+                    module,
+                    call,
+                    symbol,
+                    f"numpy.random.{head}() without a seed draws OS entropy; "
+                    "pass a seed (or use repro.rng.ensure_rng) so runs are "
+                    "reproducible",
+                )
+            return None
+        if resolved == "random" or resolved.startswith("random."):
+            member = resolved.partition(".")[2] or "<module>"
+            return self._finding(
+                module,
+                call,
+                symbol,
+                f"stdlib random.{member}() is process-global and unseeded "
+                "here; use a seeded np.random.default_rng(...) Generator",
+            )
+        return None
+
+    def _finding(self, module, node, symbol, message) -> Finding:
+        return Finding(
+            rule=self.rule,
+            severity="error",
+            path=module.relpath,
+            line=node.lineno,
+            symbol=symbol,
+            message=message,
+        )
+
+
+# ----------------------------------------------------------------------
+
+
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name → canonical dotted module/member for RNG-relevant imports."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name in ("numpy", "numpy.random", "random"):
+                    aliases[(item.asname or item.name).split(".")[0]] = (
+                        item.name if item.asname else item.name.split(".")[0]
+                    )
+                    if item.asname:
+                        aliases[item.asname] = item.name
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module == "numpy":
+                for item in node.names:
+                    if item.name == "random":
+                        aliases[item.asname or "random"] = "numpy.random"
+            elif node.module == "numpy.random":
+                for item in node.names:
+                    aliases[item.asname or item.name] = f"numpy.random.{item.name}"
+            elif node.module == "random":
+                for item in node.names:
+                    aliases[item.asname or item.name] = f"random.{item.name}"
+    return aliases
+
+
+def _resolve(chain: str, aliases: Dict[str, str]):
+    """Canonicalise a dotted call chain through the import aliases."""
+    head, _, rest = chain.partition(".")
+    target = aliases.get(head)
+    if target is None:
+        return None
+    return f"{target}.{rest}" if rest else target
+
+
+__all__ = ["RngDisciplineChecker"]

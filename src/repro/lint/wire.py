@@ -1,0 +1,169 @@
+"""protocol-consistency: every wire ``op`` has both ends implemented.
+
+The cluster line protocol is stringly typed: clients emit
+``{"op": "lease", ...}`` dicts and the coordinator dispatches on
+``op == "lease"`` comparisons.  Nothing but this rule connects the two
+— a typo'd or half-added op surfaces only at runtime as an
+``unknown op`` error reply (or as a handler no client can ever reach).
+
+Both directions are checked:
+
+- an op **emitted** by a client module with no coordinator handler is
+  an *error* (the request can never succeed);
+- a **handler** with no in-tree emitter is a *warning* (it may serve
+  out-of-tree tooling, but more often it is dead or drifted protocol).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from repro.lint.base import (
+    Checker,
+    SourceModule,
+    attribute_chain,
+    const_str,
+    enclosing_symbols,
+)
+from repro.lint.findings import Finding
+
+
+class ProtocolConsistencyChecker(Checker):
+    rule = "protocol-consistency"
+    description = (
+        "ops emitted by cluster clients must have a coordinator handler, "
+        "and handlers must have an in-tree emitter"
+    )
+
+    def __init__(
+        self,
+        handler_suffixes: Sequence[str] = ("cluster/coordinator.py",),
+        emitter_dir: str = "cluster/",
+        op_key: str = "op",
+    ):
+        self.handler_suffixes = tuple(handler_suffixes)
+        self.emitter_dir = emitter_dir
+        self.op_key = op_key
+
+    def _is_handler(self, module: SourceModule) -> bool:
+        return any(module.relpath.endswith(s) for s in self.handler_suffixes)
+
+    def _is_emitter(self, module: SourceModule) -> bool:
+        return self.emitter_dir in module.relpath and not self._is_handler(module)
+
+    # ------------------------------------------------------------------
+    def check_project(self, modules: Sequence[SourceModule]) -> Iterator[Finding]:
+        handlers = [m for m in modules if self._is_handler(m)]
+        emitters = [m for m in modules if self._is_emitter(m)]
+        if not handlers:
+            return  # nothing to cross-check against (fixture trees, subsets)
+        emitted: Dict[str, List[Tuple[SourceModule, int, str]]] = {}
+        for module in emitters:
+            for op, line, symbol in _emitted_ops(module, self.op_key):
+                emitted.setdefault(op, []).append((module, line, symbol))
+        handled: Dict[str, List[Tuple[SourceModule, int, str]]] = {}
+        for module in handlers:
+            for op, line, symbol in _handled_ops(module, self.op_key):
+                handled.setdefault(op, []).append((module, line, symbol))
+
+        for op in sorted(set(emitted) - set(handled)):
+            for module, line, symbol in emitted[op]:
+                yield Finding(
+                    rule=self.rule,
+                    severity="error",
+                    path=module.relpath,
+                    line=line,
+                    symbol=symbol or op,
+                    message=(
+                        f"op {op!r} is emitted here but no coordinator "
+                        "dispatch handles it; the request can only produce "
+                        "an 'unknown op' error reply"
+                    ),
+                )
+        for op in sorted(set(handled) - set(emitted)):
+            for module, line, symbol in handled[op]:
+                yield Finding(
+                    rule=self.rule,
+                    severity="warning",
+                    path=module.relpath,
+                    line=line,
+                    symbol=symbol or op,
+                    message=(
+                        f"coordinator handles op {op!r} but no in-tree "
+                        "client emits it; dead protocol surface drifts "
+                        "silently (add an emitter, or suppress if it serves "
+                        "external tooling)"
+                    ),
+                )
+
+
+# ----------------------------------------------------------------------
+
+
+def _emitted_ops(module: SourceModule, op_key: str):
+    """``(op, line, scope)`` for every ``{"op": "<const>"}`` dict literal."""
+    symbols = enclosing_symbols(module.tree)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Dict):
+            continue
+        for key, value in zip(node.keys, node.values):
+            if key is not None and const_str(key) == op_key:
+                op = const_str(value)
+                if op is not None:
+                    yield op, node.lineno, symbols.get(node, "")
+
+
+def _handled_ops(module: SourceModule, op_key: str):
+    """``(op, line, scope)`` for every ``op == "<const>"`` comparison.
+
+    The dispatch variable is recognised either by its name being the op
+    key itself (``op == "lease"``) or by being assigned from
+    ``<payload>.get("op")`` earlier in the module.
+    """
+    symbols = enclosing_symbols(module.tree)
+    op_names: Set[str] = {op_key}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = node.value
+            if (
+                isinstance(value, ast.Call)
+                and (attribute_chain(value.func) or "").endswith(".get")
+                and value.args
+                and const_str(value.args[0]) == op_key
+            ):
+                op_names.add(target.id)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Compare) or len(node.ops) != 1:
+            continue
+        if not isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+            continue
+        sides = [node.left, node.comparators[0]]
+        names = [s for s in sides if isinstance(s, ast.Name) and s.id in op_names]
+        consts = [s for s in sides if const_str(s) is not None]
+        if names and consts:
+            yield const_str(consts[0]), node.lineno, symbols.get(node, "")
+    # `payload.get("op") == "x"` inline form.
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Compare) or len(node.ops) != 1:
+            continue
+        if not isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+            continue
+        sides = [node.left, node.comparators[0]]
+        calls = [
+            s
+            for s in sides
+            if isinstance(s, ast.Call)
+            and (attribute_chain(s.func) or "").endswith(".get")
+            and s.args
+            and const_str(s.args[0]) == op_key
+        ]
+        consts = [s for s in sides if const_str(s) is not None]
+        if calls and consts:
+            yield const_str(consts[0]), node.lineno, symbols.get(node, "")
+
+
+__all__ = ["ProtocolConsistencyChecker"]

@@ -46,6 +46,7 @@ from repro.pipeline.artifacts import (
 )
 from repro.pipeline.store import MISS, ArtifactStore, config_fingerprint
 from repro.registry import Registry
+from repro.rng import restored_rng
 from repro.snn.quantization import make_representation
 
 # ----------------------------------------------------------------------
@@ -77,12 +78,6 @@ DRAM_FIELDS: Tuple[str, ...] = TOLERANCE_FIELDS + (
     "weak_cell_seed",
     "refetch_passes",
 )
-
-
-def _restore_rng(state: dict) -> np.random.Generator:
-    rng = np.random.default_rng()
-    rng.bit_generator.state = state
-    return rng
 
 
 class StageContext:
@@ -150,7 +145,10 @@ class TrainBaselineStage(Stage):
     name = "train-baseline"
     requires = ()
     provides = "baseline"
-    fields = BASELINE_FIELDS
+    # ``representation`` is fingerprinted one stage early (the injector
+    # consumes it from fault-aware training onwards); keeping the field
+    # groups strictly cumulative beats saving one spurious cache split.
+    fields = BASELINE_FIELDS  # lint: disable=fingerprint-completeness
 
     def run(self, context, artifacts) -> BaselineArtifact:
         cfg = context.config
@@ -161,7 +159,10 @@ class TrainBaselineStage(Stage):
             epochs=cfg.baseline_epochs,
             n_steps=cfg.n_steps,
             rng=rng,
-            engine=cfg.engine,
+            # ``engine`` is result-identical by the repro.engine
+            # equivalence guarantee (enforced in CI), so it is
+            # deliberately fingerprint-neutral here and below.
+            engine=cfg.engine,  # lint: disable=fingerprint-completeness
             batch_size=cfg.train_batch_size,
             dtype=np.dtype(cfg.compute_dtype),
         )
@@ -180,7 +181,7 @@ class FaultAwareTrainStage(Stage):
     def run(self, context, artifacts) -> TrainingArtifact:
         cfg = context.config
         baseline: BaselineArtifact = artifacts["baseline"]
-        rng = _restore_rng(baseline.rng_state)
+        rng = restored_rng(baseline.rng_state)
         training = improve_error_tolerance(
             baseline.model,
             context.dataset,
@@ -190,7 +191,7 @@ class FaultAwareTrainStage(Stage):
             n_steps=cfg.n_steps,
             accuracy_bound=cfg.accuracy_bound,
             rng=rng,
-            engine=cfg.engine,
+            engine=cfg.engine,  # lint: disable=fingerprint-completeness
             batch_size=cfg.train_batch_size,
             dtype=np.dtype(cfg.compute_dtype),
         )
@@ -210,7 +211,7 @@ class ToleranceStage(Stage):
         cfg = context.config
         baseline: BaselineArtifact = artifacts["baseline"]
         training: TrainingArtifact = artifacts["training"]
-        rng = _restore_rng(training.rng_state)
+        rng = restored_rng(training.rng_state)
         report = analyze_error_tolerance(
             training.model,
             context.dataset,
@@ -221,7 +222,7 @@ class ToleranceStage(Stage):
             n_steps=cfg.n_steps,
             trials=cfg.tolerance_trials,
             rng=rng,
-            engine=cfg.engine,
+            engine=cfg.engine,  # lint: disable=fingerprint-completeness
             dtype=np.dtype(cfg.compute_dtype),
         )
         return ToleranceArtifact(report=report, rng_state=rng.bit_generator.state)

@@ -16,6 +16,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.rng import ensure_rng
 from repro.snn.network import DiehlCookNetwork
 from repro.snn.training import Encoder, _default_encoder, run_spike_counts
 
@@ -97,7 +98,7 @@ def check_training_health(
     """
     if len(probe_images) == 0:
         raise ValueError("need at least one probe image")
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     theta_before = network.neurons.theta.copy()
     counts = run_spike_counts(network, probe_images, n_steps, rng, encoder)
     network.neurons.theta = theta_before  # inference keeps theta, but be safe

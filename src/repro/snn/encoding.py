@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.rng import ensure_rng
+
 
 def _check_image(image: np.ndarray) -> np.ndarray:
     arr = np.asarray(image, dtype=np.float64).ravel()
@@ -40,7 +42,7 @@ def poisson_rate_code(
     arr = _check_image(image)
     if n_steps <= 0 or dt_ms <= 0:
         raise ValueError("n_steps and dt_ms must be > 0")
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     p = np.clip(arr * max_rate_hz * dt_ms * 1e-3, 0.0, 1.0)
     return rng.random((n_steps, arr.size)) < p[None, :]
 

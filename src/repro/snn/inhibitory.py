@@ -22,6 +22,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.rng import ensure_rng
 from repro.snn.neurons import AdaptiveLIFLayer, LIFParameters
 from repro.snn.network import NetworkParameters
 from repro.snn.stdp import STDPRule, normalize_columns
@@ -74,7 +75,7 @@ class TwoLayerDiehlCookNetwork:
         self.inhibitory_parameters = inhibitory or InhibitoryParameters()
         self.inhibitory_parameters.validate()
         p = self.parameters
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         self.w_max = w_max
         self.weights = rng.random((p.n_input, p.n_neurons)) * 0.3 * w_max
         if p.weight_norm > 0:

@@ -42,6 +42,7 @@ try:  # scipy accelerates the batched drive; plain numpy works without it.
 except ImportError:  # pragma: no cover - exercised via the forced fallback test
     _sparse = None
 
+from repro.rng import ensure_rng
 from repro.snn.neurons import AdaptiveLIFLayer, LIFParameters
 from repro.snn.stdp import STDPParameters, STDPRule, normalize_columns
 from repro.snn.synapses import (
@@ -177,7 +178,7 @@ class DiehlCookNetwork:
         self.w_max = w_max
         self.dtype = np.dtype(dtype)
         if init_weights:
-            rng = rng or np.random.default_rng()
+            rng = ensure_rng(rng)
             self.weights = (
                 rng.random((p.n_input, p.n_neurons)) * 0.3 * w_max
             ).astype(self.dtype, copy=False)

@@ -13,6 +13,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.rng import ensure_rng
 from repro.snn.encoding import poisson_rate_code
 from repro.snn.network import DiehlCookNetwork
 from repro.snn.stdp import STDPParameters, normalize_columns
@@ -203,7 +204,7 @@ def train_unsupervised(
     """
     from repro.engine.trainer import BatchedTrainer
 
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     images = np.asarray(images)
     labels = np.asarray(labels)
     if len(images) != len(labels):

@@ -1,0 +1,11 @@
+"""Config dataclass (lint fixture; never imported)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SparkXDConfig:
+    dataset: str = "mnist"
+    n_train: int = 100
+    seed: int = 0
+    voltage: float = 1.325

@@ -1,0 +1,19 @@
+"""Stage with fingerprint violations (lint fixture; never imported)."""
+
+WORKLOAD_FIELDS = ("dataset", "n_train")
+
+
+class LeakyStage:
+    name = "leaky"
+    requires = ()
+    provides = "leaky"
+    fields = WORKLOAD_FIELDS + ("seed",)
+
+    def run(self, context, artifacts):
+        cfg = context.config
+        data = load(cfg.dataset, cfg.n_train)
+        return data, cfg.voltage
+
+
+def load(name, count):
+    return name, count

@@ -1,0 +1,25 @@
+"""Deliberate lock-discipline violation (lint fixture; never imported)."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+        self.peak = 0
+
+    def add(self, amount):
+        with self._lock:
+            self.total += amount
+            if self.total > self.peak:
+                self.peak = self.total
+
+    def reset(self):
+        self.total = 0
+
+    def clear_peak(self):
+        self.peak = 0  # lint: disable=lock-discipline
+
+    def _drain_locked(self):
+        self.total = 0

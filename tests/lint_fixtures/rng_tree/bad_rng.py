@@ -1,0 +1,27 @@
+"""Deliberate rng-discipline violations (lint fixture; never imported)."""
+
+import random
+
+import numpy as np
+
+
+def global_state_draw():
+    np.random.seed(123)
+    return np.random.rand(3)
+
+
+def unseeded_generator():
+    rng = np.random.default_rng()
+    return rng.random()
+
+
+def stdlib_random():
+    return random.random()
+
+
+def suppressed_draw():
+    return np.random.rand()  # lint: disable=rng-discipline
+
+
+def sanctioned(seed=0):
+    return np.random.default_rng(seed).random()

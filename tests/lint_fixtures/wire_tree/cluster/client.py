@@ -1,0 +1,9 @@
+"""Wire-protocol emitter side (lint fixture; never imported)."""
+
+
+def lease():
+    return {"op": "lease", "worker": "w"}
+
+
+def typo():
+    return {"op": "leese", "worker": "w"}

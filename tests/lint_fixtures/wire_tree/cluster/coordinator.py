@@ -1,0 +1,10 @@
+"""Wire-protocol handler side (lint fixture; never imported)."""
+
+
+def dispatch(payload):
+    op = payload.get("op")
+    if op == "lease":
+        return {"ok": True}
+    if op == "orphan":
+        return {"ok": True}
+    return {"error": f"unknown op {op!r}"}

@@ -1,0 +1,178 @@
+"""Each checker catches its fixture violation — and the repo runs clean.
+
+The fixture trees under ``tests/lint_fixtures/`` contain deliberate
+violations; they are parsed by the linter, never imported.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    FingerprintCompletenessChecker,
+    LockDisciplineChecker,
+    ProtocolConsistencyChecker,
+    RngDisciplineChecker,
+    run_lint,
+)
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+SRC_ROOT = Path(__file__).parent.parent / "src" / "repro"
+
+
+class TestRngDiscipline:
+    def test_fixture_violations(self):
+        report = run_lint(
+            FIXTURES / "rng_tree", checkers=[RngDisciplineChecker()]
+        )
+        assert [f.severity for f in report.findings] == ["error"] * 4
+        messages = "\n".join(f.message for f in report.findings)
+        assert "numpy.random.seed" in messages
+        assert "numpy.random.rand" in messages
+        assert "without a seed" in messages
+        assert "stdlib random.random" in messages
+
+    def test_suppression_comment_respected(self):
+        report = run_lint(
+            FIXTURES / "rng_tree", checkers=[RngDisciplineChecker()]
+        )
+        assert report.suppressed == 1
+        # The suppressed np.random.rand() call is on line 23.
+        assert all(f.line != 23 for f in report.findings)
+
+    def test_seeded_generator_not_flagged(self):
+        report = run_lint(
+            FIXTURES / "rng_tree", checkers=[RngDisciplineChecker()]
+        )
+        # ``sanctioned`` (line 27) draws from default_rng(seed): clean.
+        assert all(f.line < 25 for f in report.findings)
+
+
+class TestLockDiscipline:
+    def test_fixture_violation(self):
+        report = run_lint(
+            FIXTURES / "locks_tree", checkers=[LockDisciplineChecker()]
+        )
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert finding.severity == "error"
+        assert finding.symbol == "Counter.reset"
+        assert "self.total" in finding.message
+
+    def test_locked_suffix_and_suppression_exempt(self):
+        report = run_lint(
+            FIXTURES / "locks_tree", checkers=[LockDisciplineChecker()]
+        )
+        symbols = {f.symbol for f in report.findings}
+        assert "Counter._drain_locked" not in symbols  # suffix contract
+        assert "Counter.clear_peak" not in symbols  # suppression comment
+        assert report.suppressed == 1
+
+
+class TestProtocolConsistency:
+    def test_both_directions(self):
+        report = run_lint(
+            FIXTURES / "wire_tree", checkers=[ProtocolConsistencyChecker()]
+        )
+        by_severity = {f.severity: f for f in report.findings}
+        assert set(by_severity) == {"error", "warning"}
+        assert "'leese'" in by_severity["error"].message
+        assert by_severity["error"].path == "cluster/client.py"
+        assert "'orphan'" in by_severity["warning"].message
+        assert by_severity["warning"].path == "cluster/coordinator.py"
+
+    def test_matched_op_not_flagged(self):
+        report = run_lint(
+            FIXTURES / "wire_tree", checkers=[ProtocolConsistencyChecker()]
+        )
+        assert not any("'lease'" in f.message for f in report.findings)
+
+    def test_no_handler_module_means_no_findings(self):
+        # A fixture subset without a coordinator cross-checks nothing.
+        report = run_lint(
+            FIXTURES / "rng_tree", checkers=[ProtocolConsistencyChecker()]
+        )
+        assert report.findings == []
+
+
+class TestFingerprintCompleteness:
+    def test_undeclared_read_is_error(self):
+        report = run_lint(
+            FIXTURES / "fingerprint_tree",
+            checkers=[FingerprintCompletenessChecker()],
+        )
+        errors = [f for f in report.findings if f.severity == "error"]
+        assert len(errors) == 1
+        assert "config.voltage" in errors[0].message
+        assert errors[0].symbol == "LeakyStage.run"
+
+    def test_unused_declared_field_is_info(self):
+        report = run_lint(
+            FIXTURES / "fingerprint_tree",
+            checkers=[FingerprintCompletenessChecker()],
+        )
+        infos = [f for f in report.findings if f.severity == "info"]
+        assert len(infos) == 1
+        assert "'seed'" in infos[0].message
+        assert infos[0].symbol == "LeakyStage.fields"
+
+    def test_declared_reads_not_flagged(self):
+        report = run_lint(
+            FIXTURES / "fingerprint_tree",
+            checkers=[FingerprintCompletenessChecker()],
+        )
+        messages = "\n".join(f.message for f in report.findings)
+        assert "config.dataset" not in messages
+        assert "config.n_train" not in messages
+
+
+class TestRepoRunsClean:
+    def test_source_tree_has_no_findings(self):
+        """The committed tree passes its own linter (suppressions only)."""
+        report = run_lint(SRC_ROOT)
+        assert report.findings == [], [f.format() for f in report.findings]
+
+    def test_injected_unfingerprinted_read_is_caught(self, tmp_path):
+        """Adding an un-declared config read to a real stage trips lint.
+
+        This is the cache-invalidation regression the rule exists for: a
+        stage reading a config attribute outside its ``fields`` tuple
+        would alias two different configs onto one cached artifact.
+        """
+        stages_src = (SRC_ROOT / "pipeline" / "stages.py").read_text()
+        needle = "rng = np.random.default_rng(cfg.seed)"
+        assert needle in stages_src
+        mutated = stages_src.replace(
+            needle, "_ = cfg.weak_cell_sigma\n        " + needle
+        )
+        (tmp_path / "core").mkdir()
+        (tmp_path / "pipeline").mkdir()
+        (tmp_path / "core" / "config.py").write_text(
+            (SRC_ROOT / "core" / "config.py").read_text()
+        )
+        (tmp_path / "pipeline" / "stages.py").write_text(mutated)
+
+        report = run_lint(
+            tmp_path, checkers=[FingerprintCompletenessChecker()]
+        )
+        gating = [f for f in report.findings if f.gating]
+        assert any(
+            "config.weak_cell_sigma" in f.message
+            and f.symbol == "TrainBaselineStage.run"
+            for f in gating
+        ), [f.format() for f in report.findings]
+
+    def test_unmutated_copy_stays_clean(self, tmp_path):
+        """Control for the injection test: the same copy, unmutated."""
+        (tmp_path / "core").mkdir()
+        (tmp_path / "pipeline").mkdir()
+        (tmp_path / "core" / "config.py").write_text(
+            (SRC_ROOT / "core" / "config.py").read_text()
+        )
+        (tmp_path / "pipeline" / "stages.py").write_text(
+            (SRC_ROOT / "pipeline" / "stages.py").read_text()
+        )
+        report = run_lint(
+            tmp_path, checkers=[FingerprintCompletenessChecker()]
+        )
+        assert [f for f in report.findings if f.gating] == []

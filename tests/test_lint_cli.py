@@ -1,0 +1,91 @@
+"""The ``repro lint`` CLI: check/baseline/json/rules/report flags."""
+
+import json
+from pathlib import Path
+
+from repro.cli import build_parser, main
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+RNG_TREE = str(FIXTURES / "rng_tree")
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.command == "lint"
+        assert args.root is None
+        assert not args.check
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["lint", "--root", "src", "--check", "--json",
+             "--rules", "rng-discipline", "--baseline", "b.json"]
+        )
+        assert args.root == "src"
+        assert args.check and args.json
+        assert args.rules == ["rng-discipline"]
+
+
+class TestLintCommand:
+    def test_check_fails_on_fixture_tree(self, capsys):
+        assert main(["lint", "--root", RNG_TREE, "--check"]) == 1
+        out = capsys.readouterr().out
+        assert "rng-discipline" in out
+
+    def test_default_mode_reports_without_gating(self, capsys):
+        assert main(["lint", "--root", RNG_TREE]) == 0
+        assert "finding(s)" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        assert main(["lint", "--root", RNG_TREE, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["counts_by_rule"]["rng-discipline"] == 4
+        assert payload["suppressed"] == 1
+
+    def test_source_tree_is_clean(self, capsys):
+        assert main(["lint", "--check"]) == 0
+        assert "0 new" in capsys.readouterr().out
+
+    def test_rules_filter(self, capsys):
+        assert main(
+            ["lint", "--root", RNG_TREE, "--check",
+             "--rules", "lock-discipline"]
+        ) == 0  # the rng fixture is clean under the lock rule
+
+    def test_unknown_rule_exits_2(self, capsys):
+        assert main(["lint", "--rules", "no-such-rule"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_report_file(self, tmp_path, capsys):
+        report_path = tmp_path / "LINT_report.json"
+        assert main(
+            ["lint", "--root", RNG_TREE, "--report", str(report_path)]
+        ) == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["total"] == 4
+
+    def test_update_baseline_then_check_passes(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["lint", "--root", RNG_TREE, "--update-baseline",
+             "--baseline", str(baseline)]
+        ) == 0
+        assert main(
+            ["lint", "--root", RNG_TREE, "--check",
+             "--baseline", str(baseline)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "(baselined)" in out
+
+    def test_default_baseline_discovered_in_cwd(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--root", RNG_TREE, "--update-baseline"]) == 0
+        assert (tmp_path / "lint-baseline.json").is_file()
+        # No --baseline flag: the cwd file is picked up automatically.
+        assert main(["lint", "--root", RNG_TREE, "--check"]) == 0

@@ -227,3 +227,66 @@ class TestStageTimings:
         pipeline = ExperimentPipeline(TINY, store=warm_store)
         pipeline.run()
         assert pipeline.stage_timings == {}
+
+
+class TestDeclaredFieldsInvalidateCache:
+    """Every declared fingerprint field really invalidates its stage.
+
+    This is the cache-invalidation contract the ``repro lint``
+    fingerprint-completeness rule protects from the source side: a
+    field in a stage's ``fields`` tuple must change that stage's cache
+    key when it changes, else declaring it was meaningless.
+    """
+
+    # One valid perturbation per config field (applied to TINY).
+    PERTURBATIONS = {
+        "dataset": "synthetic-blobs",
+        "n_train": TINY.n_train + 1,
+        "n_test": TINY.n_test + 1,
+        "dataset_seed": TINY.dataset_seed + 1,
+        "n_neurons": TINY.n_neurons + 4,
+        "n_steps": TINY.n_steps + 1,
+        "baseline_epochs": TINY.baseline_epochs + 1,
+        "epochs_per_rate": TINY.epochs_per_rate + 1,
+        "train_batch_size": TINY.train_batch_size + 1,
+        "compute_dtype": "float32",
+        "ber_rates": (1e-4,),
+        "accuracy_bound": TINY.accuracy_bound + 0.01,
+        "tolerance_trials": TINY.tolerance_trials + 1,
+        "error_model": "eden",
+        "representation": "int8",
+        "voltages": (1.175,),
+        "mapping_policy": "baseline",
+        "weak_cell_sigma": TINY.weak_cell_sigma + 0.1,
+        "weak_cell_seed": TINY.weak_cell_seed + 1,
+        "refetch_passes": TINY.refetch_passes + 1,
+        "seed": TINY.seed + 1,
+    }
+
+    def test_every_declared_field_changes_the_cache_key(self):
+        for stage in default_stages():
+            for field in stage.fields:
+                if field == "dram_spec":
+                    continue  # perturbed separately below
+                changed = TINY.with_overrides(**{field: self.PERTURBATIONS[field]})
+                assert stage.cache_key(changed) != stage.cache_key(TINY), (
+                    f"{stage.name}: declared field {field!r} does not "
+                    "invalidate the stage fingerprint"
+                )
+
+    def test_dram_spec_changes_the_dram_key(self):
+        from repro.dram.specs import get_dram_spec
+
+        changed = TINY.with_overrides(dram_spec=get_dram_spec("tiny"))
+        stage = DramEvalStage()
+        assert stage.cache_key(changed) != stage.cache_key(TINY)
+
+    def test_undeclared_fields_leave_the_key_alone(self):
+        # The complement: a field *outside* a stage's tuple must not
+        # split its cache (here: DRAM-side knobs vs the training stage).
+        from repro.pipeline import TrainBaselineStage
+
+        stage = TrainBaselineStage()
+        for field in ("voltages", "mapping_policy", "tolerance_trials"):
+            changed = TINY.with_overrides(**{field: self.PERTURBATIONS[field]})
+            assert stage.cache_key(changed) == stage.cache_key(TINY)
