@@ -49,6 +49,7 @@ import numpy as np
 
 REPRESENTATIONS = ("float32", "int8", "int16")
 COMPUTE_DTYPES = ("float64", "float32")
+STAGE_ENCODING_CHOICES = ("fresh", "shared")
 
 
 def _add_run_parser(subparsers) -> None:
@@ -83,6 +84,11 @@ def _add_run_parser(subparsers) -> None:
                    default="float64",
                    help="simulation/training precision (float32 halves "
                         "memory bandwidth but changes results)")
+    p.add_argument("--stage-encoding", choices=STAGE_ENCODING_CHOICES,
+                   default="fresh",
+                   help="per-BER-stage encoding of fault-aware training "
+                        "(shared = encode once, replay at every later "
+                        "stage; requires --train-batch-size > 1)")
     p.add_argument("--cache-dir", metavar="DIR",
                    help="artifact-store directory; repeated runs with the "
                         "same config reuse cached stages")
@@ -117,6 +123,12 @@ def _add_grid_arguments(p) -> None:
                    metavar="DTYPE",
                    help="compute-precision axis (training-side: each "
                         "dtype retrains; float64/float32)")
+    p.add_argument("--stage-encoding", nargs="+", default=None,
+                   choices=STAGE_ENCODING_CHOICES, dest="stage_encodings",
+                   metavar="MODE",
+                   help="stage-encoding axis (training-side: each mode "
+                        "retrains; fresh/shared, shared requires a "
+                        "train-batch-size > 1 on the same grid point)")
     p.add_argument("--voltages", type=float, nargs="+", default=None, metavar="V",
                    help="voltage axis: each voltage becomes its own grid "
                         "point (DRAM-side, no retraining)")
@@ -376,6 +388,7 @@ def _cmd_run(args) -> int:
         engine=args.engine,
         train_batch_size=args.train_batch_size,
         compute_dtype=args.compute_dtype,
+        stage_encoding=args.stage_encoding,
     )
     if args.voltages:
         config = config.with_overrides(voltages=tuple(args.voltages))
@@ -422,6 +435,8 @@ def _grid_from_args(args, base) -> dict:
         grid["train_batch_size"] = list(args.train_batch_sizes)
     if args.compute_dtypes:
         grid["compute_dtype"] = list(args.compute_dtypes)
+    if args.stage_encodings:
+        grid["stage_encoding"] = list(args.stage_encodings)
     return grid
 
 

@@ -18,6 +18,11 @@ ENGINE_CHOICES = ("batched", "sequential")
 #: import-light, stages convert via ``np.dtype``).
 COMPUTE_DTYPES = ("float64", "float32")
 
+#: Valid values of the ``stage_encoding`` switch (mirrors
+#: ``repro.engine.trainer.STAGE_ENCODINGS``; duplicated so the config
+#: layer stays import-light).
+STAGE_ENCODING_CHOICES = ("fresh", "shared")
+
 #: The reduced supply voltages of the paper's Fig. 12(a).
 PAPER_VOLTAGES = (1.325, 1.250, 1.175, 1.100, 1.025)
 #: The BER decades swept by the paper's Fig. 11.
@@ -55,6 +60,13 @@ class SparkXDConfig:
     #: halves memory bandwidth but changes results, so it is
     #: fingerprint-relevant too.
     compute_dtype: str = "float64"
+    #: Per-BER-stage encoding of fault-aware training: "fresh" re-draws
+    #: the sample permutations and Poisson encodings at every stage;
+    #: "shared" (requires train_batch_size > 1) encodes once at the
+    #: first stage and replays the recorded minibatches at every later
+    #: stage (see docs/training.md).  Result-changing, so
+    #: fingerprint-relevant.
+    stage_encoding: str = "fresh"
 
     # SparkXD error schedule and accuracy target
     ber_rates: Tuple[float, ...] = PAPER_BER_RATES
@@ -115,6 +127,16 @@ class SparkXDConfig:
             raise ValueError(
                 f"unknown compute_dtype {self.compute_dtype!r}; "
                 f"choose from {list(COMPUTE_DTYPES)}"
+            )
+        if self.stage_encoding not in STAGE_ENCODING_CHOICES:
+            raise ValueError(
+                f"unknown stage_encoding {self.stage_encoding!r}; "
+                f"choose from {list(STAGE_ENCODING_CHOICES)}"
+            )
+        if self.stage_encoding == "shared" and self.train_batch_size == 1:
+            raise ValueError(
+                "stage_encoding='shared' requires train_batch_size > 1 "
+                "(the bit-exact sequential reference always re-encodes)"
             )
 
     # ------------------------------------------------------------------

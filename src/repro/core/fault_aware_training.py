@@ -88,6 +88,7 @@ def improve_error_tolerance(
     engine: str = "batched",
     batch_size: int = 1,
     dtype: np.dtype = np.float64,
+    stage_encoding: str = "fresh",
 ) -> FaultAwareTrainingResult:
     """Algorithm 1: progressive fault-aware retraining of a baseline SNN.
 
@@ -119,7 +120,29 @@ def improve_error_tolerance(
     dtype:
         Compute precision of training and the per-stage evaluations
         (``numpy.float64`` default or ``numpy.float32``).
+    stage_encoding:
+        ``"fresh"`` (default) re-draws the sample permutations and
+        Poisson encodings at every BER stage — the historical stream.
+        ``"shared"`` (minibatch mode only, ``batch_size>1``) encodes
+        the training stream once at the first stage and replays the
+        recorded minibatches (and their prebuilt sparse drive
+        operators) at every later stage
+        (:class:`repro.engine.trainer.StageEncodingCache`) — every
+        stage then trains on the *same* encoded stream, and the
+        replayed stages skip their permutation/encoding draws, so this
+        is a result-changing, fingerprinted knob.
     """
+    from repro.engine.trainer import STAGE_ENCODINGS, StageEncodingCache
+
+    if stage_encoding not in STAGE_ENCODINGS:
+        raise ValueError(
+            f"stage_encoding must be one of {STAGE_ENCODINGS}, got {stage_encoding!r}"
+        )
+    if stage_encoding == "shared" and batch_size == 1:
+        raise ValueError(
+            "stage_encoding='shared' requires batch_size > 1: the bit-exact "
+            "sequential reference always re-encodes"
+        )
     rng = ensure_rng(rng)
     rates = tuple(sorted(float(r) for r in rates))
     if not rates:
@@ -141,6 +164,9 @@ def improve_error_tolerance(
     accuracy_per_rate: dict = {}
     snapshots: dict = {}
     model = baseline.copy()
+    encoding_cache = (
+        StageEncodingCache() if stage_encoding == "shared" else None
+    )
     for rate in rates:
         def corrupt(weights: np.ndarray, _rate=rate) -> np.ndarray:
             corrupted, _report = injector.inject_uniform(weights, _rate, rng=rng)
@@ -158,6 +184,7 @@ def improve_error_tolerance(
             n_classes=n_classes,
             engine=engine,
             batch_size=batch_size,
+            encoding_cache=encoding_cache,
         )
         # Deployment reads corrupted weights, so both the neuron→class
         # assignment and the stage accuracy are measured under fresh

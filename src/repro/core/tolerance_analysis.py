@@ -146,6 +146,10 @@ def analyze_error_tolerance(
             rng,
             weights=stack,
             n_classes=n_classes,
+            # The stack is `trials` corruptions of model.weights: share
+            # the clean drive precompute, recomputing only the rows each
+            # realization's flipped weights touch (bit-identical).
+            base_weights=model.weights,
         )
         accuracy = float(np.mean(np.atleast_1d(accuracies)))
         points.append(TolerancePoint(ber=rate, accuracy=accuracy, trials=trials))

@@ -15,6 +15,7 @@ construction); the simulation stays vectorized either way.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np
@@ -23,6 +24,28 @@ from repro.snn.encoding import poisson_rate_code
 
 #: Encoder signature used across the SNN stack.
 Encoder = Callable[[np.ndarray, int, np.random.Generator], np.ndarray]
+
+
+@dataclass
+class EncodedMinibatch:
+    """One encoded minibatch, replayable across repeated presentations.
+
+    ``trains`` is the boolean ``(B, n_steps, n_input)`` spike tensor of
+    one Poisson draw; ``matrix`` lazily caches the sparse drive
+    operator
+    (:meth:`repro.snn.network.DiehlCookNetwork.prepare_drive_matrix`)
+    built from it, so a consumer presenting the same minibatch several
+    times — the per-BER-stage amortization of
+    :class:`repro.engine.trainer.StageEncodingCache` — pays the
+    encoding draw *and* the CSR construction once.
+    """
+
+    trains: np.ndarray
+    matrix: object = None
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.trains.shape[0])
 
 
 def _check_images(images: np.ndarray) -> np.ndarray:

@@ -17,9 +17,12 @@ one vectorized pass —
    sparse CSR ``spikes @ weights`` matmul as the evaluator
    (:meth:`repro.snn.network.DiehlCookNetwork.run_batch_stdp`);
 4. **Accumulate** STDP deltas across all lanes and timesteps against
-   the frozen tensor
-   (:meth:`repro.snn.stdp.STDPRule.step_accumulate`), with per-lane
-   adaptive-threshold (theta) dynamics;
+   the frozen tensor, with per-lane adaptive-threshold (theta)
+   dynamics.  The time loop runs in a fused, allocation-free kernel
+   (:mod:`repro.snn.kernels`) — jitted with numba when available, the
+   exact-ufunc numpy twin otherwise — writing into a per-minibatch-size
+   :class:`~repro.snn.kernels.FusedWorkspace` reused across steps *and*
+   minibatches;
 5. **Apply** once per minibatch: the summed delta is credited back to
    the stored clean tensor, clipped to the physical range and
    column-normalized
@@ -45,21 +48,85 @@ exception: it is called once per minibatch instead of once per sample,
 so fault-aware runs consume fewer injection draws), and the trained
 weights differ — which is why ``train_batch_size`` is part of the
 pipeline's stage cache fingerprints, unlike the result-identical
-``engine`` switch.  See ``docs/training.md`` for the full semantics.
+``engine`` switch.  The ``kernel`` switch, by contrast, is
+result-identical: every backend produces bit-identical weights, theta
+and counts (asserted in tests).  See ``docs/training.md`` for the full
+semantics.
+
+Encode-once-per-BER-stack amortization
+--------------------------------------
+Fault-aware training (Algorithm 1) trains the *same* sample stream
+through several ascending BER stages.  A :class:`StageEncodingCache`
+passed to :meth:`BatchedTrainer.train` records each epoch's
+permutation-ordered encoded minibatches (and their CSR drive
+operators) on first execution and replays them on every later call —
+so an E-stage stack pays the Poisson encoding and sparse-structure
+construction once instead of E times.  Replayed stages skip the
+permutation and encoding draws, so the RNG stream differs from fresh
+re-encoding: ``stage_encoding`` is a result-changing, fingerprinted
+config knob (see ``docs/training.md``).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.engine.encoding import Encoder, encode_spike_trains
+from repro.engine.encoding import Encoder, EncodedMinibatch, encode_spike_trains
 from repro.rng import ensure_rng
 from repro.snn.encoding import poisson_rate_code
+from repro.snn.kernels import FusedWorkspace, resolve_kernel
 from repro.snn.network import DiehlCookNetwork, make_stdp
 from repro.snn.stdp import STDPParameters
 from repro.snn.training import apply_post_sample_update
+
+#: Valid values of the ``stage_encoding`` switch (config layer mirrors
+#: this tuple; see SparkXDConfig.stage_encoding).
+STAGE_ENCODINGS = ("fresh", "shared")
+
+
+class StageEncodingCache:
+    """Replayable record of one training call's encoded sample stream.
+
+    Records, per epoch, the permutation-ordered
+    :class:`~repro.engine.encoding.EncodedMinibatch` sequence of the
+    first :meth:`BatchedTrainer.train` call it participates in, and
+    replays it verbatim for every later call — the
+    encode-once-per-BER-stack amortization of fault-aware training.
+    The first (recording) call is bit-identical to running without the
+    cache; replaying calls skip the permutation and encoding draws.
+
+    Memory holds every encoded epoch: roughly
+    ``epochs x n_train x n_steps x n_input`` bytes of boolean trains
+    plus the cached CSR operators (similar size) — sized for the
+    CPU-scale reproductions this repo targets, not for full MNIST.
+    """
+
+    def __init__(self):
+        self._epochs: List[List[EncodedMinibatch]] = []
+
+    def __len__(self) -> int:
+        return len(self._epochs)
+
+    def has_epoch(self, epoch: int) -> bool:
+        return epoch < len(self._epochs)
+
+    def minibatches(self, epoch: int) -> Tuple[EncodedMinibatch, ...]:
+        return tuple(self._epochs[epoch])
+
+    def record_epoch(self, epoch: int, minibatches: List[EncodedMinibatch]) -> None:
+        if epoch != len(self._epochs):
+            raise ValueError(
+                f"epochs must be recorded in order; expected epoch "
+                f"{len(self._epochs)}, got {epoch}"
+            )
+        self._epochs.append(list(minibatches))
+
+    @property
+    def n_bytes(self) -> int:
+        """Approximate resident size of the cached spike trains."""
+        return sum(mb.trains.nbytes for epoch in self._epochs for mb in epoch)
 
 
 class BatchedTrainer:
@@ -85,6 +152,13 @@ class BatchedTrainer:
         Fault-aware read hook: maps the stored clean tensor to what a
         DRAM read returns.  Called once per presentation — per sample
         at ``batch_size=1``, per minibatch otherwise.
+    kernel:
+        Time-loop implementation of the minibatch pass (see
+        :data:`repro.snn.kernels.KERNEL_CHOICES`): ``"auto"``
+        (default; numba when available, else the fused numpy kernel),
+        ``"numba"``, ``"numpy"``, or ``"reference"`` (the unfused
+        loop).  Result-identical — every kernel produces bit-identical
+        trained weights.
     """
 
     def __init__(
@@ -94,6 +168,7 @@ class BatchedTrainer:
         batch_size: int = 1,
         encoder: Optional[Encoder] = None,
         corrupt_weights: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        kernel: str = "auto",
     ):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -102,15 +177,21 @@ class BatchedTrainer:
                 "BatchedTrainer trains an unbatched network "
                 f"(batch_shape {network.batch_shape})"
             )
+        resolve_kernel(kernel)  # validate eagerly; resolved per call
         self.network = network
         self.batch_size = int(batch_size)
         self.encoder = encoder
         self.corrupt_weights = corrupt_weights
+        self.kernel = kernel
         self.stdp = make_stdp(network, stdp_parameters)
-        # Batched machinery (shell network + batched rule), built on
-        # first minibatch and re-shaped for a ragged final minibatch.
-        self._shell: Optional[DiehlCookNetwork] = None
-        self._batch_stdp = None
+        # Batched machinery (shell network + batched rule + fused-kernel
+        # workspace), built lazily and memoized *per minibatch size*: a
+        # ragged final minibatch gets its own (small) state, and the
+        # next epoch's full-size minibatch gets the full-shape buffers
+        # back without any reallocation.
+        self._machinery: Dict[
+            int, Tuple[DiehlCookNetwork, object, FusedWorkspace]
+        ] = {}
 
     # ------------------------------------------------------------------
     def train(
@@ -119,28 +200,51 @@ class BatchedTrainer:
         n_steps: int,
         epochs: int = 1,
         rng: Optional[np.random.Generator] = None,
+        encoding_cache: Optional[StageEncodingCache] = None,
     ) -> None:
         """Run the full training loop over ``images`` in place.
 
         Every epoch draws one sample permutation from ``rng`` and then
         encodes samples in permutation order — the identical stream
         whether presentations happen one at a time or per minibatch.
+
+        ``encoding_cache`` (minibatch mode only) records this call's
+        encoded epochs, or — if it already holds them — replays the
+        recorded stream instead of drawing permutations and encodings
+        (see :class:`StageEncodingCache`).
         """
         if n_steps <= 0:
             raise ValueError(f"n_steps must be > 0, got {n_steps}")
         if epochs <= 0:
             raise ValueError(f"epochs must be > 0, got {epochs}")
+        if encoding_cache is not None and self.batch_size == 1:
+            raise ValueError(
+                "encoding_cache requires batch_size > 1: the bit-exact "
+                "sequential reference always re-encodes (stage_encoding="
+                "'shared' is a minibatch-mode approximation)"
+            )
         rng = ensure_rng(rng)
         images = np.asarray(images)
-        for _epoch in range(epochs):
+        for epoch in range(epochs):
+            if encoding_cache is not None and encoding_cache.has_epoch(epoch):
+                for prepared in encoding_cache.minibatches(epoch):
+                    self.present_minibatch(None, n_steps, rng, prepared=prepared)
+                continue
             order = rng.permutation(len(images))
             if self.batch_size == 1:
                 for i in order:
                     self.present_sample(images[i], n_steps, rng)
             else:
+                recorded: Optional[List[EncodedMinibatch]] = (
+                    [] if encoding_cache is not None else None
+                )
                 for start in range(0, len(order), self.batch_size):
                     batch = order[start : start + self.batch_size]
-                    self.present_minibatch(images[batch], n_steps, rng)
+                    prepared = self.present_minibatch(images[batch], n_steps, rng)
+                    if recorded is not None:
+                        recorded.append(prepared)
+                if recorded is not None:
+                    encoding_cache.record_epoch(epoch, recorded)
 
     # ------------------------------------------------------------------
     def present_sample(
@@ -174,12 +278,29 @@ class BatchedTrainer:
             apply_post_sample_update(net)
 
     def present_minibatch(
-        self, images: np.ndarray, n_steps: int, rng: np.random.Generator
-    ) -> None:
-        """One vectorized minibatch presentation (``batch_size>1`` path)."""
+        self,
+        images: Optional[np.ndarray],
+        n_steps: int,
+        rng: np.random.Generator,
+        prepared: Optional[EncodedMinibatch] = None,
+    ) -> EncodedMinibatch:
+        """One vectorized minibatch presentation (``batch_size>1`` path).
+
+        ``prepared`` replays an already-encoded minibatch (the
+        :class:`StageEncodingCache` flow) instead of encoding
+        ``images``; either way the presented
+        :class:`~repro.engine.encoding.EncodedMinibatch` — trains plus
+        lazily-built sparse drive operator — is returned so callers can
+        record it.
+        """
         net = self.network
-        trains = encode_spike_trains(images, n_steps, rng, encoder=self.encoder)
-        shell, stdp = self._batched_machinery(trains.shape[0])
+        if prepared is None:
+            trains = encode_spike_trains(images, n_steps, rng, encoder=self.encoder)
+            prepared = EncodedMinibatch(trains=trains)
+        trains = prepared.trains
+        shell, stdp, workspace = self._batched_machinery(trains.shape[0])
+        if prepared.matrix is None:
+            prepared.matrix = shell.prepare_drive_matrix(trains)
         clean = net.weights
         if self.corrupt_weights is not None:
             # One corrupted realization per minibatch read: the whole
@@ -193,30 +314,44 @@ class BatchedTrainer:
         ).copy()
         shell.set_weights(read)
         delta = np.zeros_like(clean)
-        shell.run_batch_stdp(trains, stdp, delta)
+        shell.run_batch_stdp(
+            trains,
+            stdp,
+            delta,
+            kernel=self.kernel,
+            workspace=workspace,
+            matrix=prepared.matrix,
+        )
         # Homeostasis: every lane's theta advanced independently from
         # theta0; the stored thresholds take the summed increments, the
         # minibatch analogue of B successive per-sample adaptations.
         net.neurons.theta = theta0 + (shell.neurons.theta - theta0).sum(axis=0)
         apply_post_sample_update(net, delta=delta, base=clean)
+        return prepared
 
     # ------------------------------------------------------------------
     def _batched_machinery(self, n_batch: int):
-        """The lazily-built batched shell network + accumulate-mode rule."""
+        """Shell network + accumulate-mode rule + workspace for one size.
+
+        Memoized per minibatch size: ragged→full round trips across
+        epochs hand back the same objects (and their buffers) instead
+        of reallocating the full-size state every time the shape flips
+        (covered by a regression test).
+        """
         net = self.network
-        if self._shell is None:
-            self._shell = DiehlCookNetwork(
+        machinery = self._machinery.get(n_batch)
+        if machinery is None:
+            shell = DiehlCookNetwork(
                 net.parameters,
                 w_max=net.w_max,
                 batch_shape=(n_batch,),
                 init_weights=False,
                 dtype=net.dtype,
             )
-            self._batch_stdp = make_stdp(
-                net, self.stdp.parameters, batch_shape=(n_batch,)
+            rule = make_stdp(net, self.stdp.parameters, batch_shape=(n_batch,))
+            workspace = FusedWorkspace(
+                n_batch, net.n_neurons, net.n_input, net.dtype
             )
-        elif self._shell.batch_shape != (n_batch,):
-            # Ragged final minibatch: reshape state, keep parameters.
-            self._shell.set_batch_shape((n_batch,))
-            self._batch_stdp.set_batch_shape((n_batch,))
-        return self._shell, self._batch_stdp
+            machinery = (shell, rule, workspace)
+            self._machinery[n_batch] = machinery
+        return machinery

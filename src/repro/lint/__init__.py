@@ -33,6 +33,7 @@ from repro.lint.locks import LockDisciplineChecker
 from repro.lint.rng import RngDisciplineChecker
 from repro.lint.runner import LintReport, REPORT_VERSION, default_checkers, run_lint
 from repro.lint.wire import ProtocolConsistencyChecker
+from repro.lint.workspace import WorkspaceDisciplineChecker
 
 __all__ = [
     "Baseline",
@@ -48,6 +49,7 @@ __all__ = [
     "RngDisciplineChecker",
     "SEVERITIES",
     "SourceModule",
+    "WorkspaceDisciplineChecker",
     "default_checkers",
     "is_suppressed",
     "load_project",

@@ -17,18 +17,20 @@ from repro.lint.fingerprint import FingerprintCompletenessChecker
 from repro.lint.locks import LockDisciplineChecker
 from repro.lint.rng import RngDisciplineChecker
 from repro.lint.wire import ProtocolConsistencyChecker
+from repro.lint.workspace import WorkspaceDisciplineChecker
 
 #: JSON report schema version (bump on breaking shape changes).
 REPORT_VERSION = 1
 
 
 def default_checkers() -> Tuple[Checker, ...]:
-    """The four project invariant checkers, in reporting order."""
+    """The five project invariant checkers, in reporting order."""
     return (
         FingerprintCompletenessChecker(),
         RngDisciplineChecker(),
         LockDisciplineChecker(),
         ProtocolConsistencyChecker(),
+        WorkspaceDisciplineChecker(),
     )
 
 

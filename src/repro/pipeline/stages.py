@@ -68,6 +68,9 @@ TRAINING_FIELDS: Tuple[str, ...] = BASELINE_FIELDS + (
     "epochs_per_rate",
     "accuracy_bound",
     "error_model",
+    # "shared" replays the first stage's encoded stream at every later
+    # BER stage — result-changing, so it invalidates the training chain.
+    "stage_encoding",
 )
 TOLERANCE_FIELDS: Tuple[str, ...] = TRAINING_FIELDS + ("tolerance_trials",)
 DRAM_FIELDS: Tuple[str, ...] = TOLERANCE_FIELDS + (
@@ -194,6 +197,7 @@ class FaultAwareTrainStage(Stage):
             engine=cfg.engine,  # lint: disable=fingerprint-completeness
             batch_size=cfg.train_batch_size,
             dtype=np.dtype(cfg.compute_dtype),
+            stage_encoding=cfg.stage_encoding,
         )
         return TrainingArtifact(training=training, rng_state=rng.bit_generator.state)
 

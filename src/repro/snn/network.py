@@ -43,6 +43,13 @@ except ImportError:  # pragma: no cover - exercised via the forced fallback test
     _sparse = None
 
 from repro.rng import ensure_rng
+from repro.snn.kernels import (
+    FusedConstants,
+    FusedWorkspace,
+    numba_state_step,
+    numpy_state_step,
+    resolve_kernel,
+)
 from repro.snn.neurons import AdaptiveLIFLayer, LIFParameters
 from repro.snn.stdp import STDPParameters, STDPRule, normalize_columns
 from repro.snn.synapses import (
@@ -130,9 +137,22 @@ def _drive_matrix(spike_rows: np.ndarray, dtype: np.dtype = np.float64):
     rows = np.asarray(spike_rows, dtype=bool)
     if rows.ndim != 2:
         raise ValueError(f"spike rows must be 2-D, got shape {rows.shape}")
-    if _sparse is not None:
+    if _sparse is None:
+        return rows
+    if rows.size >= 2**31:
         return _sparse.csr_matrix(rows, dtype=dtype)
-    return rows
+    # Assemble the CSR triple directly from one flat nonzero scan —
+    # several times faster than scipy's dense-to-CSR path and
+    # structurally identical (row-major, ascending columns), so the
+    # matvec accumulation order (hence every bit of the drive rows)
+    # is unchanged.
+    n_rows, n_cols = rows.shape
+    flat = np.flatnonzero(rows)
+    indices = (flat % n_cols).astype(np.int32)
+    indptr = np.zeros(n_rows + 1, dtype=np.int32)
+    np.cumsum(np.bincount(flat // n_cols, minlength=n_rows), out=indptr[1:])
+    data = np.ones(flat.size, dtype=dtype)
+    return _sparse.csr_matrix((data, indices, indptr), shape=rows.shape)
 
 
 def _drive_rows(matrix, weights: np.ndarray) -> np.ndarray:
@@ -141,6 +161,48 @@ def _drive_rows(matrix, weights: np.ndarray) -> np.ndarray:
         return matrix @ weights
     rows = np.zeros((matrix.shape[0], weights.shape[1]), dtype=weights.dtype)
     for t in np.flatnonzero(matrix.any(axis=1)):
+        rows[t] = step_drive(weights, matrix[t])
+    return rows
+
+
+def _delta_drive_rows(
+    matrix, weights: np.ndarray, base_weights: np.ndarray, base_rows: np.ndarray
+) -> np.ndarray:
+    """Drive rows of a near-clean realization via exact row recomputation.
+
+    For an error-realization stack close to a shared base tensor (low
+    BER), most input rows of ``weights`` equal ``base_weights`` exactly
+    — so most drive rows equal ``base_rows`` exactly, because a CSR
+    output row (and the numpy fallback's index-sum) accumulates only
+    the weight rows its spikes select, in a fixed order.  Only the
+    drive rows touched by a *changed* input row need recomputing, and
+    a CSR row-slice matmul preserves each row's accumulation order, so
+    the result is **bit-identical** to ``_drive_rows(matrix, weights)``
+    at a fraction of the flops.
+
+    Falls back to the full product when the realization is not actually
+    sparse against the base (high BER corrupts most input rows, at
+    which point the bookkeeping would cost more than it saves).
+    """
+    changed = np.flatnonzero((weights != base_weights).any(axis=1))
+    if changed.size == 0:
+        return base_rows
+    if changed.size * 4 >= weights.shape[0]:
+        return _drive_rows(matrix, weights)
+    if _sparse is not None and _sparse.issparse(matrix):
+        indicator = np.zeros(weights.shape[0], dtype=matrix.dtype)
+        indicator[changed] = 1.0
+        touched = np.flatnonzero(matrix @ indicator)
+        if touched.size == 0:
+            return base_rows
+        rows = base_rows.copy()
+        rows[touched] = matrix[touched] @ weights
+        return rows
+    touched = np.flatnonzero(matrix[:, changed].any(axis=1))
+    if touched.size == 0:
+        return base_rows
+    rows = base_rows.copy()
+    for t in touched:
         rows[t] = step_drive(weights, matrix[t])
     return rows
 
@@ -367,7 +429,12 @@ class DiehlCookNetwork:
             normalize_columns(self.weights, p.weight_norm)
         return counts
 
-    def run_batch(self, spike_trains: np.ndarray, adapt: bool = False) -> np.ndarray:
+    def run_batch(
+        self,
+        spike_trains: np.ndarray,
+        adapt: bool = False,
+        base_weights: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Present a batch of encoded samples in one vectorized pass.
 
         ``spike_trains`` is boolean ``(B, n_steps, n_input)`` where ``B``
@@ -377,6 +444,13 @@ class DiehlCookNetwork:
         matrix, shared) is applied realization-wise, and every sample is
         presented to all ``E`` realizations.  Returns per-neuron spike
         counts of shape ``batch_shape + (n_neurons,)``.
+
+        ``base_weights`` (stacked networks only) marks the installed
+        stack as ``E`` realizations of one base tensor — the clean
+        weights a low-BER injector corrupted.  The base drive is then
+        computed once and each realization recomputes only the drive
+        rows its changed input rows touch (:func:`_delta_drive_rows`),
+        which is bit-identical to the per-realization matmul.
 
         The spike counts are bit-identical to looping
         :meth:`run_sample` over realizations and samples at the same
@@ -420,8 +494,22 @@ class DiehlCookNetwork:
             drives = np.empty(
                 (n_steps,) + bs + (p.n_neurons,), dtype=self.dtype
             )
+            base_rows = None
+            if base_weights is not None:
+                base_weights = np.asarray(base_weights, dtype=self.dtype)
+                if base_weights.shape != (p.n_input, p.n_neurons):
+                    raise ValueError(
+                        f"base_weights must have shape {(p.n_input, p.n_neurons)}, "
+                        f"got {base_weights.shape}"
+                    )
+                base_rows = _drive_rows(matrix, base_weights)
             for e in range(n_stack):
-                rows = _drive_rows(matrix, self.weights[e])
+                if base_rows is None:
+                    rows = _drive_rows(matrix, self.weights[e])
+                else:
+                    rows = _delta_drive_rows(
+                        matrix, self.weights[e], base_weights, base_rows
+                    )
                 drives[:, e, :, :] = rows.reshape(
                     n_batch, n_steps, p.n_neurons
                 ).transpose(1, 0, 2)
@@ -435,20 +523,46 @@ class DiehlCookNetwork:
             counts += self._step_from_drive(drives[t], adapt=adapt)
         return counts
 
-    def _sample_drives(self, trains: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    def prepare_drive_matrix(self, spike_trains: np.ndarray):
+        """Prebuild the reusable sparse drive operator of a minibatch.
+
+        The CSR matrix (or boolean fallback) that
+        :meth:`run_batch_stdp` and :meth:`_sample_drives` would build
+        from these trains — exposed so a caller presenting the *same*
+        encoded minibatch repeatedly (the per-BER-stage amortization of
+        :class:`repro.engine.trainer.StageEncodingCache`) pays the
+        sparse-structure construction once.
+        """
+        trains = np.asarray(spike_trains, dtype=bool)
+        if trains.ndim != 3 or trains.shape[2] != self.n_input:
+            raise ValueError(
+                f"spike trains must have shape (B, n_steps, {self.n_input}), "
+                f"got {trains.shape}"
+            )
+        return _drive_matrix(
+            trains.reshape(trains.shape[0] * trains.shape[1], self.n_input),
+            self.dtype,
+        )
+
+    def _sample_drives(
+        self, trains: np.ndarray, weights: np.ndarray, matrix=None
+    ) -> np.ndarray:
         """Gain-scaled time-major drive slab of a chunk against one matrix.
 
         ``trains`` is boolean ``(B, n_steps, n_input)``; the result is a
         contiguous ``(n_steps, B, n_neurons)`` tensor whose rows are
         bit-identical to the scalar per-step index-sum (see
-        :func:`sample_drive`).  Shared by :meth:`run_batch` (single
-        matrix) and :meth:`run_batch_stdp`.
+        :func:`sample_drive`).  ``matrix`` optionally supplies the
+        prebuilt :meth:`prepare_drive_matrix` operator of these trains.
+        Shared by :meth:`run_batch` (single matrix) and
+        :meth:`run_batch_stdp`.
         """
         p = self.parameters
         n_batch, n_steps = trains.shape[0], trains.shape[1]
-        matrix = _drive_matrix(
-            trains.reshape(n_batch * n_steps, p.n_input), self.dtype
-        )
+        if matrix is None:
+            matrix = _drive_matrix(
+                trains.reshape(n_batch * n_steps, p.n_input), self.dtype
+            )
         rows = _drive_rows(matrix, weights)
         base = np.ascontiguousarray(
             rows.reshape(n_batch, n_steps, p.n_neurons).transpose(1, 0, 2)
@@ -457,7 +571,13 @@ class DiehlCookNetwork:
         return base
 
     def run_batch_stdp(
-        self, spike_trains: np.ndarray, stdp: STDPRule, delta: np.ndarray
+        self,
+        spike_trains: np.ndarray,
+        stdp: STDPRule,
+        delta: np.ndarray,
+        kernel: str = "auto",
+        workspace: Optional[FusedWorkspace] = None,
+        matrix=None,
     ) -> np.ndarray:
         """Present a minibatch with learning against *frozen* weights.
 
@@ -467,16 +587,26 @@ class DiehlCookNetwork:
         weight matrix with the same sparse CSR matmul as
         :meth:`run_batch`, the adaptive neurons advance with
         homeostasis on (``adapt=True``, per-lane thresholds), and each
-        step's STDP updates are *accumulated* into ``delta`` via
-        :meth:`~repro.snn.stdp.STDPRule.step_accumulate` instead of
-        applied in place — the installed weights stay frozen for the
-        whole minibatch.  ``stdp`` must carry this network's batch
-        shape ``(B,)``; its traces are reset at the start (one
-        presentation per lane).  Returns per-lane spike counts
-        ``(B, n_neurons)``.
+        step's STDP updates are *accumulated* into ``delta`` against
+        the frozen tensor instead of applied in place.  ``stdp`` must
+        carry this network's batch shape ``(B,)``; its traces are reset
+        at the start (one presentation per lane).  Returns per-lane
+        spike counts ``(B, n_neurons)``.
+
+        ``kernel`` selects the time-loop implementation (see
+        :data:`repro.snn.kernels.KERNEL_CHOICES`): ``"auto"`` resolves
+        to the jitted numba kernel when available, else the fused
+        allocation-free numpy kernel; ``"reference"`` runs the original
+        `_step_from_drive` + `step_accumulate` loop.  All three produce
+        bit-identical weights, thresholds and counts (asserted in
+        tests).  ``workspace`` optionally supplies the preallocated
+        :class:`~repro.snn.kernels.FusedWorkspace` scratch of the fused
+        kernels (one is allocated per call otherwise); ``matrix`` the
+        prebuilt :meth:`prepare_drive_matrix` operator.
         """
         p = self.parameters
         bs = self.batch_shape
+        resolved = resolve_kernel(kernel)
         if len(bs) != 1:
             raise ValueError(
                 f"run_batch_stdp requires batch_shape (B,), got {bs}"
@@ -498,16 +628,78 @@ class DiehlCookNetwork:
                 f"spike trains must have shape ({n_batch}, n_steps, {p.n_input}), "
                 f"got {trains.shape}"
             )
-        drives = self._sample_drives(trains, self.weights)
+        drives = self._sample_drives(trains, self.weights, matrix=matrix)
         bound = stdp.frozen_bound(self.weights)
         self.reset_state(keep_theta=True)
         stdp.reset_state()
         pre_steps = trains.transpose(1, 0, 2)  # (n_steps, B, n_input) view
         counts = np.zeros(bs + (p.n_neurons,), dtype=np.int64)
-        for t in range(trains.shape[1]):
-            spikes = self._step_from_drive(drives[t], adapt=True)
-            stdp.step_accumulate(pre_steps[t], spikes, delta, bound)
-            counts += spikes
+        if resolved == "reference":
+            for t in range(trains.shape[1]):
+                spikes = self._step_from_drive(drives[t], adapt=True)
+                stdp.step_accumulate(pre_steps[t], spikes, delta, bound)
+                counts += spikes
+            return counts
+        return self._run_batch_stdp_fused(
+            drives, pre_steps, stdp, delta, bound, counts, workspace, resolved
+        )
+
+    def _run_batch_stdp_fused(
+        self,
+        drives: np.ndarray,
+        pre_steps: np.ndarray,
+        stdp: STDPRule,
+        delta: np.ndarray,
+        bound: np.ndarray,
+        counts: np.ndarray,
+        workspace: Optional[FusedWorkspace],
+        backend: str,
+    ) -> np.ndarray:
+        """The training time loop, allocation-free.
+
+        The training counterpart of :meth:`_run_batch_frozen`: per step
+        the state kernel (:func:`repro.snn.kernels.numpy_state_step` or
+        the jitted numba twin) performs exactly the ufunc sequence of
+        :meth:`_step_from_drive` with ``adapt=True`` plus the STDP
+        trace decay/bump into preallocated workspace buffers, then the
+        spiking-column accumulation
+        (:meth:`~repro.snn.stdp.STDPRule.accumulate_step`) runs in
+        shared numpy/BLAS code for both backends.  Bit-identity with
+        the reference loop is asserted in ``tests/test_engine_trainer``.
+        """
+        p = self.parameters
+        n_batch = self.batch_shape[0]
+        n_steps = drives.shape[0]
+        ws = workspace
+        if ws is None or not ws.matches(n_batch, p.n_neurons, p.n_input, self.dtype):
+            ws = FusedWorkspace(n_batch, p.n_neurons, p.n_input, self.dtype)
+        consts = FusedConstants.for_loop(self, stdp)
+        g_e, g_i = self.g_excitatory.g, self.g_inhibitory.g
+        v, refr = self.neurons.v, self.neurons.refractory_left
+        theta, x_pre = self.neurons.theta, stdp.x_pre
+        np.copyto(ws.last, self._last_spikes)
+        last, spikes = ws.last, ws.spikes
+        if backend == "numba":
+            step_fn = numba_state_step(self.dtype)
+            const_args = consts.as_args()
+            for t in range(n_steps):
+                np.copyto(ws.pre, pre_steps[t])
+                step_fn(
+                    drives[t], ws.pre, g_e, g_i, v, refr, theta, x_pre,
+                    last, spikes, counts, *const_args,
+                )
+                stdp.accumulate_step(spikes, delta, bound, ws.offset)
+                last, spikes = spikes, last
+        else:
+            for t in range(n_steps):
+                np.copyto(ws.pre, pre_steps[t])
+                numpy_state_step(
+                    consts, ws, drives[t], g_e, g_i, v, refr, theta, x_pre,
+                    last, spikes, counts,
+                )
+                stdp.accumulate_step(spikes, delta, bound, ws.offset)
+                last, spikes = spikes, last
+        self._last_spikes = last.copy()
         return counts
 
     def _run_batch_frozen(self, drives: np.ndarray, n_steps: int) -> np.ndarray:
@@ -535,12 +727,15 @@ class DiehlCookNetwork:
         spikes = np.empty(shape, dtype=bool)
         last = self._last_spikes
         counts = np.zeros(shape, dtype=np.int64)
+        row_count = np.empty(shape[:-1] + (1,), dtype=np.int64)
+        row_inh = np.empty(shape[:-1] + (1,), dtype=np.float64)
         for t in range(n_steps):
             g_e.g *= g_e._decay
             g_e.g += drives[t]
-            inh_base = last.sum(axis=-1, keepdims=True) * p.inhibition_strength
+            np.sum(last, axis=-1, keepdims=True, out=row_count)
+            np.multiply(row_count, p.inhibition_strength, out=row_inh)
             np.multiply(last, p.inhibition_strength, out=s1)
-            np.subtract(inh_base, s1, out=s1)
+            np.subtract(row_inh, s1, out=s1)
             g_i.g *= g_i._decay
             g_i.g += s1
             np.less_equal(refr, 0.0, out=active)

@@ -89,6 +89,13 @@ class STDPRule:
         )
         self.batch_shape = tuple(int(s) for s in batch_shape)
         self.x_pre = np.zeros(self.state_shape, dtype=self.dtype)
+        # Scratch of the dense accumulate branch, lazily sized to
+        # (lanes, n_post) / (n_pre, n_post) and reused across steps.
+        self._active_scratch = np.empty((0, 0), dtype=self.dtype)
+        self._update_scratch = np.empty((0, 0), dtype=self.dtype)
+        # Cached learning_rate * bound of the current frozen tensor.
+        self._gain_src: np.ndarray | None = None
+        self._gain: np.ndarray | None = None
 
     @property
     def state_shape(self) -> Tuple[int, ...]:
@@ -173,7 +180,10 @@ class STDPRule:
         be computed once per minibatch instead of once per post spike.
         """
         p = self.parameters
-        return (p.w_max - np.asarray(weights, dtype=self.dtype)) ** p.mu
+        diff = p.w_max - np.asarray(weights, dtype=self.dtype)
+        # x ** 1.0 is exactly x in IEEE arithmetic; skip the pow pass
+        # for the default linear bound.
+        return diff if p.mu == 1.0 else diff**p.mu
 
     def step_accumulate(
         self,
@@ -218,18 +228,73 @@ class STDPRule:
                 f"post_spikes must have shape {self.batch_shape + (n_post,)}, "
                 f"got {post.shape}"
             )
-        lanes = post.reshape(-1, n_post)
+        return self.accumulate_step(post, delta, bound, np.empty_like(self.x_pre))
+
+    def accumulate_step(
+        self,
+        post_spikes: np.ndarray,
+        delta: np.ndarray,
+        bound: np.ndarray,
+        offset_out: np.ndarray,
+    ) -> np.ndarray:
+        """The spiking-column accumulation of one (already-traced) step.
+
+        The second half of :meth:`step_accumulate`, split out so the
+        fused training loop (whose state kernel advances the trace
+        itself) and the reference path share one implementation — the
+        fused == reference bit-identity holds by construction here.
+        ``offset_out`` is scratch shaped like ``x_pre``; the fused loop
+        passes a preallocated workspace buffer, the reference path a
+        fresh array (same values either way).  No validation: callers
+        have checked shapes already.
+        """
+        p = self.parameters
+        n_post = delta.shape[-1]
+        lanes = post_spikes.reshape(-1, n_post)
         # Winner-take-all dynamics keep post spikes sparse: restricting
         # the matmul to the columns that spiked anywhere this step cuts
         # the accumulate cost from O(n_post) to O(spiking neurons).
-        cols = np.flatnonzero(lanes.any(axis=0))
-        if cols.size:
-            # Summed over lanes: delta[:, j] grows by
-            # lr * bound[:, j] * sum_{lanes b with post[b, j]} (x_pre[b] - offset),
-            # one (n_pre, lanes) @ (lanes, spiking) matmul per step.
-            offset = (self.x_pre - p.trace_offset).reshape(-1, self.n_pre)
+        spiking = lanes.any(axis=0)
+        n_spiking = np.count_nonzero(spiking)
+        if not n_spiking:
+            return delta
+        # Summed over lanes: delta[:, j] grows by
+        # lr * bound[:, j] * sum_{lanes b with post[b, j]} (x_pre[b] - offset),
+        # one (n_pre, lanes) @ (lanes, spiking) matmul per step.
+        np.subtract(self.x_pre, p.trace_offset, out=offset_out)
+        offset = offset_out.reshape(-1, self.n_pre)
+        # ``bound`` is frozen for the whole minibatch, so the
+        # learning-rate scaling folds into it once instead of costing a
+        # full-matrix pass per step.  The cache holds a reference to
+        # its source, so the identity test cannot alias a recycled id.
+        if self._gain_src is not bound:
+            self._gain_src = bound
+            self._gain = p.learning_rate * bound
+        gain = self._gain
+        if n_spiking * 4 >= n_post:
+            # Dense step (the early, pre-homeostasis part of a sample):
+            # the full matmul beats the fancy-indexed gathers/scatters.
+            # Non-spiking columns contribute exact-zero products, so
+            # this adds 0.0 there and the identical arithmetic on the
+            # spiking columns — and both kernels route through this
+            # same branch, so fused == reference is untouched.
+            active = self._active_scratch
+            update = self._update_scratch
+            if active.shape != lanes.shape or update.shape != delta.shape:
+                active = self._active_scratch = np.empty(
+                    lanes.shape, dtype=self.dtype
+                )
+                update = self._update_scratch = np.empty(
+                    delta.shape, dtype=self.dtype
+                )
+            np.copyto(active, lanes)
+            np.matmul(offset.T, active, out=update)
+            np.multiply(update, gain, out=update)
+            np.add(delta, update, out=delta)
+        else:
+            cols = np.flatnonzero(spiking)
             active = lanes[:, cols].astype(self.dtype)
-            delta[:, cols] += p.learning_rate * (offset.T @ active) * bound[:, cols]
+            delta[:, cols] += (offset.T @ active) * gain[:, cols]
         return delta
 
 

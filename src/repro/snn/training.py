@@ -184,6 +184,8 @@ def train_unsupervised(
     n_classes: int = 10,
     engine: str = "batched",
     batch_size: int = 1,
+    kernel: str = "auto",
+    encoding_cache=None,
 ) -> TrainedModel:
     """Train ``network`` with STDP and return the packaged model.
 
@@ -201,6 +203,10 @@ def train_unsupervised(
     state; ``batch_size>1`` presents minibatches in vectorized passes —
     a documented approximation that changes the trained weights (see
     ``docs/training.md``) while consuming the same random stream.
+    ``kernel`` selects the (result-identical) minibatch time-loop
+    backend; ``encoding_cache`` records/replays the encoded sample
+    stream across repeated calls (see
+    :class:`repro.engine.trainer.StageEncodingCache`).
     """
     from repro.engine.trainer import BatchedTrainer
 
@@ -216,8 +222,15 @@ def train_unsupervised(
         batch_size=batch_size,
         encoder=None if encoder is _default_encoder else encoder,
         corrupt_weights=corrupt_weights,
+        kernel=kernel,
     )
-    trainer.train(images, n_steps=n_steps, epochs=epochs, rng=rng)
+    trainer.train(
+        images,
+        n_steps=n_steps,
+        epochs=epochs,
+        rng=rng,
+        encoding_cache=encoding_cache,
+    )
 
     counts = run_spike_counts(network, images, n_steps, rng, encoder, engine=engine)
     assignments = assign_labels(counts, labels, n_classes)

@@ -1,0 +1,37 @@
+"""Deliberate workspace-discipline violations (lint fixture; never imported)."""
+
+import numpy as np
+
+
+def run_fused_loop(drives, ws):
+    for t in range(drives.shape[0]):
+        scratch = np.zeros_like(drives[t])  # allocator in the step loop
+        total = np.add(ws.state, drives[t])  # ufunc without out=
+        snapshot = ws.state.copy()  # allocating method call
+        ws.state += scratch + total + snapshot
+    return ws.state
+
+
+def run_frozen_pass(drives, ws):
+    for t in range(drives.shape[0]):
+        np.add(ws.state, drives[t], out=ws.state)  # out= — clean
+        lanes = drives[t].sum()  # lint: disable=workspace-discipline
+        ws.total += lanes
+    return ws.total
+
+
+def plain_helper(drives):
+    # Not a fused/frozen function: per-step allocation is fine here.
+    acc = []
+    for t in range(drives.shape[0]):
+        acc.append(drives[t].copy())
+    return np.stack(acc)
+
+
+def fused_outside_loop(drives, ws):
+    # Allocations *outside* the range loop are the intended pattern.
+    scratch = np.empty_like(drives[0])
+    for t in range(drives.shape[0]):
+        np.multiply(ws.state, drives[t], out=scratch)
+        ws.state += scratch
+    return ws.state

@@ -13,6 +13,7 @@ from repro.lint import (
     LockDisciplineChecker,
     ProtocolConsistencyChecker,
     RngDisciplineChecker,
+    WorkspaceDisciplineChecker,
     run_lint,
 )
 
@@ -93,6 +94,54 @@ class TestProtocolConsistency:
             FIXTURES / "rng_tree", checkers=[ProtocolConsistencyChecker()]
         )
         assert report.findings == []
+
+
+class TestWorkspaceDiscipline:
+    def test_fixture_violations(self):
+        report = run_lint(
+            FIXTURES / "workspace_tree", checkers=[WorkspaceDisciplineChecker()]
+        )
+        assert [f.severity for f in report.findings] == ["warning"] * 3
+        assert {f.symbol for f in report.findings} == {"run_fused_loop"}
+        messages = "\n".join(f.message for f in report.findings)
+        assert "np.zeros_like()" in messages
+        assert "np.add() without out=" in messages
+        assert ".copy()" in messages
+
+    def test_out_kwarg_and_hoisted_allocations_clean(self):
+        report = run_lint(
+            FIXTURES / "workspace_tree", checkers=[WorkspaceDisciplineChecker()]
+        )
+        symbols = {f.symbol for f in report.findings}
+        # out=-directed ufuncs and pre-loop allocations are the pattern.
+        assert "fused_outside_loop" not in symbols
+        # Functions without fused/frozen in the name are out of scope.
+        assert "plain_helper" not in symbols
+
+    def test_suppression_comment_respected(self):
+        report = run_lint(
+            FIXTURES / "workspace_tree", checkers=[WorkspaceDisciplineChecker()]
+        )
+        assert report.suppressed == 1
+        assert "run_frozen_pass" not in {f.symbol for f in report.findings}
+
+    def test_injected_loop_allocation_is_caught(self, tmp_path):
+        """A fresh allocation slipped into the real fused loop trips lint."""
+        network_src = (SRC_ROOT / "snn" / "network.py").read_text()
+        needle = "np.copyto(ws.pre, pre_steps[t])"
+        assert needle in network_src
+        mutated = network_src.replace(
+            needle,
+            "scratch = np.zeros_like(drives[t])\n                " + needle,
+            1,
+        )
+        (tmp_path / "network.py").write_text(mutated)
+        report = run_lint(tmp_path, checkers=[WorkspaceDisciplineChecker()])
+        assert any(
+            "np.zeros_like()" in f.message
+            and "_run_batch_stdp_fused" in f.symbol
+            for f in report.findings
+        ), [f.format() for f in report.findings]
 
 
 class TestFingerprintCompleteness:

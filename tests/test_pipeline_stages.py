@@ -250,6 +250,7 @@ class TestDeclaredFieldsInvalidateCache:
         "epochs_per_rate": TINY.epochs_per_rate + 1,
         "train_batch_size": TINY.train_batch_size + 1,
         "compute_dtype": "float32",
+        "stage_encoding": "shared",
         "ber_rates": (1e-4,),
         "accuracy_bound": TINY.accuracy_bound + 0.01,
         "tolerance_trials": TINY.tolerance_trials + 1,
@@ -268,8 +269,13 @@ class TestDeclaredFieldsInvalidateCache:
             for field in stage.fields:
                 if field == "dram_spec":
                     continue  # perturbed separately below
-                changed = TINY.with_overrides(**{field: self.PERTURBATIONS[field]})
-                assert stage.cache_key(changed) != stage.cache_key(TINY), (
+                base = TINY
+                if field == "stage_encoding":
+                    # "shared" is only valid in minibatch mode; perturb
+                    # from a batched base so only this field changes.
+                    base = TINY.with_overrides(train_batch_size=2)
+                changed = base.with_overrides(**{field: self.PERTURBATIONS[field]})
+                assert stage.cache_key(changed) != stage.cache_key(base), (
                     f"{stage.name}: declared field {field!r} does not "
                     "invalidate the stage fingerprint"
                 )

@@ -1,0 +1,392 @@
+"""Tests of the fused minibatch STDP kernel (repro.snn.kernels).
+
+The load-bearing property: every kernel backend — the unfused
+``"reference"`` loop, the fused ``"numpy"`` kernel, and (when numba is
+installed) the jitted ``"numba"`` kernel — produces **bit-identical**
+results: same accumulated delta, same adaptive thresholds, same spike
+counts, same presynaptic traces, same trained weights.  The fused path
+is a pure reordering into preallocated workspace buffers, not an
+approximation, so these are ``array_equal`` assertions, not
+``allclose``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.trainer import BatchedTrainer, StageEncodingCache
+from repro.snn.kernels import (
+    FusedWorkspace,
+    HAVE_NUMBA,
+    KERNEL_CHOICES,
+    default_kernel,
+    resolve_kernel,
+)
+from repro.snn.network import DiehlCookNetwork, NetworkParameters, make_stdp
+
+PARAMS = NetworkParameters(n_input=64, n_neurons=16)
+
+#: Fused backends available in this environment (the numba leg of CI
+#: adds "numba"; the default numpy-only leg tests the fallback).
+BACKENDS = ["numpy"] + (["numba"] if HAVE_NUMBA else [])
+
+
+def _network(dtype=np.float64, seed=1):
+    return DiehlCookNetwork(PARAMS, rng=np.random.default_rng(seed), dtype=dtype)
+
+
+def _workload(n_samples=12, seed=3):
+    rng = np.random.default_rng(seed)
+    return rng.random((n_samples, PARAMS.n_input))
+
+
+def _gaussian_corrupter(seed):
+    rng = np.random.default_rng(seed)
+
+    def corrupt(weights):
+        return np.clip(weights + rng.normal(0.0, 0.01, weights.shape), 0.0, 1.0)
+
+    return corrupt
+
+
+def _batched_setup(dtype, n_batch=5, n_steps=30, seed=2):
+    """A batched shell + rule + encoded trains + frozen weights."""
+    rng = np.random.default_rng(seed)
+    shell = DiehlCookNetwork(
+        PARAMS, batch_shape=(n_batch,), init_weights=False, dtype=dtype
+    )
+    weights = (rng.random((PARAMS.n_input, PARAMS.n_neurons)) * 0.3).astype(dtype)
+    shell.set_weights(weights)
+    shell.neurons.theta = (
+        rng.random(shell.neurons.state_shape) * 0.1
+    ).astype(dtype)
+    trains = rng.random((n_batch, n_steps, PARAMS.n_input)) < 0.15
+    return shell, trains
+
+
+def _run_kernel(shell, trains, kernel, dtype):
+    """One run_batch_stdp pass; returns every observable output."""
+    stdp = make_stdp(shell, batch_shape=shell.batch_shape)
+    delta = np.zeros((PARAMS.n_input, PARAMS.n_neurons), dtype=dtype)
+    theta0 = shell.neurons.theta.copy()
+    counts = shell.run_batch_stdp(trains, stdp, delta, kernel=kernel)
+    outputs = {
+        "delta": delta,
+        "counts": counts,
+        "theta": shell.neurons.theta.copy(),
+        "x_pre": stdp.x_pre.copy(),
+        "last": shell._last_spikes.copy(),
+    }
+    shell.neurons.theta = theta0  # restore for the next backend
+    shell.reset_state()
+    return outputs
+
+
+class TestKernelResolution:
+    def test_choices_and_default(self):
+        assert set(KERNEL_CHOICES) == {"auto", "numba", "numpy", "reference"}
+        assert default_kernel() == ("numba" if HAVE_NUMBA else "numpy")
+        assert resolve_kernel("auto") == default_kernel()
+        assert resolve_kernel("numpy") == "numpy"
+        assert resolve_kernel("reference") == "reference"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_kernel("fortran")
+        with pytest.raises(ValueError):
+            BatchedTrainer(_network(), kernel="fortran")
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba is installed here")
+    def test_explicit_numba_without_numba_raises(self):
+        with pytest.raises(RuntimeError):
+            resolve_kernel("numba")
+
+
+class TestFusedWorkspace:
+    def test_matches(self):
+        ws = FusedWorkspace(4, 16, 64, np.float64)
+        assert ws.matches(4, 16, 64, np.dtype(np.float64))
+        assert not ws.matches(5, 16, 64, np.dtype(np.float64))
+        assert not ws.matches(4, 16, 64, np.dtype(np.float32))
+
+
+class TestFusedBitIdentity:
+    """Fused backends == the unfused reference loop, bit for bit."""
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_run_batch_stdp_matches_reference(self, dtype, backend):
+        shell, trains = _batched_setup(dtype)
+        ref = _run_kernel(shell, trains, "reference", dtype)
+        got = _run_kernel(shell, trains, backend, dtype)
+        for key in ref:
+            assert np.array_equal(ref[key], got[key]), (backend, key)
+        assert got["counts"].sum() > 0  # the comparison is not vacuous
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_workspace_reuse_does_not_change_results(self, backend):
+        """Passing a dirty, reused workspace is bit-identical to none."""
+        shell, trains = _batched_setup(np.float64)
+        stdp = make_stdp(shell, batch_shape=shell.batch_shape)
+        ws = FusedWorkspace(5, PARAMS.n_neurons, PARAMS.n_input, np.float64)
+        theta0 = shell.neurons.theta.copy()
+        delta_ws = np.zeros((PARAMS.n_input, PARAMS.n_neurons))
+        shell.run_batch_stdp(trains, stdp, delta_ws, kernel=backend, workspace=ws)
+        shell.reset_state()
+        stdp.reset_state()
+        shell.neurons.theta = theta0.copy()
+        delta_again = np.zeros((PARAMS.n_input, PARAMS.n_neurons))
+        shell.run_batch_stdp(
+            trains, stdp, delta_again, kernel=backend, workspace=ws
+        )
+        assert np.array_equal(delta_ws, delta_again)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("corrupt", [False, True])
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_trained_weights_match_across_kernels(self, dtype, corrupt, backend):
+        """Full minibatch training is kernel-invariant end to end."""
+        images = _workload()
+        nets, rngs = {}, {}
+        for kernel in ("reference", backend):
+            net = _network(dtype)
+            rng = np.random.default_rng(7)
+            hook = _gaussian_corrupter(5) if corrupt else None
+            BatchedTrainer(
+                net, batch_size=5, corrupt_weights=hook, kernel=kernel
+            ).train(images, n_steps=30, epochs=2, rng=rng)
+            nets[kernel], rngs[kernel] = net, rng
+        assert np.array_equal(
+            nets["reference"].weights, nets[backend].weights
+        )
+        assert np.array_equal(
+            nets["reference"].neurons.theta, nets[backend].neurons.theta
+        )
+        assert (
+            rngs["reference"].bit_generator.state
+            == rngs[backend].bit_generator.state
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_batch_size_one_unaffected_by_kernel(self, backend):
+        """batch_size=1 is the sequential reference under every kernel."""
+        images = _workload()
+        net_ref, net_k = _network(), _network()
+        rng_ref, rng_k = np.random.default_rng(7), np.random.default_rng(7)
+        BatchedTrainer(net_ref, batch_size=1, kernel="reference").train(
+            images, n_steps=25, rng=rng_ref
+        )
+        BatchedTrainer(net_k, batch_size=1, kernel=backend).train(
+            images, n_steps=25, rng=rng_k
+        )
+        assert np.array_equal(net_ref.weights, net_k.weights)
+        assert rng_ref.bit_generator.state == rng_k.bit_generator.state
+
+
+class TestWorkspaceReuseAcrossMinibatches:
+    def test_ragged_to_full_round_trips_allocate_once_per_size(
+        self, monkeypatch
+    ):
+        """The satellite regression: a ragged final minibatch must not
+        evict the full-size machinery — across epochs, exactly one
+        workspace (and shell) is built per distinct minibatch size."""
+        import repro.engine.trainer as trainer_mod
+
+        built = []
+        real_workspace = trainer_mod.FusedWorkspace
+
+        def counting_workspace(*args, **kwargs):
+            built.append(args[:1])
+            return real_workspace(*args, **kwargs)
+
+        monkeypatch.setattr(trainer_mod, "FusedWorkspace", counting_workspace)
+        images = _workload(n_samples=7)  # batches of 3: sizes 3, 3, 1
+        trainer = BatchedTrainer(_network(), batch_size=3)
+        trainer.train(images, n_steps=20, epochs=3, rng=np.random.default_rng(7))
+        assert len(built) == 2  # one per distinct size, NOT per epoch
+        assert set(trainer._machinery) == {3, 1}
+
+    def test_machinery_objects_stable_across_epochs(self):
+        trainer = BatchedTrainer(_network(), batch_size=3)
+        images = _workload(n_samples=7)
+        trainer.train(images, n_steps=20, epochs=1, rng=np.random.default_rng(7))
+        first = {k: tuple(map(id, v)) for k, v in trainer._machinery.items()}
+        trainer.train(images, n_steps=20, epochs=2, rng=np.random.default_rng(8))
+        second = {k: tuple(map(id, v)) for k, v in trainer._machinery.items()}
+        assert first == second
+
+    def test_ragged_matches_uncached_results(self):
+        """Machinery reuse is invisible in the results: two epochs via
+        one trainer == two fresh single-epoch trainers chained."""
+        images = _workload(n_samples=7)
+        rng_a, rng_b = np.random.default_rng(7), np.random.default_rng(7)
+        net_a, net_b = _network(), _network()
+        BatchedTrainer(net_a, batch_size=3).train(
+            images, n_steps=20, epochs=2, rng=rng_a
+        )
+        for _ in range(2):  # fresh trainer (fresh machinery) per epoch
+            BatchedTrainer(net_b, batch_size=3).train(
+                images, n_steps=20, epochs=1, rng=rng_b
+            )
+        assert np.array_equal(net_a.weights, net_b.weights)
+        assert np.array_equal(net_a.neurons.theta, net_b.neurons.theta)
+
+
+class TestStageEncodingCache:
+    def test_recording_pass_is_bit_identical_to_uncached(self):
+        images = _workload()
+        net_a, net_b = _network(), _network()
+        cache = StageEncodingCache()
+        BatchedTrainer(net_a, batch_size=4).train(
+            images, n_steps=25, epochs=2, rng=np.random.default_rng(5),
+            encoding_cache=cache,
+        )
+        BatchedTrainer(net_b, batch_size=4).train(
+            images, n_steps=25, epochs=2, rng=np.random.default_rng(5)
+        )
+        assert len(cache) == 2
+        assert cache.n_bytes > 0
+        assert np.array_equal(net_a.weights, net_b.weights)
+
+    def test_replay_is_deterministic_and_skips_rng(self):
+        images = _workload()
+        cache = StageEncodingCache()
+        net0 = _network()
+        BatchedTrainer(net0, batch_size=4).train(
+            images, n_steps=25, rng=np.random.default_rng(5),
+            encoding_cache=cache,
+        )
+        results = []
+        for seed in (11, 99):  # replay ignores the generator entirely
+            net = _network()
+            rng = np.random.default_rng(seed)
+            state0 = rng.bit_generator.state
+            BatchedTrainer(net, batch_size=4).train(
+                images, n_steps=25, rng=rng, encoding_cache=cache
+            )
+            assert rng.bit_generator.state == state0
+            results.append(net.weights)
+        assert np.array_equal(results[0], results[1])
+
+    def test_batch_size_one_rejected(self):
+        with pytest.raises(ValueError):
+            BatchedTrainer(_network(), batch_size=1).train(
+                _workload(), n_steps=10, rng=np.random.default_rng(0),
+                encoding_cache=StageEncodingCache(),
+            )
+
+    def test_epochs_recorded_in_order(self):
+        cache = StageEncodingCache()
+        with pytest.raises(ValueError):
+            cache.record_epoch(1, [])
+        cache.record_epoch(0, [])
+        assert cache.has_epoch(0) and not cache.has_epoch(1)
+
+    def test_fault_aware_shared_encoding_end_to_end(self):
+        from repro.core.fault_aware_training import (
+            improve_error_tolerance,
+            train_baseline,
+        )
+        from repro.datasets import load_dataset
+        from repro.errors.injection import ErrorInjector
+        from repro.snn.quantization import Float32Representation
+
+        dataset = load_dataset("mnist", 30, 20, seed=7)
+        baseline = train_baseline(
+            dataset, n_neurons=15, epochs=1, n_steps=30,
+            rng=np.random.default_rng(11), batch_size=4,
+        )
+        injector = ErrorInjector(Float32Representation(clip_range=(0, 1)), seed=3)
+        result = improve_error_tolerance(
+            baseline, dataset, injector, rates=(1e-5, 1e-3),
+            epochs_per_rate=2, n_steps=30, rng=np.random.default_rng(5),
+            batch_size=4, stage_encoding="shared",
+        )
+        assert set(result.accuracy_per_rate) == {1e-5, 1e-3}
+        assert np.all(result.model.weights >= 0.0)
+
+    def test_fault_aware_validates_stage_encoding(self):
+        from repro.core.fault_aware_training import improve_error_tolerance
+
+        with pytest.raises(ValueError, match="stage_encoding"):
+            improve_error_tolerance(
+                None, None, None, stage_encoding="cached"
+            )
+        with pytest.raises(ValueError, match="batch_size"):
+            improve_error_tolerance(
+                None, None, None, stage_encoding="shared", batch_size=1
+            )
+
+    def test_config_validates_stage_encoding(self):
+        from repro.core.config import SparkXDConfig
+
+        cfg = SparkXDConfig(stage_encoding="shared", train_batch_size=4)
+        assert cfg.stage_encoding == "shared"
+        with pytest.raises(ValueError):
+            SparkXDConfig(stage_encoding="shared")  # batch_size 1
+        with pytest.raises(ValueError):
+            SparkXDConfig(stage_encoding="cached")
+
+
+class TestBaseWeightsDriveSharing:
+    """run_batch(base_weights=...) — the exact ΔW drive-correction path."""
+
+    def _stack(self, base, n_real, flips, seed, dtype):
+        """Corrupt ``flips`` weight entries per realization."""
+        rng = np.random.default_rng(seed)
+        stack = np.broadcast_to(base, (n_real,) + base.shape).copy()
+        for e in range(n_real):
+            rows = rng.integers(0, base.shape[0], size=flips)
+            cols = rng.integers(0, base.shape[1], size=flips)
+            stack[e, rows, cols] = rng.random(flips).astype(dtype)
+        return stack
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("flips", [0, 1, 3, 500])
+    def test_counts_bit_identical(self, dtype, flips):
+        """Sparse delta corrections == full per-realization drives, at
+        low BER (CSR row-recompute path) and high (full-matmul cutoff)."""
+        rng = np.random.default_rng(4)
+        base = (rng.random((PARAMS.n_input, PARAMS.n_neurons)) * 0.3).astype(dtype)
+        stack = self._stack(base, n_real=3, flips=flips, seed=9, dtype=dtype)
+        # One shared (B, n_steps, n_input) train set presented to all
+        # E=3 realizations of the stack.
+        trains = rng.random((4, 25, PARAMS.n_input)) < 0.2
+
+        def counts(base_weights):
+            net = DiehlCookNetwork(
+                PARAMS, batch_shape=(3, 4), init_weights=False, dtype=dtype
+            )
+            net.set_weights(stack)
+            return net.run_batch(trains, adapt=False, base_weights=base_weights)
+
+        assert np.array_equal(counts(None), counts(base))
+
+    def test_evaluator_accuracies_bit_identical(self):
+        from repro.engine import BatchedEvaluator
+
+        rng = np.random.default_rng(4)
+        base = rng.random((PARAMS.n_input, PARAMS.n_neurons)) * 0.3
+        stack = self._stack(base, n_real=4, flips=2, seed=9, dtype=np.float64)
+        images = _workload(n_samples=8)
+        labels = np.arange(8) % 4
+        assignments = np.arange(PARAMS.n_neurons) % 4
+        evaluator = BatchedEvaluator(PARAMS)
+
+        def accs(base_weights):
+            return evaluator.accuracies(
+                images, labels, assignments, 20, np.random.default_rng(3),
+                weights=stack, n_classes=4, base_weights=base_weights,
+            )
+
+        assert np.array_equal(accs(None), accs(base))
+
+    def test_base_weights_shape_validated(self):
+        from repro.engine import BatchedEvaluator
+
+        evaluator = BatchedEvaluator(PARAMS)
+        stack = np.zeros((2, PARAMS.n_input, PARAMS.n_neurons))
+        with pytest.raises(ValueError):
+            evaluator.spike_counts(
+                _workload(4), 10, np.random.default_rng(0), stack,
+                base_weights=np.zeros((3, 3)),
+            )
