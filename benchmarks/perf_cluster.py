@@ -8,17 +8,29 @@ distributed run produces records value-identical to the serial
 baseline, and writes the results to ``BENCH_cluster.json`` — the
 cluster half of the repo's performance trajectory artifacts.
 
-Two additional scenarios ride along:
+Additional scenarios ride along:
 
 - **affinity** — the same 2-worker sweep with worker-affinity
   scheduling on vs off, comparing artifact bytes transferred and
   sync seconds (affinity keeps dependency chains on the worker already
   holding their artifacts, so both should drop);
+- **peer fabric** — the affinity-*off* 2-worker sweep (maximum
+  cross-worker traffic) with the peer-to-peer artifact fabric on vs
+  off.  With peers on, every pull is served worker-to-worker and the
+  coordinator's ``get`` path moves **zero** bytes (asserted); with
+  peers off every byte routes through the hub, the pre-fabric
+  topology.  Records must match serial in both modes;
 - **kill-resume** (``--kill-resume``) — a ``repro cluster sweep
   --journal`` subprocess SIGKILLed at ~50% journaled completion and
   restarted with ``--resume``; the resumed records must be
   value-identical to the serial Runner with no fingerprint executed
-  twice.  This is the CI crash-recovery smoke.
+  twice.  This is the CI crash-recovery smoke;
+- **compact-resume** (``--compact-resume``) — same SIGKILL recipe, but
+  the sweep journals with ``--compact-every`` and the orphaned journal
+  is compacted *offline* (``repro cluster journal compact``) down to
+  its plan header + one snapshot before resuming.  The resumed sweep
+  must replay every done job from the snapshot alone: zero
+  re-executions, records identical to serial.
 
 Usage::
 
@@ -26,6 +38,8 @@ Usage::
     PYTHONPATH=src python benchmarks/perf_cluster.py --quick   # CI smoke
     PYTHONPATH=src python benchmarks/perf_cluster.py --quick \\
         --kill-resume --skip-throughput   # CI kill-and-resume smoke
+    PYTHONPATH=src python benchmarks/perf_cluster.py --quick \\
+        --skip-throughput --peer-fabric --compact-resume   # CI p2p smoke
 
 The grid deliberately contains several *training-side* fingerprints
 (a seed axis), so there is real work to distribute: each worker is a
@@ -98,11 +112,13 @@ CLI_GRID_ARGS = ["--seeds", "42", "43", "--voltages", "1.325", "1.025"]
 CLI_GRID = {"seed": [42, 43], "voltages": [(1.325,), (1.025,)]}
 
 
-def _distributed_run(config, grid, n_workers, lease_s=60.0, affinity=True):
+def _distributed_run(config, grid, n_workers, lease_s=60.0, affinity=True,
+                     peer=True):
     """One cluster sweep against a fresh fleet.
 
     Returns ``(records, seconds, executor)`` — the executor exposes the
-    plan, whose per-job stats carry the transfer accounting.
+    plan (whose per-job stats carry the transfer accounting) and the
+    hub's own ``last_transfer_stats`` counters.
     """
     executor = ClusterExecutor(
         config,
@@ -111,13 +127,16 @@ def _distributed_run(config, grid, n_workers, lease_s=60.0, affinity=True):
         poll_s=0.05,
         wait_timeout=1800.0,
         affinity=affinity,
+        peer_sync=peer,
     )
     started = time.perf_counter()
     with contextlib.ExitStack() as stack:
         records = executor.run(
             grid,
             on_ready=lambda address: stack.enter_context(
-                local_worker_processes(address, n_workers, max_idle_s=60.0)
+                local_worker_processes(
+                    address, n_workers, max_idle_s=60.0, peer=peer
+                )
             ),
         )
     return records, time.perf_counter() - started, executor
@@ -184,8 +203,71 @@ def _plan_transfer_totals(executor) -> dict:
     return {
         "bytes_pulled": sum(j.stats.get("pulled_bytes", 0) for j in jobs),
         "bytes_pushed": sum(j.stats.get("pushed_bytes", 0) for j in jobs),
+        "bytes_pulled_peer": sum(
+            j.stats.get("pulled_bytes_peer", 0) for j in jobs
+        ),
+        "bytes_pulled_hub": sum(
+            j.stats.get("pulled_bytes_hub", 0) for j in jobs
+        ),
+        "wire_bytes_pulled": sum(
+            j.stats.get("pulled_wire_bytes", 0) for j in jobs
+        ),
+        "wire_bytes_pushed": sum(
+            j.stats.get("pushed_wire_bytes", 0) for j in jobs
+        ),
         "artifacts_pulled": sum(j.stats.get("pulled", 0) for j in jobs),
+        "peer_fallbacks": sum(j.stats.get("peer_fallbacks", 0) for j in jobs),
+        "sync_retries": sum(j.stats.get("retries", 0) for j in jobs),
         "sync_s": sum(j.stats.get("sync_s", 0.0) for j in jobs),
+    }
+
+
+def run_peer_fabric_benchmark(quick: bool) -> dict:
+    """The affinity-off 2-worker sweep with the peer fabric on vs off.
+
+    Affinity *off* maximises cross-worker transfers — every dram-eval
+    grant routinely lands on the worker that did not compute the chain
+    — which is exactly the traffic the fabric reroutes.  With peers on
+    the coordinator's ``get`` path must serve zero bytes: the store
+    starts empty, so every pulled key was computed by a live registered
+    peer and the lease ``sources`` hints always cover it.
+    """
+    config = SparkXDConfig.small(**(QUICK_CONFIG if quick else FULL_CONFIG))
+    grid = QUICK_AFFINITY_GRID if quick else FULL_AFFINITY_GRID
+    serial_records = Runner(config, store=ArtifactStore()).run(grid)
+    modes = {}
+    for label, peer in (("peers_on", True), ("peers_off", False)):
+        records, seconds, executor = _distributed_run(
+            config, grid, n_workers=2, affinity=False, peer=peer
+        )
+        totals = _plan_transfer_totals(executor)
+        hub = executor.last_transfer_stats
+        modes[label] = {
+            "seconds": seconds,
+            "records_match_serial": bool(
+                records_equivalent(serial_records, records)
+            ),
+            "hub": dict(hub),
+            **totals,
+        }
+        print(
+            f"{label:<9} | {seconds:6.2f}s | hub get "
+            f"{hub['get_count']:2d} blob(s) / {hub['get_bytes']:>9d} B | "
+            f"peer {totals['bytes_pulled_peer']:>9d} B | "
+            f"hub-pulled {totals['bytes_pulled_hub']:>9d} B"
+        )
+    on, off = modes["peers_on"], modes["peers_off"]
+    print(
+        f"peer fabric took hub-served get bytes "
+        f"{off['hub']['get_bytes']} -> {on['hub']['get_bytes']}"
+    )
+    return {
+        "workers": 2,
+        "affinity": False,
+        "grid": {k: [list(v) if isinstance(v, tuple) else v for v in vs]
+                 for k, vs in grid.items()},
+        "hub_get_bytes_saved": off["hub"]["get_bytes"] - on["hub"]["get_bytes"],
+        **modes,
     }
 
 
@@ -230,6 +312,32 @@ def run_affinity_benchmark(quick: bool) -> dict:
         "bytes_pulled_saved": saved,
         **modes,
     }
+
+
+def _journal_done_keys(journal: Path) -> list:
+    """Every done ``(stage, digest)`` in the journal, snapshots included.
+
+    ``done`` lines append one key each; a ``snapshot`` event contributes
+    its folded done map.  Duplicates therefore mean a journaled-done
+    fingerprint was executed more than once across coordinator lives —
+    the regression resume and compaction both exist to prevent.
+    """
+    if not journal.exists():
+        return []
+    keys = []
+    for line in journal.read_text().splitlines():
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if event.get("event") == "done":
+            keys.append((event["stage"], event["digest"]))
+        elif event.get("event") == "snapshot":
+            keys.extend(
+                (entry["stage"], entry["digest"])
+                for entry in event.get("done", [])
+            )
+    return keys
 
 
 def run_kill_resume(quick: bool) -> dict:
@@ -319,6 +427,98 @@ def run_kill_resume(quick: bool) -> dict:
         return result
 
 
+def run_compact_resume(quick: bool) -> dict:
+    """SIGKILL a ``--compact-every`` sweep, compact offline, resume.
+
+    The crash-recovery recipe for million-job sweeps: the orphaned
+    journal is folded down to its plan header + one ``snapshot`` before
+    the restart, so the resumed coordinator replays O(done jobs) — and
+    every job finished in the first life must come back from the
+    snapshot alone (zero re-executions, records identical to serial).
+    """
+    import tempfile
+
+    cli_config = QUICK_CLI_CONFIG if quick else FULL_CLI_CONFIG
+    cli_args = QUICK_CLI_ARGS if quick else FULL_CLI_ARGS
+    serial_records = Runner(
+        SparkXDConfig.small(**cli_config), store=ArtifactStore()
+    ).run(CLI_GRID)
+    n_jobs = 2 * 3 + len(CLI_GRID["voltages"]) * 2  # 2 chains + dram points
+    kill_at = n_jobs // 2
+
+    with tempfile.TemporaryDirectory(prefix="repro-compact-resume-") as tmp:
+        tmp_path = Path(tmp)
+        cache = tmp_path / "cache"
+        journal = cache / "journal.jsonl"
+        out = tmp_path / "records.json"
+        package_root = str(Path(__file__).resolve().parents[1] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = package_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        command = [
+            sys.executable, "-m", "repro", "cluster", "sweep",
+            *cli_args, *CLI_GRID_ARGS,
+            "--workers", "2", "--lease-s", "15", "--max-idle-s", "5",
+            "--cache-dir", str(cache), "--journal", "--compact-every", "5",
+            "--out", str(out),
+        ]
+
+        proc = subprocess.Popen(command, env=env, stdout=subprocess.DEVNULL)
+        deadline = time.monotonic() + 1800.0
+        while time.monotonic() < deadline:
+            done_now = len(set(_journal_done_keys(journal)))
+            if done_now >= kill_at or proc.poll() is not None:
+                break
+            time.sleep(0.2)
+        killed = proc.poll() is None
+        done_at_kill = len(set(_journal_done_keys(journal)))
+        if killed:
+            proc.send_signal(signal.SIGKILL)
+        proc.wait()
+        print(f"coordinator {'SIGKILLed' if killed else 'finished'} at "
+              f"{done_at_kill}/{n_jobs} jobs done")
+
+        # Offline compaction: fold the orphaned journal down to its
+        # plan header + one snapshot (the operator-facing subcommand).
+        compacted = subprocess.run(
+            [sys.executable, "-m", "repro", "cluster", "journal",
+             "compact", str(journal)],
+            env=env,
+        )
+        journal_lines = len(
+            [l for l in journal.read_text().splitlines() if l.strip()]
+        )
+        print(f"offline compact: exit {compacted.returncode}, "
+              f"journal now {journal_lines} line(s)")
+
+        resumed = subprocess.run(
+            command + ["--resume"], env=env, stdout=subprocess.DEVNULL
+        )
+        records = (
+            [RunRecord.from_dict(e) for e in json.loads(out.read_text())]
+            if resumed.returncode == 0 and out.exists()
+            else []
+        )
+        done = _journal_done_keys(journal)
+        result = {
+            "killed_mid_sweep": bool(killed),
+            "jobs_done_at_kill": done_at_kill,
+            "total_jobs": n_jobs,
+            "compact_exit_code": compacted.returncode,
+            "journal_lines_after_compact": journal_lines,
+            "resume_exit_code": resumed.returncode,
+            "records_match_serial": bool(
+                records and records_equivalent(serial_records, records)
+            ),
+            "reexecuted_fingerprints": len(done) - len(set(done)),
+        }
+        print(f"resume: exit {resumed.returncode}, "
+              f"identical={result['records_match_serial']}, "
+              f"re-executions={result['reexecuted_fingerprints']}")
+        return result
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -326,15 +526,27 @@ def main(argv=None) -> int:
     parser.add_argument("--kill-resume", action="store_true",
                         help="also SIGKILL a journaled sweep at ~50% and "
                              "verify --resume (the crash-recovery smoke)")
+    parser.add_argument("--compact-resume", action="store_true",
+                        help="also SIGKILL a --compact-every sweep, compact "
+                             "the journal offline, and verify the resume "
+                             "replays from the snapshot alone")
+    parser.add_argument("--peer-fabric", action="store_true",
+                        help="force the peer-fabric comparison even with "
+                             "--skip-throughput (it always runs without)")
     parser.add_argument("--skip-throughput", action="store_true",
-                        help="skip the fleet-throughput and affinity scans "
-                             "(with --kill-resume: crash recovery only)")
+                        help="skip the fleet-throughput, affinity and "
+                             "peer-fabric scans (combine with --kill-resume/"
+                             "--compact-resume/--peer-fabric to run only "
+                             "those)")
     parser.add_argument("--out", default="BENCH_cluster.json", metavar="PATH",
                         help="output JSON path (default: ./BENCH_cluster.json)")
     args = parser.parse_args(argv)
-    if args.skip_throughput and not args.kill_resume:
-        parser.error("--skip-throughput without --kill-resume would run "
-                     "nothing; add --kill-resume or drop --skip-throughput")
+    if args.skip_throughput and not (
+        args.kill_resume or args.compact_resume or args.peer_fabric
+    ):
+        parser.error("--skip-throughput alone would run nothing; add "
+                     "--kill-resume, --compact-resume or --peer-fabric, "
+                     "or drop --skip-throughput")
 
     failures = []
     if args.skip_throughput:
@@ -355,12 +567,38 @@ def main(argv=None) -> int:
             if not payload["affinity"][mode]["records_match_serial"]:
                 failures.append(f"{mode} sweep diverged from the serial Runner")
 
+    if args.peer_fabric or not args.skip_throughput:
+        payload["peer_fabric"] = run_peer_fabric_benchmark(args.quick)
+        for mode in ("peers_on", "peers_off"):
+            if not payload["peer_fabric"][mode]["records_match_serial"]:
+                failures.append(f"{mode} sweep diverged from the serial Runner")
+        if payload["peer_fabric"]["peers_on"]["hub"]["get_bytes"] != 0:
+            failures.append(
+                "the coordinator served artifact get bytes with peers on "
+                "(the fabric must carry every pull)"
+            )
+
     if args.kill_resume:
         payload["kill_resume"] = run_kill_resume(args.quick)
         if not payload["kill_resume"]["records_match_serial"]:
             failures.append("resumed sweep diverged from the serial Runner")
         if payload["kill_resume"]["reexecuted_fingerprints"]:
             failures.append("a journaled-done fingerprint was re-executed")
+
+    if args.compact_resume:
+        payload["compact_resume"] = run_compact_resume(args.quick)
+        if not payload["compact_resume"]["records_match_serial"]:
+            failures.append(
+                "compact-resumed sweep diverged from the serial Runner"
+            )
+        if payload["compact_resume"]["reexecuted_fingerprints"]:
+            failures.append(
+                "a snapshot-journaled fingerprint was re-executed"
+            )
+        if payload["compact_resume"]["journal_lines_after_compact"] > 2:
+            failures.append(
+                "offline compaction left more than header + snapshot"
+            )
 
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

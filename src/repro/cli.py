@@ -147,7 +147,7 @@ def _add_record_output_arguments(p) -> None:
 
 
 def _add_cluster_resilience_arguments(p) -> None:
-    """Journal/resume/affinity knobs shared by coordinator + sweep."""
+    """Journal/resume/affinity/fabric knobs shared by coordinator + sweep."""
     p.add_argument("--journal", nargs="?", const="auto", default=None,
                    metavar="PATH",
                    help="append job transitions to a JSONL journal; with "
@@ -157,9 +157,18 @@ def _add_cluster_resilience_arguments(p) -> None:
                    help="replay an existing journal: journaled-done jobs "
                         "whose artifacts are still cached are never "
                         "re-leased (implies --journal)")
+    p.add_argument("--compact-every", type=int, default=None, metavar="N",
+                   help="auto-compact the journal after every N events, "
+                        "folding lease/requeue chatter into one done "
+                        "snapshot (default: never)")
     p.add_argument("--no-affinity", dest="affinity", action="store_false",
                    help="disable worker-affinity scheduling (grants fall "
                         "back to plain creation order)")
+    p.add_argument("--no-peer-sync", dest="peer_sync", action="store_false",
+                   help="disable the peer-to-peer artifact fabric: the "
+                        "coordinator answers no locate queries and every "
+                        "artifact byte routes through it (pre-fabric hub "
+                        "topology)")
 
 
 def _add_sweep_parser(subparsers) -> None:
@@ -217,6 +226,14 @@ def _add_cluster_parser(subparsers) -> None:
     worker.add_argument("--max-idle-s", type=float, default=30.0, metavar="S",
                         help="exit after S seconds of coordinator "
                              "unreachability")
+    worker.add_argument("--no-peer-sync", dest="peer_sync",
+                        action="store_false",
+                        help="neither serve artifacts to peers nor pull "
+                             "from them; sync exclusively with the "
+                             "coordinator")
+    worker.add_argument("--peer-port", type=int, default=0, metavar="PORT",
+                        help="fixed port for the peer artifact server "
+                             "(default: ephemeral)")
     worker.add_argument("--json", action="store_true",
                         help="print the worker's lifetime stats as JSON")
 
@@ -230,6 +247,23 @@ def _add_cluster_parser(subparsers) -> None:
                         help="connection timeout in seconds")
     status.add_argument("--json", action="store_true",
                         help="print the raw status reply as JSON")
+
+    journal = commands.add_parser(
+        "journal",
+        help="offline journal maintenance (no coordinator required)",
+    )
+    journal_commands = journal.add_subparsers(
+        dest="journal_command", required=True
+    )
+    compact = journal_commands.add_parser(
+        "compact",
+        help="fold a sweep journal down to its plan header + one done "
+             "snapshot (replays to identical state, O(done) size)",
+    )
+    compact.add_argument("path", metavar="JOURNAL",
+                         help="the JSONL journal file to compact in place")
+    compact.add_argument("--json", action="store_true",
+                         help="print the compaction summary as JSON")
 
     sweep = commands.add_parser(
         "sweep",
@@ -535,6 +569,8 @@ def _cmd_cluster(args) -> int:
             name=args.name,
             store=store,
             max_idle_s=args.max_idle_s,
+            peer=args.peer_sync,
+            peer_port=args.peer_port,
         )
         stats = agent.run_forever()
         if args.json:
@@ -547,6 +583,33 @@ def _cmd_cluster(args) -> int:
                 f"{stats.artifacts_pushed} pushed"
             )
         return 0 if not stats.jobs_failed else 1
+
+    if args.cluster_command == "journal":
+        from pathlib import Path
+
+        from repro.cluster import SweepJournal
+
+        if args.journal_command != "compact":
+            raise ValueError(
+                f"unknown journal command {args.journal_command!r}"
+            )
+        path = Path(args.path)
+        if not path.exists():
+            print(f"error: journal {path} does not exist", file=sys.stderr)
+            return 1
+        with SweepJournal(path, resume=True) as journal_file:
+            summary = journal_file.compact()
+        summary["path"] = str(path)
+        summary["bytes"] = path.stat().st_size
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(
+                f"compacted {path}: {summary['events_before']} event(s) -> "
+                f"{summary['events_after']} ({summary['done']} done jobs, "
+                f"{summary['bytes']} bytes)"
+            )
+        return 0
 
     if args.cluster_command == "status":
         from repro.cluster import ClusterClient
@@ -586,6 +649,8 @@ def _cmd_cluster(args) -> int:
             journal=journal,
             resume=args.resume,
             affinity=args.affinity,
+            peer_sync=args.peer_sync,
+            compact_every=args.compact_every,
         )
 
         def announce(address):
@@ -615,6 +680,8 @@ def _cmd_cluster(args) -> int:
             journal=journal,
             resume=args.resume,
             affinity=args.affinity,
+            peer_sync=args.peer_sync,
+            compact_every=args.compact_every,
         )
         with contextlib.ExitStack() as stack:
             # The fleet launches only once the coordinator is bound (the
@@ -630,6 +697,7 @@ def _cmd_cluster(args) -> int:
                             None if args.threads_per_worker == 0
                             else args.threads_per_worker
                         ),
+                        peer=args.peer_sync,
                     )
                 ),
             )

@@ -53,7 +53,9 @@ from repro.cluster.protocol import (
     ClusterClient,
     ConnectionClosed,
     DEFAULT_PORT,
+    PROTOCOL_CAPS,
     ProtocolError,
+    encode_blob,
     format_address,
     parse_address,
 )
@@ -70,8 +72,10 @@ __all__ = [
     "DistributionTimeout",
     "Job",
     "JournalMismatch",
+    "PROTOCOL_CAPS",
     "PlanFailed",
     "ProtocolError",
+    "encode_blob",
     "SweepJournal",
     "SweepPlan",
     "WorkerAgent",

@@ -10,23 +10,34 @@ Operations (one JSON request line → one JSON reply line, blobs framed
 by ``blob_bytes``):
 
 ===========  ==========================================================
-``hello``    register a worker; replies with its stable slot index
-``lease``    request a job; replies ``{"job": …}``, ``{"wait": s}``
-             or ``{"shutdown": true}`` once the plan is finished/failed
+``hello``    register a worker; replies with its stable slot index and
+             the coordinator's wire capabilities; a ``peer_port``
+             registers the worker's artifact server in the routing
+             table (its host is taken from the TCP source address)
+``lease``    request a job; replies ``{"job": …}`` (plus ``sources``:
+             peer addresses for the job's upstream keys), ``{"wait":
+             s}`` or ``{"shutdown": true}`` once the plan finishes
 ``heartbeat``  renew a lease; ``{"ok": false}`` means the lease is lost
-``complete``   report a finished job (idempotent)
+``complete``   report a finished job (idempotent); the reply's
+             ``holding`` count lets the worker skip redundant holdings
+             re-reports
 ``fail``     report a job exception (requeues with exclusion)
 ``has``      filter a list of ``[stage, digest]`` keys to those present
+``locate``   answer "who holds these keys" with live peer addresses
 ``get``      download one artifact blob by fingerprint
 ``put``      upload one artifact blob by fingerprint (idempotent: an
              already-present fingerprint is acknowledged, not rewritten)
-``status``   job-state counts, for monitoring
+``status``   job-state counts + transfer counters, for monitoring
 ===========  ==========================================================
 
 The artifact sync layer is content-addressed and therefore *resumable
 by retry*: an interrupted upload leaves no partial state server-side,
 and a reconnecting worker first asks ``has`` so already-synced
-fingerprints are never re-sent.
+fingerprints are never re-sent.  With peer sync enabled the
+coordinator degrades to a *metadata service*: artifact bytes flow
+worker-to-worker (``peer_get`` against :class:`~repro.cluster.worker`
+serving sockets) and only the final push of each newly computed
+artifact still lands here.
 """
 
 from __future__ import annotations
@@ -38,7 +49,12 @@ from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
 from repro.cluster.plan import SweepPlan
-from repro.cluster.protocol import recv_message, send_message
+from repro.cluster.protocol import (
+    PROTOCOL_CAPS,
+    encode_blob,
+    recv_message,
+    send_message,
+)
 from repro.pipeline.store import MISS, ArtifactStore
 
 
@@ -101,6 +117,16 @@ class CoordinatorServer:
             float(poll_s) if poll_s is not None else min(1.0, plan.lease_timeout / 4.0)
         )
         self._wire_cache = _WireCache(wire_cache_bytes)
+        #: Transfer accounting (guarded by _stats_lock): how many
+        #: artifact bytes this hub actually served/received.  The
+        #: peer-fabric benchmark asserts served get bytes ≈ 0 when
+        #: workers pull from each other instead.
+        self._stats_lock = threading.Lock()
+        self._get_count = 0
+        self._get_bytes = 0
+        self._get_wire_bytes = 0
+        self._put_count = 0
+        self._put_bytes = 0
 
         coordinator = self
 
@@ -149,49 +175,85 @@ class CoordinatorServer:
         except Exception:
             return  # half-open connection; nothing to answer
         try:
-            reply, reply_blob = self._dispatch(payload, blob)
+            reply, reply_blob, reply_encoding = self._dispatch(
+                payload, blob, client_host=str(request.client_address[0])
+            )
         except Exception as error:  # surface, don't kill the thread
-            reply, reply_blob = {"error": f"{type(error).__name__}: {error}"}, None
+            reply, reply_blob, reply_encoding = (
+                {"error": f"{type(error).__name__}: {error}"},
+                None,
+                None,
+            )
         try:
-            send_message(request.wfile, reply, reply_blob)
+            send_message(request.wfile, reply, reply_blob, encoding=reply_encoding)
         except Exception:
             pass  # requester vanished; the protocol is stateless
 
     def _dispatch(
-        self, payload: Dict[str, Any], blob: Optional[bytes]
-    ) -> Tuple[Dict[str, Any], Optional[bytes]]:
+        self,
+        payload: Dict[str, Any],
+        blob: Optional[bytes],
+        client_host: str = "127.0.0.1",
+    ) -> Tuple[Dict[str, Any], Optional[bytes], Optional[str]]:
         op = payload.get("op")
         worker = str(payload.get("worker", "anonymous"))
         if op == "hello":
-            return {"ok": True, "slot": self.plan.worker_slot(worker)}, None
+            peer_port = payload.get("peer_port")
+            if peer_port is not None:
+                # The worker advertises only its serving *port*; its
+                # reachable host is whatever address this very request
+                # arrived from, which works across NAT-free clusters
+                # without the worker guessing its own interface.
+                self.plan.register_peer(worker, client_host, int(peer_port))
+            return {
+                "ok": True,
+                "slot": self.plan.worker_slot(worker),
+                "caps": list(PROTOCOL_CAPS),
+            }, None, None
         if op == "lease":
-            return self._op_lease(worker, payload.get("holding")), None
+            return self._op_lease(worker, payload.get("holding")), None, None
         if op == "heartbeat":
             ok = self.plan.heartbeat(worker, str(payload.get("job_id")))
-            return {"ok": ok}, None
+            return {"ok": ok}, None, None
         if op == "complete":
             ok = self.plan.complete(
                 worker, str(payload.get("job_id")), payload.get("stats") or {}
             )
-            return {"ok": ok}, None
+            # ``holding``: how many keys the routing table now credits
+            # to this worker.  A worker whose local count matches can
+            # skip re-reporting holdings on its next lease; a mismatch
+            # (coordinator restart) triggers a full re-report.
+            return {
+                "ok": ok,
+                "holding": self.plan.worker_holding_count(worker),
+            }, None, None
         if op == "fail":
             self.plan.fail(
                 worker, str(payload.get("job_id")), str(payload.get("error", ""))
             )
-            return {"ok": True}, None
+            return {"ok": True}, None, None
         if op == "has":
             keys = [(str(s), str(d)) for s, d in payload.get("keys", [])]
             present = [list(key) for key in keys if key in self.store]
-            return {"present": present}, None
+            return {"present": present}, None, None
+        if op == "locate":
+            keys = [(str(s), str(d)) for s, d in payload.get("keys", [])]
+            sources = self.plan.locate(keys, exclude=worker)
+            return {"sources": sources}, None, None
         if op == "get":
-            return self._op_get(str(payload.get("stage")), str(payload.get("digest")))
+            return self._op_get(
+                str(payload.get("stage")),
+                str(payload.get("digest")),
+                payload.get("accept") or (),
+            )
         if op == "put":
             if blob is None:
-                return {"error": "put requires a blob"}, None
+                return {"error": "put requires a blob"}, None, None
             return (
                 self._op_put(
                     str(payload.get("stage")), str(payload.get("digest")), blob
                 ),
+                None,
                 None,
             )
         if op == "status":
@@ -201,8 +263,9 @@ class CoordinatorServer:
                 name: round(age, 3)
                 for name, age in self.plan.worker_ages().items()
             }
-            return counts, None
-        return {"error": f"unknown op {op!r}"}, None
+            counts["transfers"] = self.transfer_stats()
+            return counts, None, None
+        return {"error": f"unknown op {op!r}"}, None, None
 
     # ------------------------------------------------------------------
     def _op_lease(self, worker: str, holding: Optional[Any] = None) -> Dict[str, Any]:
@@ -220,23 +283,38 @@ class CoordinatorServer:
             if self.plan.done:
                 return {"shutdown": True}
             return {"wait": self.poll_s}
-        return {"job": job.to_wire(self.plan.lease_timeout)}
+        reply = {"job": job.to_wire(self.plan.lease_timeout)}
+        # Routing hints ride along with the grant: peer addresses for
+        # every upstream key some live peer holds, so the worker can
+        # pull missing inputs without a separate ``locate`` round trip.
+        sources = self.plan.locate(job.upstream, exclude=worker)
+        if sources:
+            reply["sources"] = sources
+        return reply
 
     def _op_get(
-        self, stage: str, digest: str
-    ) -> Tuple[Dict[str, Any], Optional[bytes]]:
+        self, stage: str, digest: str, accept: Any = ()
+    ) -> Tuple[Dict[str, Any], Optional[bytes], Optional[str]]:
         key = (stage, digest)
         blob = self._wire_cache.get(key)
         if blob is None:
             artifact = self.store.get(stage, digest)
             if artifact is MISS:
-                return {"found": False}, None
+                return {"found": False}, None, None
             blob = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
             self._wire_cache.put(key, blob)
-        return {"found": True}, blob
+        wire_blob, encoding = encode_blob(blob, [str(c) for c in accept])
+        with self._stats_lock:
+            self._get_count += 1
+            self._get_bytes += len(blob)
+            self._get_wire_bytes += len(wire_blob)
+        return {"found": True}, wire_blob, encoding
 
     def _op_put(self, stage: str, digest: str, blob: bytes) -> Dict[str, Any]:
         key = (stage, digest)
+        with self._stats_lock:
+            self._put_count += 1
+            self._put_bytes += len(blob)
         if key in self.store:
             # Idempotent upload: the fingerprint already resolves, a
             # duplicate (double completion, resumed worker) is a hit.
@@ -250,3 +328,14 @@ class CoordinatorServer:
         self.store.put_bytes(stage, digest, blob)
         self._wire_cache.put(key, blob)
         return {"ok": True, "stored": True}
+
+    def transfer_stats(self) -> Dict[str, int]:
+        """Artifact bytes this hub served (get) and received (put)."""
+        with self._stats_lock:
+            return {
+                "get_count": self._get_count,
+                "get_bytes": self._get_bytes,
+                "get_wire_bytes": self._get_wire_bytes,
+                "put_count": self._put_count,
+                "put_bytes": self._put_bytes,
+            }

@@ -99,6 +99,16 @@ class ClusterExecutor:
         Enable worker-affinity scheduling (default).  ``False``
         restores plain creation-order grants — kept for comparison
         benchmarks (see benchmarks/perf_cluster.py).
+    peer_sync:
+        Enable the peer-to-peer artifact fabric (default): the
+        coordinator answers ``locate`` with live peer addresses and
+        workers pull artifacts from each other.  ``False`` turns the
+        routing table off — every byte routes through the hub, exactly
+        the pre-fabric topology.
+    compact_every:
+        Auto-compact the journal after this many appended events (see
+        :class:`~repro.cluster.journal.SweepJournal`); ``None`` never
+        compacts automatically.
     """
 
     def __init__(
@@ -114,6 +124,8 @@ class ClusterExecutor:
         journal: Optional[Union[str, Path]] = None,
         resume: bool = False,
         affinity: bool = True,
+        peer_sync: bool = True,
+        compact_every: Optional[int] = None,
     ):
         self.base_config = base_config or SparkXDConfig()
         self.store = store if store is not None else ArtifactStore()
@@ -125,10 +137,15 @@ class ClusterExecutor:
         self.journal_path = Path(journal) if journal is not None else None
         self.resume = bool(resume)
         self.affinity = bool(affinity)
+        self.peer_sync = bool(peer_sync)
+        self.compact_every = None if compact_every is None else int(compact_every)
         #: Actual bound address of the most recent (or current) run.
         self.address: Optional[Tuple[str, int]] = None
         #: The plan of the most recent run (inspection/tests).
         self.last_plan: Optional[SweepPlan] = None
+        #: Hub transfer counters of the most recent run (get/put
+        #: counts and bytes) — what the peer fabric exists to shrink.
+        self.last_transfer_stats: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------
     def run(
@@ -144,7 +161,11 @@ class ClusterExecutor:
         port (see :func:`local_worker_processes`).
         """
         journal = (
-            SweepJournal(self.journal_path, resume=self.resume)
+            SweepJournal(
+                self.journal_path,
+                resume=self.resume,
+                compact_every=self.compact_every,
+            )
             if self.journal_path is not None
             else None
         )
@@ -157,6 +178,7 @@ class ClusterExecutor:
                 max_attempts=self.max_attempts,
                 journal=journal,
                 affinity=self.affinity,
+                peer_sync=self.peer_sync,
             )
             self.last_plan = plan
             host, port = self.bind_address
@@ -173,6 +195,7 @@ class ClusterExecutor:
                 # pollers get their shutdown reply instead of a
                 # connection error.
                 records = self._assemble(plan)
+                self.last_transfer_stats = server.transfer_stats()
             return records
         finally:
             if journal is not None:
@@ -340,6 +363,7 @@ def local_worker_processes(
     cache_dir: Optional[str] = None,
     max_idle_s: float = 30.0,
     threads_per_worker: Optional[int] = 1,
+    peer: bool = True,
 ) -> Iterator[List[subprocess.Popen]]:
     """``n_workers`` subprocess agents (``python -m repro cluster worker``).
 
@@ -347,7 +371,8 @@ def local_worker_processes(
     are genuinely per-worker — the localhost stand-in for real hosts.
     ``threads_per_worker`` caps each agent's BLAS/OpenMP threads like
     :class:`repro.pipeline.runner.Runner` does for its process pool
-    (``None`` leaves the runtimes at their defaults).
+    (``None`` leaves the runtimes at their defaults).  ``peer=False``
+    starts the agents with ``--no-peer-sync`` (pure hub topology).
     """
     target = format_address(parse_address(address))
     command = [
@@ -363,6 +388,8 @@ def local_worker_processes(
     ]
     if cache_dir:
         command += ["--cache-dir", str(cache_dir)]
+    if not peer:
+        command.append("--no-peer-sync")
     env = _worker_env(threads_per_worker)
     # stdout is silenced (the agent prints a summary line that would
     # corrupt --json output); stderr is inherited so a worker that dies

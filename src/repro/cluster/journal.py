@@ -24,9 +24,18 @@ Two guards keep replay honest:
 - a truncated tail line (the one a crash interrupted) is tolerated and
   skipped; malformed lines elsewhere are skipped too, never fatal.
 
-The journal is intentionally *not* a write-ahead log: it records
-transitions after they happen, and artifacts themselves travel through
-the content-addressed store whose publishes are already atomic.
+**Compaction** keeps the file bounded: :meth:`SweepJournal.compact`
+folds the lease/requeue chatter away, rewriting the journal as just
+the latest plan header plus one ``snapshot`` event that carries the
+entire done map (stage, digest, worker attribution, stats).  Replay of
+a compacted journal reaches the identical plan state — ``done_events``
+reads snapshots and plain ``done`` lines interchangeably — but its
+size and replay cost are O(done jobs), not O(total transitions), which
+is what makes million-job sweeps resumable in practice.  Compaction
+runs offline (``repro cluster journal compact``) or automatically
+every ``compact_every`` appended events, and the rewrite is atomic
+(temp file + ``os.replace``), so a crash mid-compaction leaves the
+previous journal intact.
 """
 
 from __future__ import annotations
@@ -55,11 +64,25 @@ class SweepJournal:
         refused with a :class:`ValueError` — starting a *new* sweep on
         top of an old journal is almost always an operator mistake
         (pass ``resume=True`` to replay it, or delete the file).
+    compact_every:
+        Auto-compact after this many appended events (``None`` — the
+        default — never compacts automatically).  Each compaction
+        resets the counter, so the on-disk file stays within
+        ``compact_every`` lines of its snapshot-only minimum no matter
+        how long the sweep runs.
     """
 
-    def __init__(self, path: Union[str, Path], resume: bool = False):
+    def __init__(
+        self,
+        path: Union[str, Path],
+        resume: bool = False,
+        compact_every: Optional[int] = None,
+    ):
+        if compact_every is not None and int(compact_every) < 1:
+            raise ValueError(f"compact_every must be >= 1, got {compact_every}")
         self.path = Path(path)
         self.resume = bool(resume)
+        self.compact_every = None if compact_every is None else int(compact_every)
         existing = self.path.exists() and self.path.stat().st_size > 0
         if existing and not self.resume:
             raise ValueError(
@@ -70,6 +93,7 @@ class SweepJournal:
         self._events: List[Dict[str, Any]] = self._load() if existing else []
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
+        self._appended_since_compact = 0
         self._handle = open(self.path, "a", encoding="utf-8")
         if existing and not self._ends_with_newline():
             # The previous life crashed mid-write, leaving a torn tail
@@ -117,7 +141,7 @@ class SweepJournal:
         done: Dict[tuple, Dict[str, Any]] = {}
         for event in self._events:
             kind = event.get("event")
-            if kind == "plan" and plan_id is not None:
+            if kind in ("plan", "snapshot") and plan_id is not None:
                 recorded = event.get("plan_id")
                 if recorded is not None and recorded != plan_id:
                     raise JournalMismatch(
@@ -125,10 +149,17 @@ class SweepJournal:
                         f"(plan_id {recorded[:16]}… != {plan_id[:16]}…); "
                         "point --journal elsewhere or delete it"
                     )
-            elif kind == "done":
+            if kind == "done":
                 stage, digest = event.get("stage"), event.get("digest")
                 if stage and digest:
                     done[(str(stage), str(digest))] = event
+            elif kind == "snapshot":
+                # A folded done map: each entry replays exactly like
+                # the original done line it summarises.
+                for entry in event.get("done", []):
+                    stage, digest = entry.get("stage"), entry.get("digest")
+                    if stage and digest:
+                        done[(str(stage), str(digest))] = entry
         return done
 
     # ------------------------------------------------------------------
@@ -147,7 +178,79 @@ class SweepJournal:
                 return
             self._handle.write(line + "\n")
             self._handle.flush()
-        self._events.append(event)
+            self._events.append(event)
+            self._appended_since_compact += 1
+            if (
+                self.compact_every is not None
+                and self._appended_since_compact >= self.compact_every
+            ):
+                self._compact_locked()
+
+    # ------------------------------------------------------------------
+    def compact(self) -> Dict[str, int]:
+        """Fold the journal down to plan header + one done snapshot.
+
+        Lease grants, requeues and heartbeat chatter are history that
+        replay never reads — only the done map matters for resume.
+        Returns ``{"events_before", "events_after", "done"}``.
+        """
+        with self._lock:
+            if self._handle.closed:
+                raise ValueError(f"journal {self.path} is closed")
+            return self._compact_locked()
+
+    def _compact_locked(self) -> Dict[str, int]:
+        before = len(self._events)
+        header: Optional[Dict[str, Any]] = None
+        failed: Optional[Dict[str, Any]] = None
+        done: Dict[tuple, Dict[str, Any]] = {}
+        for event in self._events:
+            kind = event.get("event")
+            if kind == "plan":
+                header = event
+            elif kind == "plan-failed":
+                failed = event
+            elif kind == "done":
+                stage, digest = event.get("stage"), event.get("digest")
+                if stage and digest:
+                    done[(str(stage), str(digest))] = {
+                        key: event[key]
+                        for key in ("job", "stage", "digest", "worker", "stats")
+                        if key in event
+                    }
+            elif kind == "snapshot":
+                for entry in event.get("done", []):
+                    stage, digest = entry.get("stage"), entry.get("digest")
+                    if stage and digest:
+                        done[(str(stage), str(digest))] = entry
+        snapshot: Dict[str, Any] = {
+            "event": "snapshot",
+            "t": round(time.time(), 3),
+            "folded": before,
+            "done": [done[key] for key in sorted(done)],
+        }
+        if header is not None and header.get("plan_id") is not None:
+            snapshot["plan_id"] = header["plan_id"]
+        compacted = [e for e in (header, snapshot, failed) if e is not None]
+        # Atomic rewrite: a crash here leaves either the old journal or
+        # the new one, never a half-written file (the .tmp is ignored
+        # by every reader).
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for event in compacted:
+                handle.write(json.dumps(event, sort_keys=True, default=str) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._handle.close()
+        os.replace(tmp, self.path)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._events = list(compacted)
+        self._appended_since_compact = 0
+        return {
+            "events_before": before,
+            "events_after": len(compacted),
+            "done": len(done),
+        }
 
     def close(self) -> None:
         with self._lock:

@@ -141,6 +141,15 @@ class SweepPlan:
         with the most upstream artifacts among those the worker
         reported holding; ``False`` restores plain creation-order
         grants (the pre-affinity scheduler).
+    peer_sync:
+        With ``True`` (default) the plan doubles as the artifact
+        *routing table*: workers register a peer-serving address
+        (:meth:`register_peer`) and :meth:`locate` answers "who holds
+        this key" from the same holdings map affinity scheduling uses,
+        so artifact bytes flow worker-to-worker and the coordinator
+        degrades to a metadata service.  ``False`` disables
+        registration and makes :meth:`locate` answer nothing, which
+        reproduces the PR 4/5 hub topology exactly.
     """
 
     def __init__(
@@ -154,6 +163,7 @@ class SweepPlan:
         clock: Callable[[], float] = time.monotonic,
         journal: Optional[SweepJournal] = None,
         affinity: bool = True,
+        peer_sync: bool = True,
     ):
         if lease_timeout <= 0:
             raise ValueError(f"lease_timeout must be > 0, got {lease_timeout}")
@@ -165,6 +175,7 @@ class SweepPlan:
         self.clock = clock
         self.journal = journal
         self.affinity = bool(affinity)
+        self.peer_sync = bool(peer_sync)
         self._lock = threading.Lock()
         self.param_sets = sweep_grid(grid)
         self.configs = [base_config.with_overrides(**p) for p in self.param_sets]
@@ -190,6 +201,8 @@ class SweepPlan:
         self._slots: Dict[str, int] = {}
         #: worker name -> (stage, digest) keys it reported holding
         self._holdings: Dict[str, Set[Tuple[str, str]]] = {}
+        #: worker name -> (host, port) of its peer artifact server
+        self._peers: Dict[str, Tuple[str, int]] = {}
         replayed = (
             journal.done_events(plan_id=self.plan_id) if journal is not None else {}
         )
@@ -301,6 +314,65 @@ class SweepPlan:
         if worker not in self._slots:
             self._slots[worker] = len(self._slots)
         return self._slots[worker]
+
+    # ------------------------------------------------------------------
+    # Peer routing (the holdings map as an artifact routing table).
+
+    def _live_locked(self, worker: str, now: float) -> bool:
+        """Heard from within the lease-expiry window (same as exclusion)."""
+        seen = self._workers.get(worker)
+        return seen is not None and now - seen <= 3.0 * self.lease_timeout
+
+    def register_peer(self, worker: str, host: str, port: int) -> None:
+        """Record ``worker``'s peer artifact server address (from hello)."""
+        if not self.peer_sync:
+            return
+        with self._lock:
+            self._touch_locked(worker)
+            self._peers[worker] = (str(host), int(port))
+
+    def locate(
+        self,
+        keys: Iterable[Sequence[str]],
+        exclude: Optional[str] = None,
+    ) -> List[List[Any]]:
+        """``[[stage, digest, [address, …]], …]`` for keys a live peer holds.
+
+        The addresses are peer artifact servers (``host:port`` strings)
+        of workers that reported holding the key, registered a peer
+        server, and were heard from recently — dead workers drop out of
+        the answer by the same liveness window lease exclusion uses.
+        Keys nobody (but possibly the coordinator) holds are omitted:
+        the caller falls back to the hub for those.  ``exclude`` drops
+        one worker (the requester) from every answer.
+        """
+        if not self.peer_sync:
+            return []
+        from repro.cluster.protocol import format_address
+
+        now = self.clock()
+        located: List[List[Any]] = []
+        with self._lock:
+            serving = [
+                (name, self._holdings.get(name, ()))
+                for name, address in self._peers.items()
+                if name != exclude and self._live_locked(name, now)
+            ]
+            for stage, digest in keys:
+                key = (str(stage), str(digest))
+                holders = [
+                    format_address(self._peers[name])
+                    for name, held in serving
+                    if key in held
+                ]
+                if holders:
+                    located.append([key[0], key[1], holders])
+        return located
+
+    def worker_holding_count(self, worker: str) -> int:
+        """How many keys the coordinator attributes to ``worker``."""
+        with self._lock:
+            return len(self._holdings.get(worker, ()))
 
     # ------------------------------------------------------------------
     # Scheduling.
@@ -468,6 +540,15 @@ class SweepPlan:
             job.worker = worker
             job.deadline = None
             job.error = None
+            if self.peer_sync:
+                # The completing worker now demonstrably holds the whole
+                # chain prefix (it pulled or computed every upstream key
+                # plus the target), so fold it into the routing table
+                # immediately — peers can pull from it before its next
+                # lease re-reports holdings.
+                held = self._holdings.setdefault(worker, set())
+                held.update(job.upstream)
+                held.add((job.stage, job.digest))
             if not job.stats:
                 job.stats = dict(stats or {})
                 job.stats.setdefault("worker", worker)

@@ -22,9 +22,10 @@ and networks you trust, as you would with any shared build cache.
 
 from __future__ import annotations
 
+import gzip
 import json
 import socket
-from typing import Any, BinaryIO, Dict, Optional, Tuple
+from typing import Any, BinaryIO, Dict, Optional, Sequence, Tuple
 
 #: Upper bound on one JSON header line.  Headers carry configs and job
 #: descriptions, never artifacts; anything larger is a protocol error.
@@ -32,6 +33,22 @@ MAX_HEADER_BYTES = 4 * 1024 * 1024
 
 #: Default coordinator TCP port (chosen from the unassigned range).
 DEFAULT_PORT = 8752
+
+#: Optional wire capabilities this build understands.  A responder
+#: advertises them in its ``hello`` reply; a requester only *sends* an
+#: encoded blob (or asks for one via ``"accept"``) after seeing the
+#: capability, so mixed-version fleets degrade to the raw-blob protocol
+#: instead of mis-framing.
+PROTOCOL_CAPS: Tuple[str, ...] = ("gzip",)
+
+#: Blobs below this size are never compressed: the gzip header and the
+#: extra syscalls cost more than the bytes they save.
+GZIP_MIN_BYTES = 1024
+
+#: Compression level 1: artifact pickles are mostly float arrays, where
+#: higher levels burn CPU for single-digit-percent gains on a path
+#: whose point is cutting *transfer* time.
+GZIP_LEVEL = 1
 
 
 class ProtocolError(RuntimeError):
@@ -74,18 +91,56 @@ def format_address(address: Tuple[str, int]) -> str:
 
 
 # ----------------------------------------------------------------------
+# Blob encodings.
+
+
+def encode_blob(
+    blob: bytes,
+    accept: Sequence[str],
+    min_bytes: int = GZIP_MIN_BYTES,
+) -> Tuple[bytes, Optional[str]]:
+    """Compress ``blob`` for the wire iff the peer accepts it *and* it pays.
+
+    Returns ``(wire_blob, encoding)`` where ``encoding`` is ``None``
+    (send raw) or ``"gzip"``.  Incompressible payloads (already-packed
+    arrays) are sent raw even when gzip is accepted — the receiver never
+    sees an encoding that grew the payload.
+    """
+    if "gzip" not in accept or len(blob) < min_bytes:
+        return blob, None
+    encoded = gzip.compress(blob, compresslevel=GZIP_LEVEL)
+    if len(encoded) >= len(blob):
+        return blob, None
+    return encoded, "gzip"
+
+
+# ----------------------------------------------------------------------
 # Framing.
 
 
 def send_message(
-    wfile: BinaryIO, payload: Dict[str, Any], blob: Optional[bytes] = None
+    wfile: BinaryIO,
+    payload: Dict[str, Any],
+    blob: Optional[bytes] = None,
+    encoding: Optional[str] = None,
 ) -> None:
-    """Write one header line (and the blob it announces, if any)."""
+    """Write one header line (and the blob it announces, if any).
+
+    ``encoding`` names how ``blob`` was encoded for the wire (today only
+    ``"gzip"``, from :func:`encode_blob`); the receiver's
+    :func:`recv_message` decodes transparently.  Only pass an encoding
+    the peer advertised — see :data:`PROTOCOL_CAPS`.
+    """
     payload = dict(payload)
     if blob is not None:
         payload["blob_bytes"] = len(blob)
+        if encoding is not None:
+            payload["blob_encoding"] = encoding
+        else:
+            payload.pop("blob_encoding", None)
     else:
         payload.pop("blob_bytes", None)
+        payload.pop("blob_encoding", None)
     line = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
     if len(line) > MAX_HEADER_BYTES:
         raise ProtocolError(f"header of {len(line)} bytes exceeds protocol limit")
@@ -96,7 +151,14 @@ def send_message(
 
 
 def recv_message(rfile: BinaryIO) -> Tuple[Dict[str, Any], Optional[bytes]]:
-    """Read one header line and its announced blob (if any)."""
+    """Read one header line and its announced blob (if any).
+
+    A ``blob_encoding`` announced by the sender is decoded here, so
+    callers always receive the *raw* blob bytes; the on-the-wire size is
+    surfaced as ``payload["blob_wire_bytes"]`` for transfer accounting.
+    An unknown encoding is a protocol error (the capability handshake
+    exists precisely so this never happens between in-tree peers).
+    """
     line = rfile.readline(MAX_HEADER_BYTES + 1)
     if not line:
         raise ConnectionClosed("peer closed the connection before a header")
@@ -125,6 +187,15 @@ def recv_message(rfile: BinaryIO) -> Tuple[Dict[str, Any], Optional[bytes]]:
             chunks.append(chunk)
             remaining -= len(chunk)
         blob = b"".join(chunks)
+        encoding = payload.pop("blob_encoding", None)
+        if encoding is not None:
+            if encoding != "gzip":
+                raise ProtocolError(f"unknown blob encoding {encoding!r}")
+            payload["blob_wire_bytes"] = len(blob)
+            try:
+                blob = gzip.decompress(blob)
+            except (OSError, EOFError) as error:
+                raise ProtocolError(f"corrupt gzip blob: {error}") from error
     return payload, blob
 
 
@@ -144,15 +215,18 @@ class ClusterClient:
         payload: Dict[str, Any],
         blob: Optional[bytes] = None,
         check: bool = True,
+        encoding: Optional[str] = None,
     ) -> Tuple[Dict[str, Any], Optional[bytes]]:
         """One round trip; raises :class:`ProtocolError` on error replies.
 
         With ``check=False`` error replies (``{"ok": false, "error":
         ...}``) are returned to the caller instead of raised.
+        ``encoding`` passes through to :func:`send_message` for blobs
+        already encoded with :func:`encode_blob`.
         """
         with socket.create_connection(self.address, timeout=self.timeout) as sock:
             with sock.makefile("rb") as rfile, sock.makefile("wb") as wfile:
-                send_message(wfile, payload, blob)
+                send_message(wfile, payload, blob, encoding=encoding)
                 reply, reply_blob = recv_message(rfile)
         if check and reply.get("error"):
             raise ProtocolError(str(reply["error"]))

@@ -20,23 +20,41 @@ elsewhere); connection errors are retried until ``max_idle_s`` of
 continuous unreachability, after which the agent exits — which is how
 workers outlive a coordinator restart but don't linger forever after a
 sweep ends.
+
+**Peer serving.**  Unless disabled, the agent also binds a lightweight
+artifact server (:class:`_PeerServer`, same JSON line protocol) on an
+ephemeral port and advertises that port in ``hello``.  Other workers
+then pull this worker's artifacts directly (``peer_get``) instead of
+routing every byte through the coordinator — see
+:class:`~repro.cluster.sync.ArtifactSync` for the pull policy and
+``docs/cluster.md`` for the fabric topology.  The server only ever
+*reads* the local store, refuses keys it no longer holds (the puller
+falls back to the hub), and dies with the agent.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
 import socket
+import socketserver
 import threading
 import time
 import uuid
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
-from repro.cluster.protocol import ClusterClient, ProtocolError
+from repro.cluster.protocol import (
+    ClusterClient,
+    ProtocolError,
+    encode_blob,
+    recv_message,
+    send_message,
+)
 from repro.cluster.sync import ArtifactSync
 from repro.core.config import SparkXDConfig
 from repro.pipeline.stages import ExperimentPipeline, default_stage_classes
-from repro.pipeline.store import ArtifactStore
+from repro.pipeline.store import MISS, ArtifactStore
 
 
 def default_worker_name() -> str:
@@ -57,6 +75,19 @@ class WorkerStats:
     artifacts_pushed: int = 0
     bytes_pulled: int = 0
     bytes_pushed: int = 0
+    #: Raw pulled bytes split by who served them (peer fabric vs hub),
+    #: and the on-the-wire sizes after optional gzip.
+    bytes_pulled_peer: int = 0
+    bytes_pulled_hub: int = 0
+    wire_bytes_pulled: int = 0
+    wire_bytes_pushed: int = 0
+    #: Pulls that had peer candidates but fell back to the hub, and
+    #: hub round trips retried after transient transport errors.
+    peer_fallbacks: int = 0
+    sync_retries: int = 0
+    #: What this worker's own peer server handed out.
+    peer_served: int = 0
+    peer_served_bytes: int = 0
     sync_s: float = 0.0
     exec_s: float = 0.0
     errors: list = field(default_factory=list)
@@ -70,6 +101,14 @@ class WorkerStats:
             "artifacts_pushed": self.artifacts_pushed,
             "bytes_pulled": self.bytes_pulled,
             "bytes_pushed": self.bytes_pushed,
+            "bytes_pulled_peer": self.bytes_pulled_peer,
+            "bytes_pulled_hub": self.bytes_pulled_hub,
+            "wire_bytes_pulled": self.wire_bytes_pulled,
+            "wire_bytes_pushed": self.wire_bytes_pushed,
+            "peer_fallbacks": self.peer_fallbacks,
+            "sync_retries": self.sync_retries,
+            "peer_served": self.peer_served,
+            "peer_served_bytes": self.peer_served_bytes,
             "sync_s": self.sync_s,
             "exec_s": self.exec_s,
             "errors": list(self.errors),
@@ -113,6 +152,117 @@ class _LeaseHeartbeat:
         self._thread.join(timeout=2.0)
 
 
+class _PeerServer:
+    """Serve this worker's local artifacts to peers over TCP.
+
+    The read-only sibling of the coordinator's artifact side — same
+    line protocol, two ops:
+
+    ``peer_get``
+        download one artifact blob by ``(stage, digest)``; replies
+        ``{"found": false}`` (never an error) for keys this worker does
+        not hold, so a stale routing hint costs the puller one cheap
+        round trip before its hub fallback.
+    ``peer_has``
+        filter a list of ``[stage, digest]`` keys to those held.
+
+    Pickling happens per request under no lock (the store is
+    thread-safe and content-addressed blobs are immutable), so serving
+    never blocks the worker's own job execution.
+    """
+
+    def __init__(self, store: ArtifactStore, host: str = "0.0.0.0", port: int = 0):
+        self.store = store
+        self._stats_lock = threading.Lock()
+        self._served = 0
+        self._served_bytes = 0
+        self._served_wire_bytes = 0
+
+        peer_server = self
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:  # pragma: no cover - thin shim
+                peer_server._handle(self)
+
+        class Server(socketserver.ThreadingTCPServer):
+            daemon_threads = True
+            allow_reuse_address = True
+
+        self._server = Server((host, port), Handler)
+        self.port: int = self._server.server_address[1]
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "_PeerServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name=f"repro-peer-server-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def transfer_stats(self) -> Dict[str, int]:
+        with self._stats_lock:
+            return {
+                "served": self._served,
+                "served_bytes": self._served_bytes,
+                "served_wire_bytes": self._served_wire_bytes,
+            }
+
+    # ------------------------------------------------------------------
+    def _handle(self, request: socketserver.StreamRequestHandler) -> None:
+        try:
+            payload, _ = recv_message(request.rfile)
+        except Exception:
+            return  # half-open connection; nothing to answer
+        try:
+            reply, blob, encoding = self._dispatch(payload)
+        except Exception as error:  # surface, don't kill the thread
+            reply, blob, encoding = (
+                {"error": f"{type(error).__name__}: {error}"},
+                None,
+                None,
+            )
+        try:
+            send_message(request.wfile, reply, blob, encoding=encoding)
+        except Exception:
+            pass  # puller vanished; it will fall back to the hub
+
+    def _dispatch(
+        self, payload: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], Optional[bytes], Optional[str]]:
+        op = payload.get("op")
+        if op == "peer_get":
+            stage = str(payload.get("stage"))
+            digest = str(payload.get("digest"))
+            artifact = self.store.get(stage, digest)
+            if artifact is MISS:
+                # Refusal, not error: evicted or never held here.
+                return {"found": False}, None, None
+            blob = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
+            wire_blob, encoding = encode_blob(
+                blob, [str(c) for c in payload.get("accept") or ()]
+            )
+            with self._stats_lock:
+                self._served += 1
+                self._served_bytes += len(blob)
+                self._served_wire_bytes += len(wire_blob)
+            return {"found": True}, wire_blob, encoding
+        if op == "peer_has":
+            keys = [(str(s), str(d)) for s, d in payload.get("keys", [])]
+            present = [list(key) for key in keys if key in self.store]
+            return {"present": present}, None, None
+        return {"error": f"unknown op {op!r}"}, None, None
+
+
 class WorkerAgent:
     """One cluster worker: leases jobs from a coordinator until told to stop.
 
@@ -133,6 +283,13 @@ class WorkerAgent:
         Optional ceiling on completed jobs, after which the agent
         returns (tests and controlled-drain scenarios; ``None`` =
         unlimited).
+    peer:
+        With ``True`` (default) the agent serves its local artifacts
+        to other workers (:class:`_PeerServer`) and pulls peer-first;
+        ``False`` reproduces the pure hub topology (no serving socket,
+        no ``peer_port`` in hello, every byte via the coordinator).
+    peer_port:
+        Fixed port for the peer server (0 = ephemeral, the default).
     """
 
     def __init__(
@@ -144,6 +301,8 @@ class WorkerAgent:
         retry_s: float = 0.5,
         client_timeout: float = 30.0,
         max_jobs: Optional[int] = None,
+        peer: bool = True,
+        peer_port: int = 0,
     ):
         self.client = ClusterClient(address, timeout=client_timeout)
         self.name = name or default_worker_name()
@@ -151,7 +310,14 @@ class WorkerAgent:
         self.max_idle_s = float(max_idle_s)
         self.retry_s = float(retry_s)
         self.max_jobs = None if max_jobs is None else int(max_jobs)
+        self.peer = bool(peer)
+        self.peer_port = int(peer_port)
         self.stats = WorkerStats()
+        self._peer_server: Optional[_PeerServer] = None
+        #: Wire capabilities the coordinator advertised (hello reply);
+        #: gates gzip-encoded uploads in ArtifactSync.
+        self._hub_caps: Tuple[str, ...] = ()
+        self._said_hello = False
         self._stop = threading.Event()
         #: (stage, digest) keys this agent holds locally — computed or
         #: pulled this session.  Reported on lease requests (only when
@@ -167,22 +333,51 @@ class WorkerAgent:
         self._stop.set()
 
     # ------------------------------------------------------------------
+    def _register(self) -> None:
+        """Send ``hello``: slot, hub capabilities, peer registration.
+
+        Best-effort — a coordinator that is still starting up learns
+        our name from the first lease instead, and ``_said_hello``
+        stays False so the next reconnect retries (a *restarted*
+        coordinator must relearn our peer address).
+        """
+        request: Dict[str, Any] = {"op": "hello", "worker": self.name}
+        if self._peer_server is not None:
+            request["peer_port"] = self._peer_server.port
+        try:
+            reply, _ = self.client.request(request)
+        except (OSError, ProtocolError):
+            return
+        if "slot" in reply:
+            self.stats.slot = int(reply["slot"])
+        self._hub_caps = tuple(str(c) for c in reply.get("caps", ()))
+        self._said_hello = True
+
     def run_forever(self) -> WorkerStats:
         """Serve jobs until the coordinator says shutdown (or vanishes)."""
-        # Register up front so the coordinator assigns the stable slot
-        # before any lease, and monitoring sees the worker immediately.
-        # Best-effort: a coordinator that is still starting up learns
-        # our name from the first lease instead.
+        if self.peer and self._peer_server is None:
+            self._peer_server = _PeerServer(self.store, port=self.peer_port).start()
         try:
-            reply, _ = self.client.request({"op": "hello", "worker": self.name})
-            if "slot" in reply:
-                self.stats.slot = int(reply["slot"])
-        except (OSError, ProtocolError):
-            pass
+            return self._run_loop()
+        finally:
+            if self._peer_server is not None:
+                served = self._peer_server.transfer_stats()
+                self.stats.peer_served = served["served"]
+                self.stats.peer_served_bytes = served["served_bytes"]
+                self._peer_server.stop()
+                self._peer_server = None
+
+    def _run_loop(self) -> WorkerStats:
+        # Register up front so the coordinator assigns the stable slot
+        # (and learns our peer address) before any lease, and
+        # monitoring sees the worker immediately.
+        self._register()
         unreachable_since: Optional[float] = None
         while not self._stop.is_set():
             if self.max_jobs is not None and self.stats.jobs_done >= self.max_jobs:
                 break
+            if not self._said_hello:
+                self._register()
             request: Dict[str, Any] = {"op": "lease", "worker": self.name}
             if self._holding and not self._holding_reported:
                 request["holding"] = sorted(list(key) for key in self._holding)
@@ -190,9 +385,10 @@ class WorkerAgent:
                 reply, _ = self.client.request(request)
             except (OSError, ProtocolError) as error:
                 # The coordinator may be restarting (crash + --resume):
-                # its holdings map starts empty, so re-report ours on
-                # the first lease that gets through.
+                # its holdings map and peer registry start empty, so
+                # re-hello and re-report ours when it comes back.
                 self._holding_reported = False
+                self._said_hello = False
                 now = time.monotonic()
                 if unreachable_since is None:
                     unreachable_since = now
@@ -214,17 +410,26 @@ class WorkerAgent:
             if job is None:
                 self._stop.wait(float(reply.get("wait", self.retry_s)))
                 continue
-            self._execute(job)
+            self._execute(job, sources=reply.get("sources"))
         return self.stats
 
     # ------------------------------------------------------------------
-    def _execute(self, job: Dict[str, Any]) -> None:
+    def _execute(
+        self, job: Dict[str, Any], sources: Optional[Any] = None
+    ) -> None:
         job_id = str(job["job_id"])
         depth = int(job["depth"])
         lease_s = float(job.get("lease_s", 30.0))
         config = SparkXDConfig.from_wire(job["config"])
         chain = tuple(cls() for cls in default_stage_classes()[: depth + 1])
-        sync = ArtifactSync(self.client, self.store)
+        sync = ArtifactSync(
+            self.client,
+            self.store,
+            worker=self.name,
+            sources=sources or (),
+            peer_sync=self.peer,
+            hub_caps=self._hub_caps,
+        )
         started = time.perf_counter()
         try:
             # The heartbeat must span the *whole* job — artifact pulls
@@ -264,20 +469,19 @@ class WorkerAgent:
                 pass  # lease expiry will requeue it anyway
             return
         wall_s = time.perf_counter() - started
-        stats = {
-            "worker": self.name,
-            "exec_s": dict(pipeline.stage_timings),
-            "sync_s": sync.seconds,
-            "pulled": sync.pulled,
-            "pushed": sync.pushed,
-            "pulled_bytes": sync.pulled_bytes,
-            "pushed_bytes": sync.pushed_bytes,
-            "wall_s": wall_s,
-            # True when an expiry raced the computation: the coordinator
-            # may have re-leased this job elsewhere, making our (still
-            # accepted, idempotent) completion a duplicate.
-            "lease_lost": heartbeat.lease_lost,
-        }
+        stats = dict(sync.stats_dict())
+        stats.update(
+            {
+                "worker": self.name,
+                "exec_s": dict(pipeline.stage_timings),
+                "wall_s": wall_s,
+                # True when an expiry raced the computation: the
+                # coordinator may have re-leased this job elsewhere,
+                # making our (still accepted, idempotent) completion a
+                # duplicate.
+                "lease_lost": heartbeat.lease_lost,
+            }
+        )
         # Everything in the chain is now local: report it on the next
         # lease so affinity scheduling can route dependants back here.
         before = len(self._holding)
@@ -291,10 +495,16 @@ class WorkerAgent:
         self.stats.artifacts_pushed += sync.pushed
         self.stats.bytes_pulled += sync.pulled_bytes
         self.stats.bytes_pushed += sync.pushed_bytes
+        self.stats.bytes_pulled_peer += sync.pulled_bytes_peer
+        self.stats.bytes_pulled_hub += sync.pulled_bytes_hub
+        self.stats.wire_bytes_pulled += sync.pulled_wire_bytes
+        self.stats.wire_bytes_pushed += sync.pushed_wire_bytes
+        self.stats.peer_fallbacks += sync.peer_fallbacks
+        self.stats.sync_retries += sync.retries
         self.stats.sync_s += sync.seconds
         self.stats.exec_s += sum(pipeline.stage_timings.values())
         try:
-            self.client.request(
+            reply, _ = self.client.request(
                 {
                     "op": "complete",
                     "worker": self.name,
@@ -306,3 +516,12 @@ class WorkerAgent:
             # The artifacts are pushed; a lost completion only costs a
             # redundant re-lease of an already-satisfiable job.
             self.stats.errors.append(f"{job_id}: completion not delivered: {error}")
+            return
+        # The coordinator folds the completed chain into its routing
+        # table server-side; when its count for us matches what we hold
+        # locally there is nothing to re-report on the next lease.  A
+        # mismatch (restarted coordinator, partial knowledge) keeps the
+        # full re-report scheduled.
+        holding = reply.get("holding")
+        if holding is not None and int(holding) == len(self._holding):
+            self._holding_reported = True

@@ -1,17 +1,23 @@
 """protocol-consistency: every wire ``op`` has both ends implemented.
 
 The cluster line protocol is stringly typed: clients emit
-``{"op": "lease", ...}`` dicts and the coordinator dispatches on
-``op == "lease"`` comparisons.  Nothing but this rule connects the two
-— a typo'd or half-added op surfaces only at runtime as an
-``unknown op`` error reply (or as a handler no client can ever reach).
+``{"op": "lease", ...}`` dicts and servers dispatch on ``op ==
+"lease"`` comparisons.  Nothing but this rule connects the two — a
+typo'd or half-added op surfaces only at runtime as an ``unknown op``
+error reply (or as a handler no client can ever reach).
 
-Both directions are checked:
+There are now two dispatch tables: the coordinator's
+(``cluster/coordinator.py``) and the worker's peer artifact server
+(``cluster/worker.py`` — ``peer_get``/``peer_has``), and a handler
+module can itself emit ops (the worker both serves peers and leases
+jobs).  Both directions are checked across all of them:
 
-- an op **emitted** by a client module with no coordinator handler is
-  an *error* (the request can never succeed);
-- a **handler** with no in-tree emitter is a *warning* (it may serve
-  out-of-tree tooling, but more often it is dead or drifted protocol).
+- an op **emitted** anywhere under ``cluster/`` with no dispatch
+  handling it is an *error* (the request can never succeed);
+- a **handler** whose op no *other* module emits is a *warning* (it
+  may serve out-of-tree tooling, but more often it is dead or drifted
+  protocol; a module "emitting" only to its own dispatch proves
+  nothing about the wire).
 """
 
 from __future__ import annotations
@@ -32,13 +38,17 @@ from repro.lint.findings import Finding
 class ProtocolConsistencyChecker(Checker):
     rule = "protocol-consistency"
     description = (
-        "ops emitted by cluster clients must have a coordinator handler, "
-        "and handlers must have an in-tree emitter"
+        "ops emitted under cluster/ must have a dispatch handler "
+        "(coordinator or worker peer server), and handlers must have an "
+        "in-tree emitter outside their own module"
     )
 
     def __init__(
         self,
-        handler_suffixes: Sequence[str] = ("cluster/coordinator.py",),
+        handler_suffixes: Sequence[str] = (
+            "cluster/coordinator.py",
+            "cluster/worker.py",
+        ),
         emitter_dir: str = "cluster/",
         op_key: str = "op",
     ):
@@ -50,7 +60,9 @@ class ProtocolConsistencyChecker(Checker):
         return any(module.relpath.endswith(s) for s in self.handler_suffixes)
 
     def _is_emitter(self, module: SourceModule) -> bool:
-        return self.emitter_dir in module.relpath and not self._is_handler(module)
+        # Handler modules emit too: the worker serves peer ops while
+        # emitting lease/heartbeat/... requests of its own.
+        return self.emitter_dir in module.relpath
 
     # ------------------------------------------------------------------
     def check_project(self, modules: Sequence[SourceModule]) -> Iterator[Finding]:
@@ -76,13 +88,22 @@ class ProtocolConsistencyChecker(Checker):
                     line=line,
                     symbol=symbol or op,
                     message=(
-                        f"op {op!r} is emitted here but no coordinator "
-                        "dispatch handles it; the request can only produce "
-                        "an 'unknown op' error reply"
+                        f"op {op!r} is emitted here but no coordinator or "
+                        "worker dispatch handles it; the request can only "
+                        "produce an 'unknown op' error reply"
                     ),
                 )
-        for op in sorted(set(handled) - set(emitted)):
+        for op in sorted(handled):
             for module, line, symbol in handled[op]:
+                # An emitter inside the handler's own module proves
+                # nothing (it never crosses the wire to this dispatch);
+                # require one anywhere else in the tree.
+                external = [
+                    entry for entry in emitted.get(op, ())
+                    if entry[0] is not module
+                ]
+                if external:
+                    continue
                 yield Finding(
                     rule=self.rule,
                     severity="warning",
@@ -90,7 +111,7 @@ class ProtocolConsistencyChecker(Checker):
                     line=line,
                     symbol=symbol or op,
                     message=(
-                        f"coordinator handles op {op!r} but no in-tree "
+                        f"dispatch handles op {op!r} but no in-tree "
                         "client emits it; dead protocol surface drifts "
                         "silently (add an emitter, or suppress if it serves "
                         "external tooling)"

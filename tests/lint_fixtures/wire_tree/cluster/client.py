@@ -7,3 +7,7 @@ def lease():
 
 def typo():
     return {"op": "leese", "worker": "w"}
+
+
+def peer_pull():
+    return {"op": "peer_get", "stage": "s", "digest": "d"}

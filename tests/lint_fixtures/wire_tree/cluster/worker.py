@@ -1,0 +1,20 @@
+"""Worker-side peer dispatch (lint fixture; never imported)."""
+
+
+def request_lease():
+    return {"op": "lease", "worker": "w"}
+
+
+def serve(payload):
+    op = payload.get("op")
+    if op == "peer_get":
+        return {"found": True}
+    if op == "self_only":
+        return {"ok": True}
+    return {"error": f"unknown op {op!r}"}
+
+
+def self_emit():
+    # Emitting to one's own dispatch proves nothing about the wire:
+    # "self_only" must still be flagged as handler-without-emitter.
+    return {"op": "self_only"}
