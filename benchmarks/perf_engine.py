@@ -6,6 +6,11 @@ each engine sustains on two network sizes, double-checks that both
 engines produced identical spike counts, and writes the results to
 ``BENCH_engine.json`` — the repo's performance trajectory artifact.
 
+Also guards the telemetry contract: the batched evaluator path is
+timed with span tracing off and on (interleaved min-of-N pairs), and
+the run fails if tracing costs more than ``TELEMETRY_GATE_PCT`` —
+instrumentation must stay effectively free on the hot path.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_engine.py           # full run
@@ -46,6 +51,9 @@ QUICK_SCENARIOS = (
     {"n_neurons": 100, "n_samples": 8, "n_realizations": 2, "n_steps": 30,
      "dtype": "float32"},
 )
+
+#: Maximum tolerated slowdown of the batched evaluator with tracing on.
+TELEMETRY_GATE_PCT = 3.0
 
 
 def _build_workload(scenario: dict, n_input: int = 784):
@@ -119,6 +127,54 @@ def run_benchmark(quick: bool, repeats: int) -> dict:
     }
 
 
+def measure_telemetry_overhead(quick: bool, pairs: int = 5) -> dict:
+    """Telemetry-on vs -off timing of the batched evaluator hot path.
+
+    Off/on runs are interleaved so machine drift (thermal, noisy CI
+    neighbours) hits both arms equally, and each arm keeps its best
+    time.  "On" means a live trace writer — per-chunk ``eval.chunk``
+    spans actually record; metrics counters run in both arms because
+    they are never switched off.
+    """
+    from tempfile import TemporaryDirectory
+
+    from repro.telemetry import configure_tracing, shutdown_tracing
+
+    scenario = (QUICK_SCENARIOS if quick else FULL_SCENARIOS)[0]
+    network, stack, images = _build_workload(scenario)
+
+    def once() -> float:
+        evaluator = BatchedEvaluator.for_network(
+            network, engine="batched", dtype=np.dtype(scenario["dtype"])
+        )
+        started = time.perf_counter()
+        evaluator.spike_counts(
+            images, scenario["n_steps"], np.random.default_rng(99), weights=stack
+        )
+        return time.perf_counter() - started
+
+    once()  # warm caches/allocator before either arm is timed
+    off_best = on_best = np.inf
+    with TemporaryDirectory() as tmp:
+        trace_path = str(Path(tmp) / "overhead_trace.jsonl")
+        for _ in range(pairs):
+            shutdown_tracing()
+            off_best = min(off_best, once())
+            configure_tracing(trace_path)
+            on_best = min(on_best, once())
+        shutdown_tracing()
+    overhead_pct = (on_best / off_best - 1.0) * 100.0
+    return {
+        "path": "BatchedEvaluator.spike_counts (batched engine)",
+        "pairs": pairs,
+        "off_s": off_best,
+        "on_s": on_best,
+        "overhead_pct": overhead_pct,
+        "gate_pct": TELEMETRY_GATE_PCT,
+        "ok": overhead_pct <= TELEMETRY_GATE_PCT,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -132,12 +188,28 @@ def main(argv=None) -> int:
         parser.error("--repeats must be > 0")
 
     payload = run_benchmark(args.quick, args.repeats)
+    overhead = measure_telemetry_overhead(args.quick)
+    payload["telemetry_overhead"] = overhead
+    print(
+        f"telemetry overhead: off {overhead['off_s']:.4f}s | "
+        f"on {overhead['on_s']:.4f}s | "
+        f"{overhead['overhead_pct']:+.2f}% "
+        f"(gate {overhead['gate_pct']:.1f}%)"
+    )
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"results written to {out}")
 
     if not all(row["identical_counts"] for row in payload["scenarios"]):
         print("ERROR: engines disagreed on spike counts", file=sys.stderr)
+        return 1
+    if not overhead["ok"]:
+        print(
+            f"ERROR: telemetry overhead {overhead['overhead_pct']:.2f}% "
+            f"exceeds the {overhead['gate_pct']:.1f}% gate on the batched "
+            "evaluator path",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

@@ -17,7 +17,13 @@ Commands
     ages.  ``--journal`` persists job transitions next to the store
     and ``--resume`` replays them, so a coordinator killed mid-sweep
     restarts without re-executing done work; ``--no-affinity``
-    disables holding-aware job placement.
+    disables holding-aware job placement.  ``cluster top`` renders a
+    live fleet table (jobs, per-worker throughput, peer-vs-hub bytes,
+    slowest open spans) from a running coordinator's telemetry.
+``telemetry``
+    Work with recorded traces: ``telemetry export`` converts the
+    JSONL file written by ``--trace`` to a Chrome/Perfetto
+    ``trace.json`` (see docs/telemetry.md).
 ``stages``
     Show the pipeline stages and every pluggable registry (datasets,
     error models, mapping policies, DRAM specs).
@@ -31,11 +37,14 @@ Commands
     ``--dry-run`` reports what would be evicted without deleting).
 ``lint``
     Run the project invariant checkers (fingerprint completeness, RNG
-    discipline, lock discipline, wire-protocol consistency) over the
-    source tree; ``--check`` gates on new findings (see docs/lint.md).
+    discipline, lock discipline, wire-protocol consistency, workspace
+    discipline, log discipline) over the source tree; ``--check``
+    gates on new findings (see docs/lint.md).
 
 Every data-producing command accepts ``--json`` for machine-readable
-output on stdout.
+output on stdout.  ``run``, ``sweep`` and every ``cluster``
+subcommand also accept ``--log-level`` (structured JSON logs on
+stderr) and ``--trace PATH`` (span recording, docs/telemetry.md).
 """
 
 from __future__ import annotations
@@ -50,6 +59,16 @@ import numpy as np
 REPRESENTATIONS = ("float32", "int8", "int16")
 COMPUTE_DTYPES = ("float64", "float32")
 STAGE_ENCODING_CHOICES = ("fresh", "shared")
+
+
+def _add_telemetry_arguments(p) -> None:
+    """The shared observability knobs (see docs/telemetry.md)."""
+    p.add_argument("--log-level", default=None, metavar="LEVEL",
+                   help="emit structured JSON log lines at LEVEL "
+                        "(DEBUG/INFO/WARNING/ERROR) on stderr")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="record span traces to a JSONL file; export "
+                        "with 'repro telemetry export'")
 
 
 def _add_run_parser(subparsers) -> None:
@@ -96,6 +115,7 @@ def _add_run_parser(subparsers) -> None:
                    help="print the run record as JSON instead of the summary")
     p.add_argument("--save-model", metavar="PATH",
                    help="write the improved model to an .npz file")
+    _add_telemetry_arguments(p)
 
 
 def _add_grid_arguments(p) -> None:
@@ -185,6 +205,7 @@ def _add_sweep_parser(subparsers) -> None:
     p.add_argument("--cache-dir", metavar="DIR",
                    help="artifact-store directory shared across sweeps")
     _add_record_output_arguments(p)
+    _add_telemetry_arguments(p)
 
 
 def _add_cluster_parser(subparsers) -> None:
@@ -212,6 +233,7 @@ def _add_cluster_parser(subparsers) -> None:
                        help="artifact-store directory shared across sweeps")
     _add_cluster_resilience_arguments(coord)
     _add_record_output_arguments(coord)
+    _add_telemetry_arguments(coord)
 
     worker = commands.add_parser(
         "worker",
@@ -236,6 +258,7 @@ def _add_cluster_parser(subparsers) -> None:
                              "(default: ephemeral)")
     worker.add_argument("--json", action="store_true",
                         help="print the worker's lifetime stats as JSON")
+    _add_telemetry_arguments(worker)
 
     status = commands.add_parser(
         "status",
@@ -247,6 +270,23 @@ def _add_cluster_parser(subparsers) -> None:
                         help="connection timeout in seconds")
     status.add_argument("--json", action="store_true",
                         help="print the raw status reply as JSON")
+    _add_telemetry_arguments(status)
+
+    top = commands.add_parser(
+        "top",
+        help="live fleet view: per-worker throughput, transfer bytes, "
+             "retries and the slowest open spans",
+    )
+    top.add_argument("--coordinator", required=True, metavar="HOST:PORT",
+                     help="coordinator address to query")
+    top.add_argument("--watch", type=float, default=None, metavar="S",
+                     help="refresh every S seconds until interrupted "
+                          "(default: render one frame and exit)")
+    top.add_argument("--timeout", type=float, default=10.0, metavar="S",
+                     help="connection timeout in seconds")
+    top.add_argument("--json", action="store_true",
+                     help="print the raw status reply as JSON")
+    _add_telemetry_arguments(top)
 
     journal = commands.add_parser(
         "journal",
@@ -264,6 +304,7 @@ def _add_cluster_parser(subparsers) -> None:
                          help="the JSONL journal file to compact in place")
     compact.add_argument("--json", action="store_true",
                          help="print the compaction summary as JSON")
+    _add_telemetry_arguments(compact)
 
     sweep = commands.add_parser(
         "sweep",
@@ -290,6 +331,27 @@ def _add_cluster_parser(subparsers) -> None:
                        help="coordinator artifact-store directory")
     _add_cluster_resilience_arguments(sweep)
     _add_record_output_arguments(sweep)
+    _add_telemetry_arguments(sweep)
+
+
+def _add_telemetry_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "telemetry",
+        help="work with recorded traces (see docs/telemetry.md)",
+    )
+    commands = p.add_subparsers(dest="telemetry_command", required=True)
+    export = commands.add_parser(
+        "export",
+        help="convert a JSONL span trace to Chrome/Perfetto trace.json "
+             "(load in chrome://tracing or ui.perfetto.dev)",
+    )
+    export.add_argument("--trace", required=True, metavar="PATH",
+                        help="the JSONL trace a --trace run recorded")
+    export.add_argument("--out", default=None, metavar="PATH",
+                        help="output path (default: TRACE with a "
+                             ".chrome.json suffix)")
+    export.add_argument("--json", action="store_true",
+                        help="print the export summary as JSON")
 
 
 def _add_stages_parser(subparsers) -> None:
@@ -386,6 +448,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_parser(subparsers)
     _add_sweep_parser(subparsers)
     _add_cluster_parser(subparsers)
+    _add_telemetry_parser(subparsers)
     _add_stages_parser(subparsers)
     _add_dram_parser(subparsers)
     _add_tolerance_parser(subparsers)
@@ -555,6 +618,76 @@ def _resolve_journal(args):
     return Path(journal)
 
 
+def _format_bytes(n: float) -> str:
+    """Human-readable byte count (binary units) for the fleet table."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB"):
+        if n < 1024:
+            return f"{n:.0f}{unit}" if unit == "B" else f"{n:.1f}{unit}"
+        n /= 1024.0
+    return f"{n:.1f}GiB"
+
+
+def _render_top(status: dict) -> str:
+    """One frame of the ``cluster top`` fleet view.
+
+    Pure function over a ``status`` reply so tests can feed canned
+    payloads; tolerant of coordinators predating the ``telemetry``
+    field (the table simply loses its metric columns).
+    """
+    from repro.analysis.reporting import format_table
+
+    lines = []
+    jobs = ", ".join(
+        f"{state}={status.get(state, 0)}"
+        for state in ("pending", "leased", "done", "failed")
+    )
+    lines.append(f"jobs: {jobs}")
+    telemetry = status.get("telemetry") or {}
+    fleet_counters = (telemetry.get("fleet") or {}).get("counters") or {}
+    if fleet_counters:
+        lines.append(
+            "fleet: "
+            f"leases={fleet_counters.get('plan.leases', 0):.0f} "
+            f"requeues={fleet_counters.get('plan.requeues', 0):.0f} "
+            f"sync-retries={fleet_counters.get('sync.retries', 0):.0f} "
+            f"pulled {_format_bytes(fleet_counters.get('sync.pulled_bytes_peer', 0))} peer"
+            f" / {_format_bytes(fleet_counters.get('sync.pulled_bytes_hub', 0))} hub"
+        )
+    workers = status.get("workers") or {}
+    snapshots = telemetry.get("workers") or {}
+    rows = []
+    for name in sorted(workers):
+        snapshot = snapshots.get(name) or {}
+        counters = (snapshot.get("metrics") or {}).get("counters") or {}
+        open_list = snapshot.get("open_spans") or []
+        slowest = (
+            f"{open_list[0]['name']} ({open_list[0]['age_s']:.1f}s)"
+            if open_list else "-"
+        )
+        rows.append([
+            name,
+            f"{workers[name]:.1f}s",
+            f"{counters.get('worker.jobs_done', 0):.0f}",
+            f"{counters.get('worker.jobs_failed', 0):.0f}",
+            f"{counters.get('sync.retries', 0):.0f}",
+            _format_bytes(counters.get("sync.pulled_bytes_peer", 0)),
+            _format_bytes(counters.get("sync.pulled_bytes_hub", 0)),
+            slowest,
+        ])
+    if rows:
+        lines.append(format_table(
+            ["worker", "seen", "done", "failed", "retries",
+             "peer in", "hub in", "slowest open span"],
+            rows,
+        ))
+    else:
+        lines.append("no workers registered")
+    if status.get("failure"):
+        lines.append(f"failure: {status['failure']}")
+    return "\n".join(lines)
+
+
 def _cmd_cluster(args) -> int:
     from repro.pipeline import ArtifactStore
 
@@ -631,6 +764,28 @@ def _cmd_cluster(args) -> int:
                 print(f"failure: {status['failure']}")
         return 1 if status.get("failure") else 0
 
+    if args.cluster_command == "top":
+        import time
+
+        from repro.cluster import ClusterClient
+
+        client = ClusterClient(args.coordinator, timeout=args.timeout)
+        while True:
+            status = client.status()
+            if args.json:
+                print(json.dumps(status, indent=2, sort_keys=True))
+            else:
+                print(_render_top(status))
+            if not args.watch:
+                break
+            try:
+                time.sleep(args.watch)
+            except KeyboardInterrupt:
+                break
+            if not args.json:
+                print()
+        return 1 if status.get("failure") else 0
+
     from repro.cluster import ClusterExecutor, format_address
 
     base = _base_config(args).with_overrides(engine=args.engine)
@@ -698,6 +853,8 @@ def _cmd_cluster(args) -> int:
                             else args.threads_per_worker
                         ),
                         peer=args.peer_sync,
+                        trace=args.trace,
+                        log_level=args.log_level,
                     )
                 ),
             )
@@ -712,6 +869,29 @@ def _cmd_cluster(args) -> int:
         return 0
 
     raise ValueError(f"unknown cluster command {args.cluster_command!r}")
+
+
+def _cmd_telemetry(args) -> int:
+    from pathlib import Path
+
+    from repro.telemetry import write_chrome_trace
+
+    if args.telemetry_command == "export":
+        trace = Path(args.trace)
+        if not trace.is_file():
+            print(f"error: trace {trace} does not exist", file=sys.stderr)
+            return 1
+        out = args.out or str(trace.with_suffix(".chrome.json"))
+        summary = write_chrome_trace(str(trace), out)
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(
+                f"exported {summary['events']} span(s) from "
+                f"{summary['pids']} process(es) to {summary['out']}"
+            )
+        return 0
+    raise ValueError(f"unknown telemetry command {args.telemetry_command!r}")
 
 
 def _cmd_stages(args) -> int:
@@ -932,6 +1112,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "cluster": _cmd_cluster,
+        "telemetry": _cmd_telemetry,
         "stages": _cmd_stages,
         "dram": _cmd_dram,
         "tolerance": _cmd_tolerance,
@@ -939,6 +1120,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "lint": _cmd_lint,
     }
     try:
+        # ``telemetry export`` reuses --trace as its *input* path; for
+        # every other command the shared flags switch telemetry on.
+        if args.command != "telemetry" and (
+            getattr(args, "log_level", None) or getattr(args, "trace", None)
+        ):
+            from repro.telemetry import configure_telemetry
+
+            configure_telemetry(
+                level=args.log_level, trace_path=args.trace
+            )
         return handlers[args.command](args)
     except ValueError as error:
         # Config validation and registry lookups raise ValueError with

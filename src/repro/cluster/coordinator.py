@@ -27,8 +27,21 @@ by ``blob_bytes``):
 ``get``      download one artifact blob by fingerprint
 ``put``      upload one artifact blob by fingerprint (idempotent: an
              already-present fingerprint is acknowledged, not rewritten)
-``status``   job-state counts + transfer counters, for monitoring
+``status``   job-state counts + transfer counters + aggregated worker
+             telemetry, for monitoring (``repro cluster top``)
 ===========  ==========================================================
+
+Telemetry rides the existing ops instead of adding new ones:
+``hello``/``lease``/``heartbeat``/``complete`` requests may carry an
+optional ``telemetry`` field (the worker's cumulative metrics snapshot
+plus its slowest open spans, :func:`repro.telemetry.telemetry_snapshot`).
+The coordinator keeps the *latest* snapshot per worker — snapshots are
+cumulative, so the fleet view is simply the merge of latest-per-worker
+plus the coordinator's own registry.  Workers that never send the field
+(older builds) just don't appear, and coordinators that ignore it
+(older builds) drop an unknown key: both directions interoperate, the
+same degradation contract as the gzip capability handshake (see
+docs/telemetry.md).
 
 The artifact sync layer is content-addressed and therefore *resumable
 by retry*: an interrupted upload leaves no partial state server-side,
@@ -56,6 +69,7 @@ from repro.cluster.protocol import (
     send_message,
 )
 from repro.pipeline.store import MISS, ArtifactStore
+from repro.telemetry import get_metrics, merge_snapshots
 
 
 class _WireCache:
@@ -127,6 +141,15 @@ class CoordinatorServer:
         self._get_wire_bytes = 0
         self._put_count = 0
         self._put_bytes = 0
+        #: Latest telemetry snapshot per worker (guarded by its own
+        #: lock: snapshot ingest must not contend with blob traffic).
+        self._telemetry_lock = threading.Lock()
+        self._telemetry: Dict[str, Dict[str, Any]] = {}
+        #: Trace context (``{"trace_id", "span_id"}``) stamped onto
+        #: lease grants so worker job spans join the sweep's trace; the
+        #: executor sets it from its root span before workers connect,
+        #: and it stays fixed for the server's lifetime.
+        self.trace_context: Optional[Dict[str, str]] = None
 
         coordinator = self
 
@@ -197,6 +220,10 @@ class CoordinatorServer:
     ) -> Tuple[Dict[str, Any], Optional[bytes], Optional[str]]:
         op = payload.get("op")
         worker = str(payload.get("worker", "anonymous"))
+        if op in ("hello", "lease", "heartbeat", "complete"):
+            snapshot = payload.get("telemetry")
+            if snapshot:
+                self._ingest_telemetry(worker, snapshot)
         if op == "hello":
             peer_port = payload.get("peer_port")
             if peer_port is not None:
@@ -264,8 +291,33 @@ class CoordinatorServer:
                 for name, age in self.plan.worker_ages().items()
             }
             counts["transfers"] = self.transfer_stats()
+            counts["telemetry"] = self.telemetry_view()
             return counts, None, None
         return {"error": f"unknown op {op!r}"}, None, None
+
+    # ------------------------------------------------------------------
+    # Worker telemetry aggregation.
+
+    def _ingest_telemetry(self, worker: str, snapshot: Any) -> None:
+        if not isinstance(snapshot, dict):
+            return  # malformed field from a foreign client; ignore
+        with self._telemetry_lock:
+            self._telemetry[worker] = snapshot
+
+    def telemetry_view(self) -> Dict[str, Any]:
+        """Per-worker snapshots plus the merged fleet-wide metrics.
+
+        Each worker's snapshot is cumulative for its process, so the
+        fleet view merges the latest one per worker with the
+        coordinator's own registry (store/plan counters live here).
+        """
+        with self._telemetry_lock:
+            workers = {name: dict(snap) for name, snap in self._telemetry.items()}
+        fleet = merge_snapshots(
+            [snap.get("metrics") or {} for snap in workers.values()]
+            + [get_metrics().to_dict()]
+        )
+        return {"workers": workers, "fleet": fleet}
 
     # ------------------------------------------------------------------
     def _op_lease(self, worker: str, holding: Optional[Any] = None) -> Dict[str, Any]:
@@ -290,6 +342,10 @@ class CoordinatorServer:
         sources = self.plan.locate(job.upstream, exclude=worker)
         if sources:
             reply["sources"] = sources
+        if self.trace_context:
+            # Workers adopt this as the remote parent of their job
+            # spans; old workers simply ignore the unknown key.
+            reply["trace"] = dict(self.trace_context)
         return reply
 
     def _op_get(

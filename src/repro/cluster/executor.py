@@ -47,6 +47,9 @@ from repro.core.config import SparkXDConfig
 from repro.pipeline.runner import RunRecord
 from repro.pipeline.stages import ExperimentPipeline
 from repro.pipeline.store import ArtifactStore
+from repro.telemetry import current_context, get_logger, span
+
+LOG = get_logger(__name__)
 
 
 class DistributionTimeout(TimeoutError):
@@ -182,9 +185,18 @@ class ClusterExecutor:
             )
             self.last_plan = plan
             host, port = self.bind_address
-            with CoordinatorServer(
+            with span(
+                "cluster.sweep",
+                plan_id=plan.plan_id[:16],
+                jobs=len(plan.jobs),
+                grid_points=len(plan.configs),
+            ), CoordinatorServer(
                 plan, self.store, host=host, port=port, poll_s=self.poll_s
             ) as server:
+                # Lease grants carry the sweep span as remote parent, so
+                # worker job spans land in this trace (no-op when
+                # tracing is off: current_context() is None).
+                server.trace_context = current_context()
                 self.address = server.address
                 if on_ready is not None:
                     on_ready(server.address)
@@ -364,6 +376,8 @@ def local_worker_processes(
     max_idle_s: float = 30.0,
     threads_per_worker: Optional[int] = 1,
     peer: bool = True,
+    trace: Optional[str] = None,
+    log_level: Optional[str] = None,
 ) -> Iterator[List[subprocess.Popen]]:
     """``n_workers`` subprocess agents (``python -m repro cluster worker``).
 
@@ -373,6 +387,10 @@ def local_worker_processes(
     :class:`repro.pipeline.runner.Runner` does for its process pool
     (``None`` leaves the runtimes at their defaults).  ``peer=False``
     starts the agents with ``--no-peer-sync`` (pure hub topology).
+    ``trace`` forwards ``--trace PATH`` so every agent appends spans to
+    the same JSONL file as the coordinator (line-atomic appends; the
+    exporter separates processes by pid) — this is how a single
+    ``repro cluster sweep --trace`` yields one merged fleet trace.
     """
     target = format_address(parse_address(address))
     command = [
@@ -390,6 +408,10 @@ def local_worker_processes(
         command += ["--cache-dir", str(cache_dir)]
     if not peer:
         command.append("--no-peer-sync")
+    if trace:
+        command += ["--trace", str(trace)]
+    if log_level:
+        command += ["--log-level", str(log_level)]
     env = _worker_env(threads_per_worker)
     # stdout is silenced (the agent prints a summary line that would
     # corrupt --json output); stderr is inherited so a worker that dies
@@ -415,12 +437,15 @@ def local_worker_processes(
                 proc.kill()
                 proc.wait(timeout=5.0)
         if crashed:
-            print(
-                f"warning: {len(crashed)}/{len(workers)} cluster worker "
-                f"subprocess(es) exited abnormally (codes "
-                f"{[p.returncode for p in crashed]}) before teardown — "
-                "see their stderr above",
-                file=sys.stderr,
+            # WARNING-level records reach stderr even unconfigured
+            # (logging's last-resort handler), so this diagnostic stays
+            # visible without a print() that --json callers would see.
+            LOG.warning(
+                "%d/%d cluster worker subprocess(es) exited abnormally "
+                "(codes %s) before teardown — see their stderr above",
+                len(crashed),
+                len(workers),
+                [p.returncode for p in crashed],
             )
 
 

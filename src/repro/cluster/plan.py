@@ -60,6 +60,9 @@ from repro.cluster.journal import SweepJournal
 from repro.pipeline.runner import sweep_grid
 from repro.pipeline.stages import default_stages
 from repro.pipeline.store import ArtifactStore, fingerprint
+from repro.telemetry import get_logger, get_metrics
+
+LOG = get_logger(__name__)
 
 
 @dataclass
@@ -217,6 +220,15 @@ class SweepPlan:
             "replayed_done": self.replayed_done,
             "grid_points": len(self.configs),
         })
+        LOG.info(
+            "sweep plan built",
+            extra={
+                "plan_id": self.plan_id[:16],
+                "jobs": len(self.jobs),
+                "replayed_done": self.replayed_done,
+                "grid_points": len(self.configs),
+            },
+        )
 
     # ------------------------------------------------------------------
     # Construction.
@@ -419,6 +431,11 @@ class SweepPlan:
                 "job": job.job_id,
                 "failure": self.failure,
             })
+            get_metrics().counter("plan.failures").inc()
+            LOG.error(
+                "plan failed",
+                extra={"job": job.short_id, "reason": reason},
+            )
         else:
             job.state = "pending"
             self._journal_event({
@@ -427,6 +444,11 @@ class SweepPlan:
                 "worker": worker,
                 "reason": reason,
             })
+            get_metrics().counter("plan.requeues").inc()
+            LOG.warning(
+                "job requeued",
+                extra={"job": job.short_id, "worker": worker, "reason": reason},
+            )
 
     def expire_leases(self) -> List[str]:
         """Requeue every lease past its deadline; returns the job ids."""
@@ -491,6 +513,7 @@ class SweepPlan:
                 "worker": worker,
                 "attempt": best.attempts,
             })
+            get_metrics().counter("plan.leases").inc()
             return best
 
     def heartbeat(self, worker: str, job_id: str) -> bool:
@@ -561,6 +584,7 @@ class SweepPlan:
                 "worker": worker,
                 "stats": job.stats,
             })
+            get_metrics().counter("plan.completions").inc()
             return True
 
     def fail(self, worker: str, job_id: str, error: str) -> None:

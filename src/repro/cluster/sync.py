@@ -44,6 +44,9 @@ from repro.cluster.protocol import (
     encode_blob,
 )
 from repro.pipeline.store import MISS, ArtifactStore
+from repro.telemetry import get_logger, get_metrics
+
+LOG = get_logger(__name__)
 
 Key = Tuple[str, str]  # (stage name, fingerprint)
 
@@ -209,6 +212,11 @@ class ArtifactSync:
                 if attempt + 1 >= self.max_attempts:
                     raise
                 self.retries += 1
+                get_metrics().counter("sync.retries").inc()
+                LOG.warning(
+                    "hub round trip retrying after transport error",
+                    extra={"sync_op": payload.get("op"), "attempt": attempt + 1},
+                )
                 time.sleep(self.backoff_s * (2.0 ** attempt) * _backoff_jitter())
         raise AssertionError("unreachable")  # pragma: no cover
 
@@ -275,9 +283,14 @@ class ArtifactSync:
                     reply.get("blob_wire_bytes", len(blob))
                 )
                 self.pulled_bytes_peer += len(blob)
+                metrics = get_metrics()
+                metrics.counter("sync.pulled").inc()
+                metrics.counter("sync.pulled_bytes").inc(len(blob))
+                metrics.counter("sync.pulled_bytes_peer").inc(len(blob))
                 return True
             if candidates:
                 self.peer_fallbacks += 1
+                get_metrics().counter("sync.peer_fallbacks").inc()
             payload: Dict[str, Any] = {"op": "get", "stage": stage, "digest": digest}
             if self.compress:
                 payload["accept"] = self._accept()
@@ -289,6 +302,10 @@ class ArtifactSync:
             self.pulled_bytes += len(blob)
             self.pulled_wire_bytes += int(reply.get("blob_wire_bytes", len(blob)))
             self.pulled_bytes_hub += len(blob)
+            metrics = get_metrics()
+            metrics.counter("sync.pulled").inc()
+            metrics.counter("sync.pulled_bytes").inc(len(blob))
+            metrics.counter("sync.pulled_bytes_hub").inc(len(blob))
             return True
         finally:
             self.seconds += time.perf_counter() - started
@@ -313,6 +330,9 @@ class ArtifactSync:
             self.pushed += 1
             self.pushed_bytes += len(blob)
             self.pushed_wire_bytes += len(wire_blob)
+            metrics = get_metrics()
+            metrics.counter("sync.pushed").inc()
+            metrics.counter("sync.pushed_bytes").inc(len(blob))
             return True
         finally:
             self.seconds += time.perf_counter() - started

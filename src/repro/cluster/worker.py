@@ -55,6 +55,15 @@ from repro.cluster.sync import ArtifactSync
 from repro.core.config import SparkXDConfig
 from repro.pipeline.stages import ExperimentPipeline, default_stage_classes
 from repro.pipeline.store import MISS, ArtifactStore
+from repro.telemetry import (
+    adopt_context,
+    get_logger,
+    get_metrics,
+    span,
+    telemetry_snapshot,
+)
+
+LOG = get_logger(__name__)
 
 
 def default_worker_name() -> str:
@@ -133,7 +142,16 @@ class _LeaseHeartbeat:
         while not self._stop.wait(self._interval):
             try:
                 reply, _ = self._client.request(
-                    {"op": "heartbeat", "worker": self._worker, "job_id": self._job_id}
+                    {
+                        "op": "heartbeat",
+                        "worker": self._worker,
+                        "job_id": self._job_id,
+                        # Periodic beats are the natural piggyback for
+                        # the cumulative metrics snapshot: the
+                        # coordinator's fleet view stays fresh while a
+                        # long job runs, at zero extra round trips.
+                        "telemetry": telemetry_snapshot(),
+                    }
                 )
                 if not reply.get("ok", False):
                     # Lease revoked (expiry raced us).  Keep computing:
@@ -344,6 +362,9 @@ class WorkerAgent:
         request: Dict[str, Any] = {"op": "hello", "worker": self.name}
         if self._peer_server is not None:
             request["peer_port"] = self._peer_server.port
+        # Optional field: a coordinator that predates telemetry drops
+        # the unknown key; the handshake itself is unchanged.
+        request["telemetry"] = telemetry_snapshot()
         try:
             reply, _ = self.client.request(request)
         except (OSError, ProtocolError):
@@ -381,6 +402,7 @@ class WorkerAgent:
             request: Dict[str, Any] = {"op": "lease", "worker": self.name}
             if self._holding and not self._holding_reported:
                 request["holding"] = sorted(list(key) for key in self._holding)
+            request["telemetry"] = telemetry_snapshot()
             try:
                 reply, _ = self.client.request(request)
             except (OSError, ProtocolError) as error:
@@ -410,12 +432,17 @@ class WorkerAgent:
             if job is None:
                 self._stop.wait(float(reply.get("wait", self.retry_s)))
                 continue
-            self._execute(job, sources=reply.get("sources"))
+            self._execute(
+                job, sources=reply.get("sources"), trace=reply.get("trace")
+            )
         return self.stats
 
     # ------------------------------------------------------------------
     def _execute(
-        self, job: Dict[str, Any], sources: Optional[Any] = None
+        self,
+        job: Dict[str, Any],
+        sources: Optional[Any] = None,
+        trace: Optional[Dict[str, str]] = None,
     ) -> None:
         job_id = str(job["job_id"])
         depth = int(job["depth"])
@@ -438,7 +465,12 @@ class WorkerAgent:
             # job that is making perfectly healthy progress.
             with _LeaseHeartbeat(
                 self.client, self.name, job_id, lease_s / 3.0
-            ) as heartbeat:
+            ) as heartbeat, adopt_context(trace), span(
+                "cluster.job",
+                job=str(job.get("display_id", job_id)),
+                stage=str(job.get("stage", "")),
+                worker=self.name,
+            ):
                 # Upstream artifacts first: everything the chain prefix
                 # could restore instead of recompute.  Anything the
                 # coordinator is also missing (partial eviction) is
@@ -454,8 +486,13 @@ class WorkerAgent:
                 )
         except Exception as error:  # report and move on to the next lease
             self.stats.jobs_failed += 1
+            get_metrics().counter("worker.jobs_failed").inc()
             message = f"{type(error).__name__}: {error}"
             self.stats.errors.append(f"{job_id}: {message}")
+            LOG.warning(
+                "job failed",
+                extra={"job_id": job_id, "worker": self.name, "reason": message},
+            )
             try:
                 self.client.request(
                     {
@@ -491,6 +528,7 @@ class WorkerAgent:
         if len(self._holding) != before:
             self._holding_reported = False
         self.stats.jobs_done += 1
+        get_metrics().counter("worker.jobs_done").inc()
         self.stats.artifacts_pulled += sync.pulled
         self.stats.artifacts_pushed += sync.pushed
         self.stats.bytes_pulled += sync.pulled_bytes
@@ -510,6 +548,7 @@ class WorkerAgent:
                     "worker": self.name,
                     "job_id": job_id,
                     "stats": stats,
+                    "telemetry": telemetry_snapshot(),
                 }
             )
         except (OSError, ProtocolError) as error:

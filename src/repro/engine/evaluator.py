@@ -30,6 +30,7 @@ arbitrarily large evaluation sets stream through fixed-size chunks
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Union
 
 import numpy as np
@@ -37,6 +38,7 @@ import numpy as np
 from repro.engine.chunking import ChunkPolicy
 from repro.engine.encoding import Encoder, encode_spike_trains
 from repro.snn.network import DiehlCookNetwork, NetworkParameters
+from repro.telemetry import get_metrics, span
 
 #: Valid values of the engine switch (``SparkXDConfig.engine``).
 ENGINES = ("batched", "sequential")
@@ -190,21 +192,30 @@ class BatchedEvaluator:
             n_real, n_steps, p.n_input, p.n_neurons
         )
         installed = False
+        chunk_hist = get_metrics().histogram("engine.eval_chunk_s")
         for window in self.chunk_policy.iter_chunks(n_samples, chunk):
-            trains = encode_spike_trains(
-                images[window], n_steps, rng, encoder=encoder
-            )
-            if self.engine == "batched":
-                counts = self._batched_counts(
-                    trains, weights, stacked, installed, base_weights
+            chunk_t0 = time.perf_counter()
+            with span(
+                "eval.chunk",
+                engine=self.engine,
+                samples=window.stop - window.start,
+                realizations=n_real,
+            ):
+                trains = encode_spike_trains(
+                    images[window], n_steps, rng, encoder=encoder
                 )
-                installed = True
-            else:
-                # The sequential reference computes per-sample drives
-                # directly; base_weights is a batched-path optimization
-                # only (results are identical either way).
-                counts = self._sequential_counts(trains, weights, stacked)
-            out[..., window, :] = counts
+                if self.engine == "batched":
+                    counts = self._batched_counts(
+                        trains, weights, stacked, installed, base_weights
+                    )
+                    installed = True
+                else:
+                    # The sequential reference computes per-sample drives
+                    # directly; base_weights is a batched-path optimization
+                    # only (results are identical either way).
+                    counts = self._sequential_counts(trains, weights, stacked)
+                out[..., window, :] = counts
+            chunk_hist.observe(time.perf_counter() - chunk_t0)
         return out
 
     def accuracies(

@@ -69,6 +69,7 @@ config knob (see ``docs/training.md``).
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -80,6 +81,7 @@ from repro.snn.kernels import FusedWorkspace, resolve_kernel
 from repro.snn.network import DiehlCookNetwork, make_stdp
 from repro.snn.stdp import STDPParameters
 from repro.snn.training import apply_post_sample_update
+from repro.telemetry import get_metrics, span
 
 #: Valid values of the ``stage_encoding`` switch (config layer mirrors
 #: this tuple; see SparkXDConfig.stage_encoding).
@@ -226,25 +228,31 @@ class BatchedTrainer:
         rng = ensure_rng(rng)
         images = np.asarray(images)
         for epoch in range(epochs):
-            if encoding_cache is not None and encoding_cache.has_epoch(epoch):
-                for prepared in encoding_cache.minibatches(epoch):
-                    self.present_minibatch(None, n_steps, rng, prepared=prepared)
-                continue
-            order = rng.permutation(len(images))
-            if self.batch_size == 1:
-                for i in order:
-                    self.present_sample(images[i], n_steps, rng)
-            else:
-                recorded: Optional[List[EncodedMinibatch]] = (
-                    [] if encoding_cache is not None else None
-                )
-                for start in range(0, len(order), self.batch_size):
-                    batch = order[start : start + self.batch_size]
-                    prepared = self.present_minibatch(images[batch], n_steps, rng)
+            with span(
+                "train.epoch",
+                epoch=epoch,
+                batch_size=self.batch_size,
+                samples=len(images),
+            ):
+                if encoding_cache is not None and encoding_cache.has_epoch(epoch):
+                    for prepared in encoding_cache.minibatches(epoch):
+                        self.present_minibatch(None, n_steps, rng, prepared=prepared)
+                    continue
+                order = rng.permutation(len(images))
+                if self.batch_size == 1:
+                    for i in order:
+                        self.present_sample(images[i], n_steps, rng)
+                else:
+                    recorded: Optional[List[EncodedMinibatch]] = (
+                        [] if encoding_cache is not None else None
+                    )
+                    for start in range(0, len(order), self.batch_size):
+                        batch = order[start : start + self.batch_size]
+                        prepared = self.present_minibatch(images[batch], n_steps, rng)
+                        if recorded is not None:
+                            recorded.append(prepared)
                     if recorded is not None:
-                        recorded.append(prepared)
-                if recorded is not None:
-                    encoding_cache.record_epoch(epoch, recorded)
+                        encoding_cache.record_epoch(epoch, recorded)
 
     # ------------------------------------------------------------------
     def present_sample(
@@ -314,6 +322,7 @@ class BatchedTrainer:
         ).copy()
         shell.set_weights(read)
         delta = np.zeros_like(clean)
+        kernel_t0 = time.perf_counter()
         shell.run_batch_stdp(
             trains,
             stdp,
@@ -321,6 +330,9 @@ class BatchedTrainer:
             kernel=self.kernel,
             workspace=workspace,
             matrix=prepared.matrix,
+        )
+        get_metrics().histogram("engine.kernel_step_s").observe(
+            time.perf_counter() - kernel_t0
         )
         # Homeostasis: every lane's theta advanced independently from
         # theta0; the stored thresholds take the summed increments, the

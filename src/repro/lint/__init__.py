@@ -4,8 +4,10 @@ The repo's correctness rests on conventions no general-purpose tool
 knows about: stage ``fields`` tuples must cover every config read
 (cache soundness), randomness must flow through seeded generators
 (bit-exact reproduction), ``self._lock``-guarded state must stay
-guarded (the threaded coordinator), and both ends of the cluster wire
-protocol must agree on the ``op`` vocabulary.  Each is a
+guarded (the threaded coordinator), both ends of the cluster wire
+protocol must agree on the ``op`` vocabulary, fused simulation loops
+must stay allocation-free, and diagnostics must flow through the
+structured telemetry loggers rather than ``print``.  Each is a
 project-specific static pass here — run them all with ``repro lint``
 (see ``docs/lint.md``).
 
@@ -30,6 +32,7 @@ from repro.lint.findings import (
 )
 from repro.lint.fingerprint import FingerprintCompletenessChecker
 from repro.lint.locks import LockDisciplineChecker
+from repro.lint.logdiscipline import LogDisciplineChecker
 from repro.lint.rng import RngDisciplineChecker
 from repro.lint.runner import LintReport, REPORT_VERSION, default_checkers, run_lint
 from repro.lint.wire import ProtocolConsistencyChecker
@@ -43,6 +46,7 @@ __all__ = [
     "GATING_SEVERITIES",
     "LintReport",
     "LockDisciplineChecker",
+    "LogDisciplineChecker",
     "ParseFailure",
     "ProtocolConsistencyChecker",
     "REPORT_VERSION",

@@ -1,0 +1,106 @@
+"""log-discipline: diagnostics flow through structured telemetry loggers.
+
+Library code reports through ``repro.telemetry.get_logger(__name__)``
+so every diagnostic is a structured JSON line on stderr, carries its
+trace id, and obeys one ``--log-level`` switch.  A bare ``print(...)``
+sidesteps all of that — and worse, lands on stdout, which the CLI
+reserves for user-facing output and ``--json`` payloads that must stay
+machine-parseable.  This rule flags:
+
+- ``print(...)`` calls anywhere except the user-facing surfaces: CLI
+  modules (``cli.py`` / ``__main__.py``) and ``benchmarks``/
+  ``examples`` trees, whose stdout *is* the product;
+- ``logging.getLogger()`` (or an imported ``getLogger()``) with **no
+  arguments** — the anonymous root logger escapes the ``repro``
+  hierarchy that :func:`repro.telemetry.configure_telemetry` manages;
+  pass the module name (``get_logger(__name__)``).
+
+A deliberate print (e.g. a ``__main__`` smoke block) can be annotated
+``# lint: disable=log-discipline``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+from typing import Iterator, Set
+
+from repro.lint.base import Checker, SourceModule, attribute_chain, enclosing_symbols
+from repro.lint.findings import Finding
+
+#: Module basenames whose stdout is the user interface.
+_EXEMPT_BASENAMES = {"cli.py", "__main__.py"}
+
+#: Directory names whose whole trees print by design.
+_EXEMPT_DIRS = {"benchmarks", "examples"}
+
+
+def _is_exempt(relpath: str) -> bool:
+    parts = PurePosixPath(relpath).parts
+    if parts and parts[-1] in _EXEMPT_BASENAMES:
+        return True
+    return any(part in _EXEMPT_DIRS for part in parts[:-1])
+
+
+def _getlogger_aliases(tree: ast.Module) -> Set[str]:
+    """Local names bound to ``logging.getLogger`` via from-imports."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.ImportFrom)
+            and node.level == 0
+            and node.module == "logging"
+        ):
+            for item in node.names:
+                if item.name == "getLogger":
+                    aliases.add(item.asname or item.name)
+    return aliases
+
+
+class LogDisciplineChecker(Checker):
+    rule = "log-discipline"
+    description = (
+        "diagnostics go through repro.telemetry loggers — no print() "
+        "outside CLI/benchmark surfaces, no anonymous getLogger()"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        if _is_exempt(module.relpath):
+            return
+        aliases = _getlogger_aliases(module.tree)
+        symbols = enclosing_symbols(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            message = self._classify(node, aliases)
+            if message is not None:
+                yield Finding(
+                    rule=self.rule,
+                    severity="warning",
+                    path=module.relpath,
+                    line=node.lineno,
+                    symbol=symbols.get(node, ""),
+                    message=message,
+                )
+
+    # ------------------------------------------------------------------
+    def _classify(self, call: ast.Call, aliases: Set[str]):
+        if isinstance(call.func, ast.Name) and call.func.id == "print":
+            return (
+                "print() bypasses structured logging (and stdout belongs "
+                "to the CLI); use repro.telemetry.get_logger(__name__)"
+            )
+        chain = attribute_chain(call.func)
+        is_naked_getlogger = chain == "logging.getLogger" or (
+            isinstance(call.func, ast.Name) and call.func.id in aliases
+        )
+        if is_naked_getlogger and not call.args and not call.keywords:
+            return (
+                "getLogger() without a name returns the anonymous root "
+                "logger, outside the 'repro' hierarchy configure_telemetry "
+                "manages; pass the module name (get_logger(__name__))"
+            )
+        return None
+
+
+__all__ = ["LogDisciplineChecker"]

@@ -15,6 +15,7 @@ from repro.lint.base import (
 from repro.lint.findings import Baseline, Finding, is_suppressed
 from repro.lint.fingerprint import FingerprintCompletenessChecker
 from repro.lint.locks import LockDisciplineChecker
+from repro.lint.logdiscipline import LogDisciplineChecker
 from repro.lint.rng import RngDisciplineChecker
 from repro.lint.wire import ProtocolConsistencyChecker
 from repro.lint.workspace import WorkspaceDisciplineChecker
@@ -24,13 +25,14 @@ REPORT_VERSION = 1
 
 
 def default_checkers() -> Tuple[Checker, ...]:
-    """The five project invariant checkers, in reporting order."""
+    """The six project invariant checkers, in reporting order."""
     return (
         FingerprintCompletenessChecker(),
         RngDisciplineChecker(),
         LockDisciplineChecker(),
         ProtocolConsistencyChecker(),
         WorkspaceDisciplineChecker(),
+        LogDisciplineChecker(),
     )
 
 

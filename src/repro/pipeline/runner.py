@@ -51,6 +51,9 @@ from repro.pipeline.stages import (
     default_stage_classes,
 )
 from repro.pipeline.store import MISS, ArtifactStore, canonical_form, config_fingerprint
+from repro.telemetry import get_logger, span
+
+LOG = get_logger(__name__)
 
 
 def sweep_grid(axes: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
@@ -436,7 +439,8 @@ class Runner:
             started = time.perf_counter()
             before = self.store.stats.snapshot()
             pipeline = ExperimentPipeline(config, store=self.store)
-            result = pipeline.run()
+            with span("sweep.point", params=dict(params)):
+                result = pipeline.run()
             after = self.store.stats
             records.append(
                 RunRecord.from_result(
@@ -480,6 +484,10 @@ class Runner:
                         jobs[digest] = config
                 if not jobs:
                     continue
+                LOG.info(
+                    "prefill wave",
+                    extra={"stage": stage.name, "unique_jobs": len(jobs)},
+                )
                 preloads = []
                 for config in jobs.values():
                     entries = []

@@ -24,7 +24,6 @@ monolithic ``SparkXD.run()``.
 from __future__ import annotations
 
 import abc
-import time
 from functools import cached_property
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -48,6 +47,7 @@ from repro.pipeline.store import MISS, ArtifactStore, config_fingerprint
 from repro.registry import Registry
 from repro.rng import restored_rng
 from repro.snn.quantization import make_representation
+from repro.telemetry import timed_span
 
 # ----------------------------------------------------------------------
 # Config-field groups, cumulative along the stage chain.
@@ -295,7 +295,10 @@ class ExperimentPipeline:
         self.store = store if store is not None else ArtifactStore()
         #: Wall-clock seconds per *executed* stage of the latest
         #: :meth:`run_stages` call (cache hits don't appear: restoring
-        #: an artifact costs no stage time worth recording).
+        #: an artifact costs no stage time worth recording).  Backed by
+        #: the telemetry stage spans: each value is the ``duration_s``
+        #: of the ``stage.<name>`` span around the same ``run()`` call,
+        #: i.e. the same ``perf_counter()`` delta as before telemetry.
         self.stage_timings: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
@@ -318,9 +321,9 @@ class ExperimentPipeline:
                 )
             if context is None:
                 context = StageContext(self.config)
-            started = time.perf_counter()
-            artifact = stage.run(context, artifacts)
-            self.stage_timings[stage.name] = time.perf_counter() - started
+            with timed_span(f"stage.{stage.name}", fingerprint=digest) as stage_span:
+                artifact = stage.run(context, artifacts)
+            self.stage_timings[stage.name] = stage_span.duration_s
             self.store.put(stage.name, digest, artifact)
             artifacts[stage.provides] = artifact
         return artifacts

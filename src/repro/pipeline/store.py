@@ -33,6 +33,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence, Set, Tuple, Union
 
+from repro.telemetry import get_logger, get_metrics
+
+LOG = get_logger(__name__)
+
 #: Sentinel distinguishing "no cached artifact" from a cached ``None``.
 MISS = object()
 
@@ -159,6 +163,7 @@ class ArtifactStore:
             else:
                 served_from_memory = False
         if served_from_memory:
+            get_metrics().counter("store.hits").inc()
             if self.root is not None:
                 # Keep prune()'s LRU ranking honest for artifacts served
                 # from memory: their disk twin is still "in use".
@@ -180,9 +185,11 @@ class ArtifactStore:
                 with self._lock:
                     self._memory[key] = artifact
                     self.stats.hits += 1
+                get_metrics().counter("store.hits").inc()
                 return artifact
         with self._lock:
             self.stats.misses += 1
+        get_metrics().counter("store.misses").inc()
         return MISS
 
     def put(self, stage: str, digest: str, artifact: Any) -> None:
@@ -190,6 +197,7 @@ class ArtifactStore:
         with self._lock:
             self._memory[key] = artifact
             self.stats.puts += 1
+        get_metrics().counter("store.puts").inc()
         if self.root is not None:
             self._publish(
                 key, lambda: pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
@@ -211,6 +219,7 @@ class ArtifactStore:
             return
         with self._lock:
             self.stats.puts += 1
+        get_metrics().counter("store.puts").inc()
         self._publish((stage, digest), lambda: blob)
 
     def _publish(self, key: Tuple[str, str], make_blob) -> None:
@@ -282,6 +291,15 @@ class ArtifactStore:
             removed += 1
             freed += size
             total -= size
+        LOG.info(
+            "store prune",
+            extra={
+                "removed_files": removed,
+                "freed_bytes": freed,
+                "kept_bytes": total,
+                "dry_run": dry_run,
+            },
+        )
         return PruneReport(
             removed_files=removed,
             freed_bytes=freed,

@@ -41,6 +41,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.telemetry import get_metrics
+
 try:  # optional accelerator; the numpy kernel is always available.
     import numba as _numba
 except ImportError:  # pragma: no cover - exercised on numba-less hosts
@@ -74,13 +76,16 @@ def resolve_kernel(kernel: str) -> str:
             f"unknown kernel {kernel!r}; choose from {list(KERNEL_CHOICES)}"
         )
     if kernel == "auto":
-        return default_kernel()
-    if kernel == "numba" and not HAVE_NUMBA:
+        resolved = default_kernel()
+    elif kernel == "numba" and not HAVE_NUMBA:
         raise RuntimeError(
             "kernel='numba' requested but numba is not installed; "
             "use kernel='auto' to fall back to the numpy kernel"
         )
-    return kernel
+    else:
+        resolved = kernel
+    get_metrics().counter(f"kernels.resolved.{resolved}").inc()
+    return resolved
 
 
 class FusedWorkspace:

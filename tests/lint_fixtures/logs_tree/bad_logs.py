@@ -1,0 +1,17 @@
+"""Deliberate log-discipline violations (parsed by the linter, never run)."""
+
+import logging
+from logging import getLogger
+
+LOG = logging.getLogger(__name__)  # named: clean
+ROOT = logging.getLogger()  # line 7: naked root logger
+ALIASED = getLogger()  # line 8: naked via from-import
+
+
+def diagnose(value):
+    print("value is", value)  # line 12: print diagnostic
+    LOG.info("value", extra={"value": value})  # structured: clean
+
+
+def deliberate():
+    print("chosen on purpose")  # lint: disable=log-discipline

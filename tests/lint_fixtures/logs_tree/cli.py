@@ -1,0 +1,5 @@
+"""CLI surface: stdout is the product, so print() is exempt here."""
+
+
+def show(records):
+    print(len(records), "record(s)")

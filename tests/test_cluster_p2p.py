@@ -432,6 +432,101 @@ class TestGzipWire:
 
 
 # ----------------------------------------------------------------------
+class TestTelemetryWireCompat:
+    """The optional ``telemetry``/``trace`` fields degrade exactly like
+    the gzip caps handshake: either side may predate them and the
+    protocol still interoperates (``.get()`` on receive, unknown keys
+    ignored on reply)."""
+
+    @staticmethod
+    def _server():
+        store = ArtifactStore()
+        plan = SweepPlan(TINY, GRID, store, lease_timeout=10.0)
+        return CoordinatorServer(plan, store, port=0)
+
+    def test_old_worker_without_telemetry_field_interoperates(self):
+        server = self._server()
+        try:
+            reply, _, _ = server._dispatch({"op": "hello", "worker": "old"}, None)
+            assert reply["ok"] and "caps" in reply
+            reply, _, _ = server._dispatch({"op": "lease", "worker": "old"}, None)
+            assert "job" in reply
+            # No sweep span installed on this server: no trace key, so
+            # a pre-telemetry worker never sees the field at all.
+            assert "trace" not in reply
+            job_id = reply["job"]["job_id"]
+            reply, _, _ = server._dispatch(
+                {"op": "heartbeat", "worker": "old", "job_id": job_id}, None
+            )
+            assert reply["ok"]
+            status, _, _ = server._dispatch({"op": "status"}, None)
+            # The worker is live yet absent from the telemetry view —
+            # it simply never reported a snapshot.
+            assert "old" in status["workers"]
+            assert "old" not in status["telemetry"]["workers"]
+        finally:
+            server._server.server_close()
+
+    def test_worker_snapshots_aggregate_latest_wins(self):
+        server = self._server()
+        try:
+            snap = {"metrics": {"counters": {"compat.test.jobs": 1}},
+                    "open_spans": [{"name": "cluster.job", "age_s": 0.5}]}
+            server._dispatch(
+                {"op": "hello", "worker": "w1", "telemetry": snap}, None
+            )
+            later = {"metrics": {"counters": {"compat.test.jobs": 3}},
+                     "open_spans": []}
+            server._dispatch(
+                {"op": "lease", "worker": "w1", "telemetry": later}, None
+            )
+            status, _, _ = server._dispatch({"op": "status"}, None)
+            view = status["telemetry"]
+            # Snapshots are cumulative: the latest replaces, never adds.
+            assert (
+                view["workers"]["w1"]["metrics"]["counters"]["compat.test.jobs"]
+                == 3
+            )
+            assert view["fleet"]["counters"]["compat.test.jobs"] == 3
+        finally:
+            server._server.server_close()
+
+    def test_malformed_telemetry_field_is_ignored(self):
+        server = self._server()
+        try:
+            reply, _, _ = server._dispatch(
+                {"op": "hello", "worker": "odd", "telemetry": "garbage"}, None
+            )
+            assert reply["ok"]
+            status, _, _ = server._dispatch({"op": "status"}, None)
+            assert "odd" not in status["telemetry"]["workers"]
+        finally:
+            server._server.server_close()
+
+    def test_lease_carries_trace_only_when_context_set(self):
+        server = self._server()
+        try:
+            server.trace_context = {"trace_id": "t" * 16, "span_id": "s" * 16}
+            reply, _, _ = server._dispatch({"op": "lease", "worker": "w"}, None)
+            assert reply["trace"] == {
+                "trace_id": "t" * 16, "span_id": "s" * 16,
+            }
+        finally:
+            server._server.server_close()
+
+    def test_new_worker_against_old_style_replies(self):
+        """A telemetry-aware worker adopts ``None`` trace context (old
+        coordinators send no ``trace`` key) without starting a trace."""
+        from repro.telemetry import adopt_context, current_context, span
+
+        with adopt_context(None):
+            assert current_context() is None
+            with span("cluster.job"):  # tracing off: shared no-op
+                pass
+        assert current_context() is None
+
+
+# ----------------------------------------------------------------------
 class TestJournalCompaction:
     def _chattery_journal(self, path):
         journal = SweepJournal(path)

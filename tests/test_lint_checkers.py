@@ -11,6 +11,7 @@ import pytest
 from repro.lint import (
     FingerprintCompletenessChecker,
     LockDisciplineChecker,
+    LogDisciplineChecker,
     ProtocolConsistencyChecker,
     RngDisciplineChecker,
     WorkspaceDisciplineChecker,
@@ -157,6 +158,52 @@ class TestWorkspaceDiscipline:
             "np.zeros_like()" in f.message
             and "_run_batch_stdp_fused" in f.symbol
             for f in report.findings
+        ), [f.format() for f in report.findings]
+
+
+class TestLogDiscipline:
+    def test_fixture_violations(self):
+        report = run_lint(
+            FIXTURES / "logs_tree", checkers=[LogDisciplineChecker()]
+        )
+        assert [f.severity for f in report.findings] == ["warning"] * 3
+        assert all(f.path == "bad_logs.py" for f in report.findings)
+        messages = "\n".join(f.message for f in report.findings)
+        assert "print() bypasses structured logging" in messages
+        assert "getLogger() without a name" in messages
+        # Both the attribute and the from-import spellings are caught.
+        assert {f.line for f in report.findings} == {7, 8, 12}
+
+    def test_cli_and_benchmark_surfaces_exempt(self):
+        report = run_lint(
+            FIXTURES / "logs_tree", checkers=[LogDisciplineChecker()]
+        )
+        paths = {f.path for f in report.findings}
+        assert "cli.py" not in paths
+        assert "benchmarks/bench_demo.py" not in paths
+
+    def test_named_logger_and_suppression_clean(self):
+        report = run_lint(
+            FIXTURES / "logs_tree", checkers=[LogDisciplineChecker()]
+        )
+        # logging.getLogger(__name__) on line 6 is the sanctioned form.
+        assert all(f.line != 6 for f in report.findings)
+        # The annotated print in deliberate() is suppressed, not reported.
+        assert report.suppressed == 1
+        assert all(f.symbol != "deliberate" for f in report.findings)
+
+    def test_injected_print_in_real_module_is_caught(self, tmp_path):
+        """A print() slipped into the worker agent trips lint."""
+        worker_src = (SRC_ROOT / "cluster" / "worker.py").read_text()
+        needle = "class WorkerAgent"
+        assert needle in worker_src
+        mutated = worker_src.replace(
+            needle, 'print("debug leftover")\n\n\n' + needle, 1
+        )
+        (tmp_path / "worker.py").write_text(mutated)
+        report = run_lint(tmp_path, checkers=[LogDisciplineChecker()])
+        assert any(
+            "print() bypasses" in f.message for f in report.findings
         ), [f.format() for f in report.findings]
 
 

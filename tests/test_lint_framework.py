@@ -132,13 +132,14 @@ class TestRunLint:
         assert rerun.ok
         assert len(rerun.findings) == len(report.findings)
 
-    def test_default_checkers_cover_all_five_rules(self):
+    def test_default_checkers_cover_all_six_rules(self):
         assert tuple(c.rule for c in default_checkers()) == (
             "fingerprint-completeness",
             "rng-discipline",
             "lock-discipline",
             "protocol-consistency",
             "workspace-discipline",
+            "log-discipline",
         )
 
 
