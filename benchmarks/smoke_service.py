@@ -1,0 +1,296 @@
+#!/usr/bin/env python
+"""Experiment-service smoke: multi-tenant sweeps through the real CLI.
+
+One ``repro cluster serve`` process hosts two overlapping sweeps
+submitted by two separate ``repro cluster submit --wait`` client
+processes over a shared 2-worker fleet, with token auth on. Contracts:
+
+1. **Value identity** — both result sets are value-identical to the
+   serial in-process Runner on the same grids (the acceptance bar of
+   docs/cluster.md, now per tenant).
+2. **Cancel is surgical** — a third sweep is cancelled mid-lease; its
+   leases are freed, and the first two sweeps' results stay intact and
+   fetchable afterwards.
+3. **Auth is loud** — an unauthenticated submit (HTTP plane) and an
+   unauthenticated status probe (line plane) both exit non-zero.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_service.py
+
+Exits non-zero on the first violated contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+TOKEN = "smoke-service-token"
+
+CONFIG_ARGS = [
+    "--neurons", "12", "--train", "40", "--test", "25", "--steps", "30",
+    "--bound", "0.5",
+]
+SWEEP_A = ["--voltages", "1.325", "1.025"]
+SWEEP_B = ["--voltages", "1.125"]
+#: The cancel victim retrains (seed axis) at the full default workload
+#: (no CONFIG_ARGS shrinkage), so its jobs hold leases for whole
+#: training stages — a wide window to cancel into.  It never runs to
+#: completion, so its size costs only the lease-to-cancel latency.
+SWEEP_C = ["--seeds", "7", "8"]
+
+
+def check(condition: bool, label: str) -> None:
+    if not condition:
+        print(f"FAIL: {label}", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {label}")
+
+
+def env_with_token(token: str = TOKEN) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    env["PYTHONUNBUFFERED"] = "1"  # serve's banner must reach the pipe
+    env["REPRO_CLUSTER_TOKEN"] = token
+    return env
+
+
+def cli(*args: str) -> list:
+    return [sys.executable, "-m", "repro", *args]
+
+
+def serial_reference(grid_args: list) -> list:
+    result = subprocess.run(
+        cli("sweep", *CONFIG_ARGS, *grid_args, "--json"),
+        env=env_with_token(), capture_output=True, text=True, timeout=600,
+    )
+    check(result.returncode == 0, f"serial reference sweep {grid_args}")
+    return json.loads(result.stdout)
+
+
+def value_dicts(records: list) -> list:
+    """Execution-independent record views (shared value-identity rule)."""
+    sys.path.insert(0, SRC)
+    from repro.analysis.export import run_record_value_dict
+    from repro.pipeline.runner import RunRecord
+
+    return [
+        run_record_value_dict(RunRecord.from_dict(entry)) for entry in records
+    ]
+
+
+def start_service(workdir: Path) -> tuple:
+    process = subprocess.Popen(
+        cli(
+            "cluster", "serve",
+            "--bind", "127.0.0.1:0", "--http-bind", "127.0.0.1:0",
+            "--cache-dir", str(workdir / "cache"),
+            "--journal-dir", str(workdir / "journals"),
+        ),
+        env=env_with_token(), stdout=subprocess.PIPE, text=True,
+    )
+    worker_addr = http_addr = None
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline and (not worker_addr or not http_addr):
+        line = process.stdout.readline()
+        if not line:
+            break
+        found = re.search(r"--coordinator (\S+)", line)
+        if found:
+            worker_addr = found.group(1)
+        found = re.search(r"--service (\S+)", line)
+        if found:
+            http_addr = found.group(1)
+    check(
+        bool(worker_addr and http_addr),
+        f"service announced both planes (workers={worker_addr}, "
+        f"control={http_addr})",
+    )
+    return process, worker_addr, http_addr
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", default=None,
+                        help="scratch directory (default: a TemporaryDirectory)")
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    context = None
+    if args.workdir:
+        workdir = Path(args.workdir)
+        workdir.mkdir(parents=True, exist_ok=True)
+    else:
+        context = tempfile.TemporaryDirectory()
+        workdir = Path(context.name)
+
+    serial_a = serial_reference(SWEEP_A)
+    serial_b = serial_reference(SWEEP_B)
+
+    service = None
+    workers = []
+    clients = []
+    try:
+        service, worker_addr, http_addr = start_service(workdir)
+        for index in range(2):
+            workers.append(subprocess.Popen(
+                cli(
+                    "cluster", "worker",
+                    "--coordinator", worker_addr,
+                    "--name", f"smoke-w{index}",
+                    "--max-idle-s", "600",
+                ),
+                env=env_with_token(),
+                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            ))
+
+        # Two tenants, two separate client processes, overlapping in time.
+        for name, grid_args in (("alpha", SWEEP_A), ("beta", SWEEP_B)):
+            clients.append((name, grid_args, subprocess.Popen(
+                cli(
+                    "cluster", "submit", "--service", http_addr,
+                    "--name", name, *CONFIG_ARGS, *grid_args,
+                    "--wait", "--wait-timeout", "600", "--json",
+                ),
+                env=env_with_token(),
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            )))
+        results = {}
+        for name, grid_args, client in clients:
+            stdout, stderr = client.communicate(timeout=700)
+            if client.returncode != 0:
+                print(stderr, file=sys.stderr)
+            check(client.returncode == 0, f"client {name} completed its sweep")
+            results[name] = json.loads(stdout)
+        check(
+            value_dicts(results["alpha"]) == value_dicts(serial_a),
+            "sweep alpha records value-identical to the serial Runner",
+        )
+        check(
+            value_dicts(results["beta"]) == value_dicts(serial_b),
+            "sweep beta records value-identical to the serial Runner",
+        )
+
+        # Third tenant: submit, wait for a live lease, cancel.
+        submitted = subprocess.run(
+            cli(
+                "cluster", "submit", "--service", http_addr,
+                "--name", "doomed", *SWEEP_C, "--json",
+            ),
+            env=env_with_token(), capture_output=True, text=True, timeout=120,
+        )
+        check(submitted.returncode == 0, "third sweep submitted")
+        doomed_id = json.loads(submitted.stdout)["sweep_id"]
+        leased = 0
+        deadline = time.monotonic() + 300
+        while time.monotonic() < deadline:
+            status = subprocess.run(
+                cli("cluster", "status", "--service", http_addr, "--json"),
+                env=env_with_token(), capture_output=True, text=True,
+                timeout=60,
+            )
+            check(status.returncode == 0, "status probe during third sweep")
+            view = json.loads(status.stdout)["sweeps"][doomed_id]
+            leased = view.get("leased", 0)
+            if leased >= 1:
+                break
+            time.sleep(0.5)
+        check(leased >= 1, f"third sweep reached a live lease ({leased})")
+        cancelled = subprocess.run(
+            cli(
+                "cluster", "cancel", doomed_id,
+                "--service", http_addr, "--json",
+            ),
+            env=env_with_token(), capture_output=True, text=True, timeout=60,
+        )
+        check(cancelled.returncode == 0, "cancel request accepted")
+        reply = json.loads(cancelled.stdout)
+        check(reply["state"] == "cancelled", "third sweep is cancelled")
+        check(
+            reply["leases_freed"] >= 1,
+            f"cancel freed its live lease(s) ({reply['leases_freed']})",
+        )
+
+        # The first two tenants are undisturbed: results still served,
+        # still identical.
+        for name, grid_args, _ in clients:
+            sweep_id = json.loads(subprocess.run(
+                cli("cluster", "status", "--service", http_addr, "--json"),
+                env=env_with_token(), capture_output=True, text=True,
+                timeout=60,
+            ).stdout)
+            survivors = [
+                sid for sid, view in sweep_id["sweeps"].items()
+                if view.get("name") == name
+            ]
+            check(len(survivors) == 1, f"sweep {name} still registered")
+            fetched = subprocess.run(
+                cli(
+                    "cluster", "results", survivors[0],
+                    "--service", http_addr, "--json",
+                ),
+                env=env_with_token(), capture_output=True, text=True,
+                timeout=120,
+            )
+            check(
+                fetched.returncode == 0,
+                f"sweep {name} results fetchable after the cancel",
+            )
+            reference = serial_a if name == "alpha" else serial_b
+            check(
+                value_dicts(json.loads(fetched.stdout))
+                == value_dicts(reference),
+                f"sweep {name} results unchanged after the cancel",
+            )
+
+        # Auth is loud on both planes: no token, no service.
+        naked = env_with_token(token="")
+        naked.pop("REPRO_CLUSTER_TOKEN", None)
+        unauthenticated_submit = subprocess.run(
+            cli(
+                "cluster", "submit", "--service", http_addr,
+                *CONFIG_ARGS, *SWEEP_B, "--json",
+            ),
+            env=naked, capture_output=True, text=True, timeout=60,
+        )
+        check(
+            unauthenticated_submit.returncode != 0
+            and "auth" in unauthenticated_submit.stderr.lower(),
+            "unauthenticated submit rejected on the HTTP plane",
+        )
+        unauthenticated_line = subprocess.run(
+            cli("cluster", "status", "--coordinator", worker_addr),
+            env=naked, capture_output=True, text=True, timeout=60,
+        )
+        check(
+            unauthenticated_line.returncode != 0
+            and "auth" in unauthenticated_line.stderr.lower(),
+            "unauthenticated status rejected on the line plane",
+        )
+    finally:
+        for process in [p for _, _, p in clients] + workers:
+            if process.poll() is None:
+                process.kill()
+        if service is not None and service.poll() is None:
+            service.terminate()
+            try:
+                service.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                service.kill()
+        if context is not None:
+            context.cleanup()
+    print("service smoke: all contracts hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

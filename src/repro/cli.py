@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -208,12 +209,99 @@ def _add_sweep_parser(subparsers) -> None:
     _add_telemetry_arguments(p)
 
 
+def _add_token_argument(p) -> None:
+    """The shared cluster secret, enforced on both protocol planes.
+
+    Defaults from ``$REPRO_CLUSTER_TOKEN`` so the secret never has to
+    appear in ``ps`` output; an explicit ``--token`` wins.
+    """
+    p.add_argument("--token", default=os.environ.get("REPRO_CLUSTER_TOKEN"),
+                   metavar="SECRET",
+                   help="shared cluster auth token (default: "
+                        "$REPRO_CLUSTER_TOKEN; unset = no auth)")
+
+
 def _add_cluster_parser(subparsers) -> None:
     p = subparsers.add_parser(
         "cluster",
         help="distribute sweeps across hosts (see docs/cluster.md)",
     )
     commands = p.add_subparsers(dest="cluster_command", required=True)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the always-on experiment service: worker plane + "
+             "HTTP/JSON control plane, multi-tenant sweeps on one store",
+    )
+    serve.add_argument("--bind", default="127.0.0.1:8752", metavar="HOST:PORT",
+                       help="worker line-protocol bind (port 0 = ephemeral)")
+    serve.add_argument("--http-bind", default=None, metavar="HOST:PORT",
+                       help="control-plane bind (default: the worker host "
+                            "on port 8753)")
+    serve.add_argument("--cache-dir", metavar="DIR",
+                       help="artifact-store directory shared by every sweep")
+    serve.add_argument("--journal-dir", metavar="DIR",
+                       help="directory for per-sweep journals "
+                            "(sweep-<id>.jsonl; resubmits resume them)")
+    serve.add_argument("--lease-s", type=float, default=30.0, metavar="S",
+                       help="job lease/heartbeat timeout in seconds")
+    serve.add_argument("--max-retries", type=int, default=3, metavar="N",
+                       help="lease grants per job before a sweep fails")
+    serve.add_argument("--compact-every", type=int, default=None, metavar="N",
+                       help="auto-compact each tenant journal after every "
+                            "N events (default: never)")
+    serve.add_argument("--no-affinity", dest="affinity", action="store_false",
+                       help="disable worker-affinity scheduling")
+    serve.add_argument("--no-peer-sync", dest="peer_sync",
+                       action="store_false",
+                       help="disable the peer-to-peer artifact fabric")
+    serve.add_argument("--shutdown-when-idle", action="store_true",
+                       help="tell workers to shut down once every submitted "
+                            "sweep has finished (single-shot lifecycle)")
+    _add_token_argument(serve)
+    _add_telemetry_arguments(serve)
+
+    submit = commands.add_parser(
+        "submit",
+        help="submit a sweep to a running experiment service",
+    )
+    _add_grid_arguments(submit)
+    submit.add_argument("--service", required=True, metavar="HOST:PORT",
+                        help="control-plane address of the service")
+    submit.add_argument("--name", default=None, metavar="NAME",
+                        help="human-readable sweep label")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the sweep finishes, then print "
+                             "its records")
+    submit.add_argument("--wait-timeout", type=float, default=None,
+                        metavar="S",
+                        help="with --wait: give up after S seconds")
+    _add_token_argument(submit)
+    _add_record_output_arguments(submit)
+    _add_telemetry_arguments(submit)
+
+    cancel = commands.add_parser(
+        "cancel",
+        help="cancel a sweep on a running service (frees its leases)",
+    )
+    cancel.add_argument("sweep_id", metavar="SWEEP_ID")
+    cancel.add_argument("--service", required=True, metavar="HOST:PORT",
+                        help="control-plane address of the service")
+    cancel.add_argument("--json", action="store_true",
+                        help="print the cancel reply as JSON")
+    _add_token_argument(cancel)
+    _add_telemetry_arguments(cancel)
+
+    results = commands.add_parser(
+        "results",
+        help="fetch a finished sweep's records from a running service",
+    )
+    results.add_argument("sweep_id", metavar="SWEEP_ID")
+    results.add_argument("--service", required=True, metavar="HOST:PORT",
+                         help="control-plane address of the service")
+    _add_token_argument(results)
+    _add_record_output_arguments(results)
+    _add_telemetry_arguments(results)
 
     coord = commands.add_parser(
         "coordinator",
@@ -258,27 +346,34 @@ def _add_cluster_parser(subparsers) -> None:
                              "(default: ephemeral)")
     worker.add_argument("--json", action="store_true",
                         help="print the worker's lifetime stats as JSON")
+    _add_token_argument(worker)
     _add_telemetry_arguments(worker)
 
     status = commands.add_parser(
         "status",
-        help="query a running coordinator: job-state counts + worker ages",
+        help="query a running coordinator or service: job-state counts, "
+             "worker ages, per-sweep journal lag",
     )
-    status.add_argument("--coordinator", required=True, metavar="HOST:PORT",
-                        help="coordinator address to query")
+    status.add_argument("--coordinator", default=None, metavar="HOST:PORT",
+                        help="coordinator address to query (line protocol)")
+    status.add_argument("--service", default=None, metavar="HOST:PORT",
+                        help="experiment-service control-plane address to "
+                             "query over HTTP instead of --coordinator")
     status.add_argument("--timeout", type=float, default=10.0, metavar="S",
                         help="connection timeout in seconds")
     status.add_argument("--json", action="store_true",
                         help="print the raw status reply as JSON")
+    _add_token_argument(status)
     _add_telemetry_arguments(status)
 
     top = commands.add_parser(
         "top",
         help="live fleet view: per-worker throughput, transfer bytes, "
-             "retries and the slowest open spans",
+             "retries, per-sweep tenants and the slowest open spans",
     )
     top.add_argument("--coordinator", required=True, metavar="HOST:PORT",
                      help="coordinator address to query")
+    _add_token_argument(top)
     top.add_argument("--watch", type=float, default=None, metavar="S",
                      help="refresh every S seconds until interrupted "
                           "(default: render one frame and exit)")
@@ -683,9 +778,46 @@ def _render_top(status: dict) -> str:
         ))
     else:
         lines.append("no workers registered")
+    sweep_lines = _sweep_status_lines(status)
+    if sweep_lines:
+        lines.extend(sweep_lines)
     if status.get("failure"):
         lines.append(f"failure: {status['failure']}")
     return "\n".join(lines)
+
+
+def _sweep_status_lines(status: dict) -> list:
+    """Per-tenant lines for ``status``/``top``: state, counts, journal lag.
+
+    Covers both shapes the wire ``status`` op can take: the service's
+    ``sweeps`` map (one entry per tenant) and the single-plan
+    coordinator's top-level ``journal`` summary.
+    """
+    lines = []
+    sweeps = status.get("sweeps") or {}
+    for sweep_id in sorted(sweeps):
+        info = sweeps[sweep_id] or {}
+        counts = ", ".join(
+            f"{state}={info.get(state, 0)}"
+            for state in ("pending", "leased", "done", "failed")
+        )
+        name = info.get("name")
+        label = f"sweep {sweep_id}" + (f" ({name})" if name else "")
+        line = f"{label} [{info.get('state', '?')}]: {counts}"
+        journal = info.get("journal") or {}
+        if journal:
+            line += f" | journal lag {journal.get('lag', 0)}"
+        if info.get("failure"):
+            line += f" | failure: {info['failure']}"
+        lines.append(line)
+    journal = status.get("journal") or {}
+    if journal and not sweeps:
+        lines.append(
+            f"journal: {journal.get('events', 0)} event(s), "
+            f"lag {journal.get('lag', 0)} since last snapshot "
+            f"({journal.get('path', '?')})"
+        )
+    return lines
 
 
 def _cmd_cluster(args) -> int:
@@ -704,6 +836,7 @@ def _cmd_cluster(args) -> int:
             max_idle_s=args.max_idle_s,
             peer=args.peer_sync,
             peer_port=args.peer_port,
+            token=args.token,
         )
         stats = agent.run_forever()
         if args.json:
@@ -745,10 +878,25 @@ def _cmd_cluster(args) -> int:
         return 0
 
     if args.cluster_command == "status":
-        from repro.cluster import ClusterClient
+        if bool(args.coordinator) == bool(args.service):
+            print(
+                "error: pass exactly one of --coordinator or --service",
+                file=sys.stderr,
+            )
+            return 2
+        if args.service:
+            from repro.cluster.http_api import ServiceClient
 
-        client = ClusterClient(args.coordinator, timeout=args.timeout)
-        status = client.status()
+            status = ServiceClient(
+                args.service, token=args.token, timeout=args.timeout
+            ).fleet()
+        else:
+            from repro.cluster import ClusterClient
+
+            client = ClusterClient(
+                args.coordinator, timeout=args.timeout, token=args.token
+            )
+            status = client.status()
         if args.json:
             print(json.dumps(status, indent=2, sort_keys=True))
         else:
@@ -760,6 +908,8 @@ def _cmd_cluster(args) -> int:
             workers = status.get("workers") or {}
             for name in sorted(workers):
                 print(f"worker {name}: seen {workers[name]:.1f}s ago")
+            for line in _sweep_status_lines(status):
+                print(line)
             if status.get("failure"):
                 print(f"failure: {status['failure']}")
         return 1 if status.get("failure") else 0
@@ -769,7 +919,9 @@ def _cmd_cluster(args) -> int:
 
         from repro.cluster import ClusterClient
 
-        client = ClusterClient(args.coordinator, timeout=args.timeout)
+        client = ClusterClient(
+            args.coordinator, timeout=args.timeout, token=args.token
+        )
         while True:
             status = client.status()
             if args.json:
@@ -785,6 +937,130 @@ def _cmd_cluster(args) -> int:
             if not args.json:
                 print()
         return 1 if status.get("failure") else 0
+
+    if args.cluster_command == "serve":
+        import time
+
+        from repro.cluster import format_address, parse_address
+        from repro.cluster.http_api import DEFAULT_HTTP_PORT
+        from repro.cluster.service import ExperimentService
+
+        host, port = parse_address(args.bind)
+        if args.http_bind is not None:
+            http_host, http_port = parse_address(
+                args.http_bind, default_port=DEFAULT_HTTP_PORT
+            )
+        else:
+            http_host, http_port = host, DEFAULT_HTTP_PORT
+        store = (
+            ArtifactStore(args.cache_dir) if args.cache_dir else ArtifactStore()
+        )
+        service = ExperimentService(
+            store=store,
+            host=host,
+            port=port,
+            http_host=http_host,
+            http_port=http_port,
+            token=args.token,
+            lease_timeout=args.lease_s,
+            max_attempts=args.max_retries,
+            affinity=args.affinity,
+            peer_sync=args.peer_sync,
+            journal_dir=args.journal_dir,
+            compact_every=args.compact_every,
+            shutdown_when_idle=args.shutdown_when_idle,
+        )
+        service.start()
+        try:
+            print(
+                f"workers:  repro cluster worker --coordinator "
+                f"{format_address(service.worker_address)}"
+            )
+            print(
+                f"control:  repro cluster submit --service "
+                f"{format_address(service.http_address)}"
+            )
+            print(f"auth:     {'token required' if args.token else 'off'}")
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            service.stop()
+        return 0
+
+    if args.cluster_command == "submit":
+        from repro.cluster.http_api import ServiceClient
+        from repro.pipeline.runner import RunRecord
+
+        base = _base_config(args).with_overrides(engine=args.engine)
+        grid = _grid_from_args(args, base)
+        client = ServiceClient(args.service, token=args.token)
+        submitted = client.submit(base, grid, name=args.name)
+        if not args.wait:
+            if args.json:
+                print(json.dumps(submitted, indent=2, sort_keys=True))
+            else:
+                print(
+                    f"sweep {submitted['sweep_id']} "
+                    f"[{submitted.get('state', '?')}]: "
+                    f"{submitted.get('grid_points', '?')} grid point(s), "
+                    f"{submitted.get('replayed_done', 0)} replayed done"
+                )
+            return 0
+        final = client.wait(submitted["sweep_id"], timeout=args.wait_timeout)
+        if final.get("state") != "done":
+            print(
+                f"sweep {submitted['sweep_id']} ended "
+                f"{final.get('state', '?')}",
+                file=sys.stderr,
+            )
+            return 1
+        payload = client.results(submitted["sweep_id"])
+        records = [
+            RunRecord.from_dict(entry) for entry in payload.get("records", [])
+        ]
+        _emit_records(
+            args,
+            records,
+            title=(
+                f"sweep {submitted['sweep_id']}: "
+                f"{len(records)} grid points"
+            ),
+        )
+        return 0
+
+    if args.cluster_command == "cancel":
+        from repro.cluster.http_api import ServiceClient
+
+        reply = ServiceClient(args.service, token=args.token).cancel(
+            args.sweep_id
+        )
+        if args.json:
+            print(json.dumps(reply, indent=2, sort_keys=True))
+        else:
+            print(
+                f"sweep {reply['sweep_id']} [{reply.get('state', '?')}]: "
+                f"{reply.get('leases_freed', 0)} lease(s) freed"
+            )
+        return 0
+
+    if args.cluster_command == "results":
+        from repro.cluster.http_api import ServiceClient
+        from repro.pipeline.runner import RunRecord
+
+        payload = ServiceClient(args.service, token=args.token).results(
+            args.sweep_id
+        )
+        records = [
+            RunRecord.from_dict(entry) for entry in payload.get("records", [])
+        ]
+        _emit_records(
+            args,
+            records,
+            title=f"sweep {args.sweep_id}: {len(records)} grid points",
+        )
+        return 0
 
     from repro.cluster import ClusterExecutor, format_address
 
@@ -821,43 +1097,58 @@ def _cmd_cluster(args) -> int:
         return 0
 
     if args.cluster_command == "sweep":
-        import contextlib
-
+        # The single-command localhost form is the service composition,
+        # thin: an in-process ExperimentService in single-shot mode
+        # (shutdown_when_idle tells workers to exit when the one sweep
+        # is done), submit, a local worker fleet, wait, assemble.
         from repro.cluster import local_worker_processes
+        from repro.cluster.service import ExperimentService
+        from repro.telemetry import span
 
-        executor = ClusterExecutor(
-            base,
+        service = ExperimentService(
             store=store,
-            address=("127.0.0.1", args.port),
+            port=args.port,
             lease_timeout=args.lease_s,
             max_attempts=args.max_retries,
-            wait_timeout=args.wait_timeout,
-            journal=journal,
-            resume=args.resume,
             affinity=args.affinity,
             peer_sync=args.peer_sync,
-            compact_every=args.compact_every,
+            shutdown_when_idle=True,
         )
-        with contextlib.ExitStack() as stack:
-            # The fleet launches only once the coordinator is bound (the
-            # port may be ephemeral), and is torn down before returning.
-            records = executor.run(
-                grid,
-                on_ready=lambda address: stack.enter_context(
-                    local_worker_processes(
-                        address,
-                        args.workers,
-                        max_idle_s=args.max_idle_s,
-                        threads_per_worker=(
-                            None if args.threads_per_worker == 0
-                            else args.threads_per_worker
-                        ),
-                        peer=args.peer_sync,
-                        trace=args.trace,
-                        log_level=args.log_level,
-                    )
-                ),
-            )
+        service.start()
+        grid_points = 1
+        for values in grid.values():
+            grid_points *= max(1, len(values))
+        try:
+            with span(
+                "cluster.sweep",
+                grid_points=grid_points,
+                workers=args.workers,
+            ):
+                # Submitted inside the span: lease grants carry it as
+                # remote parent, so worker job spans land in this trace.
+                managed = service.submit(
+                    base,
+                    grid,
+                    journal_path=journal,
+                    resume=bool(args.resume),
+                    compact_every=args.compact_every,
+                )
+                with local_worker_processes(
+                    service.worker_address,
+                    args.workers,
+                    max_idle_s=args.max_idle_s,
+                    threads_per_worker=(
+                        None if args.threads_per_worker == 0
+                        else args.threads_per_worker
+                    ),
+                    peer=args.peer_sync,
+                    trace=args.trace,
+                    log_level=args.log_level,
+                ):
+                    service.wait(managed.sweep_id, timeout=args.wait_timeout)
+                records = service.results(managed.sweep_id)
+        finally:
+            service.stop()
         _emit_records(
             args,
             records,
@@ -1136,6 +1427,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # user-actionable messages (unknown names list the choices).
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except Exception as error:
+        # Cluster auth/control-plane rejections carry their own
+        # user-actionable message; anything else keeps its traceback.
+        from repro.cluster.http_api import ServiceError
+        from repro.cluster.protocol import AuthError
+
+        if isinstance(error, (AuthError, ServiceError)):
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if isinstance(error, ConnectionError):
+            print(
+                f"error: cannot reach the service: {error}", file=sys.stderr
+            )
+            return 2
+        raise
 
 
 if __name__ == "__main__":

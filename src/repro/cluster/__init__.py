@@ -22,7 +22,12 @@ nothing beyond the standard library (``socket`` + ``json``):
 - an optional **journal** (:class:`SweepJournal`) persists every job
   transition next to the store, so a coordinator killed mid-sweep
   restarts with ``--resume`` and never re-leases a journaled-done
-  fingerprint.
+  fingerprint;
+- the **experiment service** (:class:`ExperimentService`) runs the
+  coordinator logic persistently: many named sweeps (each with its own
+  plan + journal) multiplexed over one shared store and one worker
+  fleet, administered through an HTTP/JSON control plane
+  (:class:`ServiceClient`), with shared-token auth on both planes.
 
 Minimal end-to-end (one process per block, any hosts)::
 
@@ -32,6 +37,11 @@ Minimal end-to-end (one process per block, any hosts)::
     # each worker host
     python -m repro cluster worker --coordinator coord-host:8752
 
+or keep one service up and submit sweeps to it as they come::
+
+    python -m repro cluster serve --bind 0.0.0.0:8752
+    python -m repro cluster submit --service coord-host:8753 --seeds 1 2 3
+
 or programmatically, with the runner facade::
 
     records = Runner(config, store=store, coordinator="0.0.0.0:8752").run(grid)
@@ -40,16 +50,27 @@ See ``docs/cluster.md`` for the protocol, lease semantics and the
 artifact sync contract.
 """
 
-from repro.cluster.coordinator import CoordinatorServer
+from repro.cluster.coordinator import (
+    CoordinatorCore,
+    CoordinatorServer,
+    SweepEndpoint,
+)
 from repro.cluster.executor import (
     ClusterExecutor,
     DistributionTimeout,
     local_worker_processes,
     local_worker_threads,
 )
+from repro.cluster.http_api import (
+    DEFAULT_HTTP_PORT,
+    ServiceAuthError,
+    ServiceClient,
+    ServiceError,
+)
 from repro.cluster.journal import JournalMismatch, SweepJournal
-from repro.cluster.plan import Job, PlanFailed, SweepPlan
+from repro.cluster.plan import Job, PlanFailed, SweepPlan, WorkerRegistry
 from repro.cluster.protocol import (
+    AuthError,
     ClusterClient,
     ConnectionClosed,
     DEFAULT_PORT,
@@ -59,30 +80,42 @@ from repro.cluster.protocol import (
     format_address,
     parse_address,
 )
+from repro.cluster.service import ExperimentService, ManagedSweep, sweep_identity
 from repro.cluster.sync import ArtifactSync
 from repro.cluster.worker import WorkerAgent, WorkerStats, default_worker_name
 
 __all__ = [
     "ArtifactSync",
+    "AuthError",
     "ClusterClient",
     "ClusterExecutor",
     "ConnectionClosed",
+    "CoordinatorCore",
     "CoordinatorServer",
+    "DEFAULT_HTTP_PORT",
     "DEFAULT_PORT",
     "DistributionTimeout",
+    "ExperimentService",
     "Job",
     "JournalMismatch",
+    "ManagedSweep",
     "PROTOCOL_CAPS",
     "PlanFailed",
     "ProtocolError",
-    "encode_blob",
+    "ServiceAuthError",
+    "ServiceClient",
+    "ServiceError",
+    "SweepEndpoint",
     "SweepJournal",
     "SweepPlan",
     "WorkerAgent",
+    "WorkerRegistry",
     "WorkerStats",
     "default_worker_name",
+    "encode_blob",
     "format_address",
     "local_worker_processes",
     "local_worker_threads",
     "parse_address",
+    "sweep_identity",
 ]

@@ -1,10 +1,14 @@
-"""The coordinator service: leases jobs and syncs artifacts over TCP.
+"""Coordinator request handling: lease jobs and sync artifacts.
 
-A :class:`CoordinatorServer` binds one listening socket and serves the
-cluster line protocol (:mod:`repro.cluster.protocol`) from daemon
-threads — scheduling decisions live in the wrapped
-:class:`~repro.cluster.plan.SweepPlan`, artifacts in the wrapped
-:class:`~repro.pipeline.store.ArtifactStore`.
+The handler logic lives in :class:`CoordinatorCore`, a transport-free
+dispatcher shared by every server front end: the classic blocking
+:class:`CoordinatorServer` below (one ``ThreadingTCPServer`` per sweep,
+born and dying with it) and the persistent asyncio
+:class:`~repro.cluster.service.ExperimentService`, which serves *many*
+tenant sweeps — each its own :class:`~repro.cluster.plan.SweepPlan` —
+through one core over one shared
+:class:`~repro.pipeline.store.ArtifactStore` and one
+:class:`~repro.cluster.plan.WorkerRegistry`.
 
 Operations (one JSON request line → one JSON reply line, blobs framed
 by ``blob_bytes``):
@@ -14,9 +18,11 @@ by ``blob_bytes``):
              the coordinator's wire capabilities; a ``peer_port``
              registers the worker's artifact server in the routing
              table (its host is taken from the TCP source address)
-``lease``    request a job; replies ``{"job": …}`` (plus ``sources``:
-             peer addresses for the job's upstream keys), ``{"wait":
-             s}`` or ``{"shutdown": true}`` once the plan finishes
+``lease``    request a job from *any* active sweep; replies ``{"job":
+             …}`` (plus ``sources``: peer addresses for the job's
+             upstream keys, and ``sweep_id`` when serving a named
+             tenant), ``{"wait": s}`` or ``{"shutdown": true}`` once a
+             non-persistent plan finishes
 ``heartbeat``  renew a lease; ``{"ok": false}`` means the lease is lost
 ``complete``   report a finished job (idempotent); the reply's
              ``holding`` count lets the worker skip redundant holdings
@@ -28,8 +34,24 @@ by ``blob_bytes``):
 ``put``      upload one artifact blob by fingerprint (idempotent: an
              already-present fingerprint is acknowledged, not rewritten)
 ``status``   job-state counts + transfer counters + aggregated worker
-             telemetry, for monitoring (``repro cluster top``)
+             telemetry + per-plan journal lag, for monitoring
+             (``repro cluster top``); service cores add a per-sweep
+             breakdown under ``sweeps``
 ===========  ==========================================================
+
+Multi-tenant routing: a ``heartbeat``/``complete``/``fail`` may carry
+the ``sweep_id`` its lease grant named; requests without one (older
+workers) are routed by looking the ``job_id`` up across active plans —
+job ids embed the full stage fingerprint, so a cross-sweep collision
+means the *same* artifact and either owner may take the completion.
+
+Authentication: a core constructed with a shared ``token`` requires it
+on **every** request (workers send it from ``hello`` onward).  A
+mismatch is answered with ``{"error": …, "code": "auth"}``, which
+:class:`~repro.cluster.protocol.ClusterClient` raises as
+:class:`~repro.cluster.protocol.AuthError` even on ``check=False``
+paths — mixed fleets fail loud, not silent, the same degradation
+contract as the gzip capability handshake.
 
 Telemetry rides the existing ops instead of adding new ones:
 ``hello``/``lease``/``heartbeat``/``complete`` requests may carry an
@@ -39,8 +61,7 @@ The coordinator keeps the *latest* snapshot per worker — snapshots are
 cumulative, so the fleet view is simply the merge of latest-per-worker
 plus the coordinator's own registry.  Workers that never send the field
 (older builds) just don't appear, and coordinators that ignore it
-(older builds) drop an unknown key: both directions interoperate, the
-same degradation contract as the gzip capability handshake (see
+(older builds) drop an unknown key: both directions interoperate (see
 docs/telemetry.md).
 
 The artifact sync layer is content-addressed and therefore *resumable
@@ -55,13 +76,15 @@ artifact still lands here.
 
 from __future__ import annotations
 
+import hmac
 import pickle
 import socketserver
 import threading
 from collections import OrderedDict
-from typing import Any, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.cluster.plan import SweepPlan
+from repro.cluster.plan import SweepPlan, WorkerRegistry
 from repro.cluster.protocol import (
     PROTOCOL_CAPS,
     encode_blob,
@@ -112,24 +135,76 @@ class _WireCache:
                 self.total_bytes -= len(evicted)
 
 
-class CoordinatorServer:
-    """Serve one :class:`SweepPlan` + :class:`ArtifactStore` over TCP."""
+@dataclass(frozen=True)
+class SweepEndpoint:
+    """One schedulable tenant as the core sees it.
+
+    ``sweep_id`` is ``None`` exactly in single-sweep mode
+    (:class:`CoordinatorServer`), where grants are not stamped and the
+    wire format stays byte-compatible with pre-service workers.
+    """
+
+    sweep_id: Optional[str]
+    plan: SweepPlan
+    trace_context: Optional[Dict[str, str]] = None
+    name: Optional[str] = None
+
+    @property
+    def state(self) -> str:
+        plan = self.plan
+        if plan.failed:
+            return "failed"
+        if plan.cancelled:
+            return "cancelled"
+        if plan.done:
+            return "done"
+        return "running"
+
+
+class CoordinatorCore:
+    """Transport-agnostic coordinator dispatch, shared by both planes.
+
+    Parameters
+    ----------
+    store:
+        The shared artifact store all tenants publish into.
+    sweeps:
+        A callable returning the current endpoints in submission order.
+        Single-sweep servers pass a constant one-tuple; the experiment
+        service passes a live view of its tenant registry, so newly
+        submitted sweeps become leasable without any rebind.
+    registry:
+        The :class:`~repro.cluster.plan.WorkerRegistry` every tenant
+        plan shares (single-sweep mode: the plan's own).
+    token:
+        Optional shared secret; when set, every request must carry it.
+    persistent:
+        ``True`` (service mode) never answers ``shutdown`` — idle
+        workers poll forever, ready for the next submitted sweep.
+        ``False`` reproduces the classic lifecycle: once every known
+        sweep is finished (done, failed, or cancelled) workers are told
+        to shut down.
+    """
 
     def __init__(
         self,
-        plan: SweepPlan,
         store: ArtifactStore,
-        host: str = "127.0.0.1",
-        port: int = 0,
-        poll_s: Optional[float] = None,
+        sweeps: Callable[[], Sequence[SweepEndpoint]],
+        registry: WorkerRegistry,
+        *,
+        token: Optional[str] = None,
+        poll_s: float = 1.0,
         wire_cache_bytes: int = 64 * 1024 * 1024,
+        peer_sync: bool = True,
+        persistent: bool = False,
     ):
-        self.plan = plan
         self.store = store
-        #: Seconds an idle worker should wait before polling again.
-        self.poll_s = (
-            float(poll_s) if poll_s is not None else min(1.0, plan.lease_timeout / 4.0)
-        )
+        self.sweeps = sweeps
+        self.registry = registry
+        self.token = token
+        self.poll_s = float(poll_s)
+        self.peer_sync = bool(peer_sync)
+        self.persistent = bool(persistent)
         self._wire_cache = _WireCache(wire_cache_bytes)
         #: Transfer accounting (guarded by _stats_lock): how many
         #: artifact bytes this hub actually served/received.  The
@@ -146,73 +221,14 @@ class CoordinatorServer:
         self._telemetry_lock = threading.Lock()
         self._telemetry: Dict[str, Dict[str, Any]] = {}
         #: Trace context (``{"trace_id", "span_id"}``) stamped onto
-        #: lease grants so worker job spans join the sweep's trace; the
-        #: executor sets it from its root span before workers connect,
-        #: and it stays fixed for the server's lifetime.
+        #: lease grants so worker job spans join the sweep's trace.
+        #: Per-endpoint contexts (service tenants) take precedence.
         self.trace_context: Optional[Dict[str, str]] = None
-
-        coordinator = self
-
-        class Handler(socketserver.StreamRequestHandler):
-            def handle(self) -> None:  # pragma: no cover - thin shim
-                coordinator._handle(self)
-
-        class Server(socketserver.ThreadingTCPServer):
-            daemon_threads = True
-            allow_reuse_address = True
-
-        self._server = Server((host, port), Handler)
-        self.address: Tuple[str, int] = self._server.server_address[:2]
-        self._thread: Optional[threading.Thread] = None
-
-    # ------------------------------------------------------------------
-    def start(self) -> "CoordinatorServer":
-        self._thread = threading.Thread(
-            target=self._server.serve_forever,
-            kwargs={"poll_interval": 0.05},
-            name="repro-cluster-coordinator",
-            daemon=True,
-        )
-        self._thread.start()
-        return self
-
-    def stop(self) -> None:
-        self._server.shutdown()
-        self._server.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
-
-    def __enter__(self) -> "CoordinatorServer":
-        return self.start()
-
-    def __exit__(self, *exc_info) -> None:
-        self.stop()
 
     # ------------------------------------------------------------------
     # Request dispatch.
 
-    def _handle(self, request: socketserver.StreamRequestHandler) -> None:
-        try:
-            payload, blob = recv_message(request.rfile)
-        except Exception:
-            return  # half-open connection; nothing to answer
-        try:
-            reply, reply_blob, reply_encoding = self._dispatch(
-                payload, blob, client_host=str(request.client_address[0])
-            )
-        except Exception as error:  # surface, don't kill the thread
-            reply, reply_blob, reply_encoding = (
-                {"error": f"{type(error).__name__}: {error}"},
-                None,
-                None,
-            )
-        try:
-            send_message(request.wfile, reply, reply_blob, encoding=reply_encoding)
-        except Exception:
-            pass  # requester vanished; the protocol is stateless
-
-    def _dispatch(
+    def dispatch(
         self,
         payload: Dict[str, Any],
         blob: Optional[bytes],
@@ -220,30 +236,42 @@ class CoordinatorServer:
     ) -> Tuple[Dict[str, Any], Optional[bytes], Optional[str]]:
         op = payload.get("op")
         worker = str(payload.get("worker", "anonymous"))
+        if not self._authorized(payload):
+            get_metrics().counter("cluster.auth_rejects").inc()
+            return {
+                "error": "authentication required: bad or missing token",
+                "code": "auth",
+            }, None, None
         if op in ("hello", "lease", "heartbeat", "complete"):
             snapshot = payload.get("telemetry")
             if snapshot:
                 self._ingest_telemetry(worker, snapshot)
         if op == "hello":
             peer_port = payload.get("peer_port")
-            if peer_port is not None:
+            if peer_port is not None and self.peer_sync:
                 # The worker advertises only its serving *port*; its
                 # reachable host is whatever address this very request
                 # arrived from, which works across NAT-free clusters
                 # without the worker guessing its own interface.
-                self.plan.register_peer(worker, client_host, int(peer_port))
+                self.registry.register_peer(worker, client_host, int(peer_port))
+            else:
+                self.registry.touch(worker)
             return {
                 "ok": True,
-                "slot": self.plan.worker_slot(worker),
+                "slot": self.registry.slot(worker),
                 "caps": list(PROTOCOL_CAPS),
             }, None, None
         if op == "lease":
             return self._op_lease(worker, payload.get("holding")), None, None
         if op == "heartbeat":
-            ok = self.plan.heartbeat(worker, str(payload.get("job_id")))
+            plan = self._resolve_plan(payload)
+            ok = plan is not None and plan.heartbeat(
+                worker, str(payload.get("job_id"))
+            )
             return {"ok": ok}, None, None
         if op == "complete":
-            ok = self.plan.complete(
+            plan = self._resolve_plan(payload)
+            ok = plan is not None and plan.complete(
                 worker, str(payload.get("job_id")), payload.get("stats") or {}
             )
             # ``holding``: how many keys the routing table now credits
@@ -252,12 +280,14 @@ class CoordinatorServer:
             # (coordinator restart) triggers a full re-report.
             return {
                 "ok": ok,
-                "holding": self.plan.worker_holding_count(worker),
+                "holding": self.registry.holding_count(worker),
             }, None, None
         if op == "fail":
-            self.plan.fail(
-                worker, str(payload.get("job_id")), str(payload.get("error", ""))
-            )
+            plan = self._resolve_plan(payload)
+            if plan is not None:
+                plan.fail(
+                    worker, str(payload.get("job_id")), str(payload.get("error", ""))
+                )
             return {"ok": True}, None, None
         if op == "has":
             keys = [(str(s), str(d)) for s, d in payload.get("keys", [])]
@@ -265,7 +295,9 @@ class CoordinatorServer:
             return {"present": present}, None, None
         if op == "locate":
             keys = [(str(s), str(d)) for s, d in payload.get("keys", [])]
-            sources = self.plan.locate(keys, exclude=worker)
+            sources = (
+                self.registry.locate(keys, exclude=worker) if self.peer_sync else []
+            )
             return {"sources": sources}, None, None
         if op == "get":
             return self._op_get(
@@ -284,16 +316,42 @@ class CoordinatorServer:
                 None,
             )
         if op == "status":
-            counts = self.plan.counts()
-            counts["failure"] = self.plan.failure
-            counts["workers"] = {
-                name: round(age, 3)
-                for name, age in self.plan.worker_ages().items()
-            }
-            counts["transfers"] = self.transfer_stats()
-            counts["telemetry"] = self.telemetry_view()
-            return counts, None, None
+            return self._op_status(), None, None
         return {"error": f"unknown op {op!r}"}, None, None
+
+    def _authorized(self, payload: Dict[str, Any]) -> bool:
+        if self.token is None:
+            return True
+        supplied = payload.get("token")
+        return isinstance(supplied, str) and hmac.compare_digest(
+            supplied, self.token
+        )
+
+    def _resolve_plan(self, payload: Dict[str, Any]) -> Optional[SweepPlan]:
+        """Route a job report to its tenant plan.
+
+        Grants from a service core carry ``sweep_id`` and workers echo
+        it back; reports without one (single-sweep mode, or an older
+        worker against a service) fall back to the sole endpoint or to
+        a ``job_id`` lookup — job ids embed the full stage fingerprint,
+        so whichever plan knows the id owns (an identical copy of) the
+        artifact.
+        """
+        endpoints = self.sweeps()
+        sweep_id = payload.get("sweep_id")
+        if sweep_id is not None:
+            for endpoint in endpoints:
+                if endpoint.sweep_id == sweep_id:
+                    return endpoint.plan
+            return None
+        if len(endpoints) == 1:
+            return endpoints[0].plan
+        job_id = payload.get("job_id")
+        if job_id is not None:
+            for endpoint in endpoints:
+                if str(job_id) in endpoint.plan.jobs:
+                    return endpoint.plan
+        return None
 
     # ------------------------------------------------------------------
     # Worker telemetry aggregation.
@@ -321,32 +379,96 @@ class CoordinatorServer:
 
     # ------------------------------------------------------------------
     def _op_lease(self, worker: str, holding: Optional[Any] = None) -> Dict[str, Any]:
-        # Note "reason", not "error": the client treats an "error" key
-        # as a protocol failure and raises, which would turn the
-        # graceful plan-failed shutdown into apparent unreachability.
-        if self.plan.failed:
-            return {"shutdown": True, "reason": self.plan.failure}
-        if self.plan.done:
-            return {"shutdown": True}
-        job = self.plan.lease(worker, holding=holding)
-        if job is None:
-            if self.plan.failed:
-                return {"shutdown": True, "reason": self.plan.failure}
-            if self.plan.done:
-                return {"shutdown": True}
-            return {"wait": self.poll_s}
-        reply = {"job": job.to_wire(self.plan.lease_timeout)}
-        # Routing hints ride along with the grant: peer addresses for
-        # every upstream key some live peer holds, so the worker can
-        # pull missing inputs without a separate ``locate`` round trip.
-        sources = self.plan.locate(job.upstream, exclude=worker)
-        if sources:
-            reply["sources"] = sources
-        if self.trace_context:
-            # Workers adopt this as the remote parent of their job
-            # spans; old workers simply ignore the unknown key.
-            reply["trace"] = dict(self.trace_context)
-        return reply
+        if holding is not None:
+            self.registry.set_holdings(worker, holding)
+        endpoints = self.sweeps()
+        for endpoint in endpoints:
+            plan = endpoint.plan
+            if plan.failed or plan.cancelled:
+                continue
+            job = plan.lease(worker)
+            if job is None:
+                continue
+            reply: Dict[str, Any] = {"job": job.to_wire(plan.lease_timeout)}
+            if endpoint.sweep_id is not None:
+                # Workers echo this back on heartbeat/complete/fail so
+                # reports route straight to the owning tenant; old
+                # workers ignore it and fall back to job-id routing.
+                reply["sweep_id"] = endpoint.sweep_id
+            # Routing hints ride along with the grant: peer addresses
+            # for every upstream key some live peer holds, so the
+            # worker can pull missing inputs without a separate
+            # ``locate`` round trip.
+            sources = plan.locate(job.upstream, exclude=worker)
+            if sources:
+                reply["sources"] = sources
+            trace = endpoint.trace_context or self.trace_context
+            if trace:
+                # Workers adopt this as the remote parent of their job
+                # spans; old workers simply ignore the unknown key.
+                reply["trace"] = dict(trace)
+            return reply
+        # Nothing grantable right now.  A persistent core waits for the
+        # next submission; the classic lifecycle shuts workers down once
+        # every sweep it ever knew is finished.  Note "reason", not
+        # "error": the client treats an "error" key as a protocol
+        # failure and raises, which would turn the graceful plan-failed
+        # shutdown into apparent unreachability.
+        if not self.persistent and endpoints and all(
+            e.plan.done or e.plan.failed or e.plan.cancelled for e in endpoints
+        ):
+            reason = next(
+                (e.plan.failure for e in endpoints if e.plan.failure is not None),
+                None,
+            )
+            reply = {"shutdown": True}
+            if reason is not None:
+                reply["reason"] = reason
+            return reply
+        return {"wait": self.poll_s}
+
+    def status_view(self) -> Dict[str, Any]:
+        """The ``status`` op's payload, for in-process callers (HTTP
+        ``/fleet``, the service's own monitoring) — no socket, no auth."""
+        return self._op_status()
+
+    def _op_status(self) -> Dict[str, Any]:
+        endpoints = self.sweeps()
+        totals = {"pending": 0, "leased": 0, "done": 0, "failed": 0}
+        failure: Optional[str] = None
+        sweeps: Dict[str, Any] = {}
+        for endpoint in endpoints:
+            counts = endpoint.plan.counts()
+            for state in totals:
+                totals[state] += counts.get(state, 0)
+            if failure is None:
+                failure = endpoint.plan.failure
+            if endpoint.sweep_id is not None:
+                entry: Dict[str, Any] = dict(counts)
+                entry["state"] = endpoint.state
+                entry["failure"] = endpoint.plan.failure
+                if endpoint.name:
+                    entry["name"] = endpoint.name
+                journal = endpoint.plan.journal_status()
+                if journal is not None:
+                    entry["journal"] = journal
+                sweeps[endpoint.sweep_id] = entry
+        payload: Dict[str, Any] = dict(totals)
+        payload["failure"] = failure
+        payload["workers"] = {
+            name: round(age, 3) for name, age in self.registry.ages().items()
+        }
+        payload["transfers"] = self.transfer_stats()
+        payload["telemetry"] = self.telemetry_view()
+        if len(endpoints) == 1 and endpoints[0].sweep_id is None:
+            journal = endpoints[0].plan.journal_status()
+            if journal is not None:
+                payload["journal"] = journal
+        else:
+            # Multi-tenant (or empty persistent) coordinator: always
+            # present the tenant map, even when it has no rows yet.
+            payload["sweeps"] = sweeps
+        return payload
 
     def _op_get(
         self, stage: str, digest: str, accept: Any = ()
@@ -395,3 +517,130 @@ class CoordinatorServer:
                 "put_count": self._put_count,
                 "put_bytes": self._put_bytes,
             }
+
+
+class CoordinatorServer:
+    """Serve one :class:`SweepPlan` + :class:`ArtifactStore` over TCP.
+
+    The classic single-sweep front end: a ``ThreadingTCPServer`` whose
+    handler threads feed one :class:`CoordinatorCore` wrapping exactly
+    one plan.  Wire behaviour (including shutdown-when-finished) is
+    identical to the pre-service coordinator; ``token`` adds the shared
+    secret check on every op.
+    """
+
+    def __init__(
+        self,
+        plan: SweepPlan,
+        store: ArtifactStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        poll_s: Optional[float] = None,
+        wire_cache_bytes: int = 64 * 1024 * 1024,
+        token: Optional[str] = None,
+    ):
+        self.plan = plan
+        self.store = store
+        #: Seconds an idle worker should wait before polling again.
+        self.poll_s = (
+            float(poll_s) if poll_s is not None else min(1.0, plan.lease_timeout / 4.0)
+        )
+        endpoint = SweepEndpoint(sweep_id=None, plan=plan)
+        self.core = CoordinatorCore(
+            store,
+            lambda: (endpoint,),
+            plan.registry,
+            token=token,
+            poll_s=self.poll_s,
+            wire_cache_bytes=wire_cache_bytes,
+            peer_sync=plan.peer_sync,
+            persistent=False,
+        )
+
+        coordinator = self
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:  # pragma: no cover - thin shim
+                coordinator._handle(self)
+
+        class Server(socketserver.ThreadingTCPServer):
+            daemon_threads = True
+            allow_reuse_address = True
+
+        self._server = Server((host, port), Handler)
+        self.address: Tuple[str, int] = self._server.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def trace_context(self) -> Optional[Dict[str, str]]:
+        return self.core.trace_context
+
+    @trace_context.setter
+    def trace_context(self, context: Optional[Dict[str, str]]) -> None:
+        self.core.trace_context = context
+
+    # ------------------------------------------------------------------
+    def start(self) -> "CoordinatorServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-cluster-coordinator",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "CoordinatorServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _handle(self, request: socketserver.StreamRequestHandler) -> None:
+        try:
+            payload, blob = recv_message(request.rfile)
+        except Exception:
+            return  # half-open connection; nothing to answer
+        try:
+            reply, reply_blob, reply_encoding = self._dispatch(
+                payload, blob, client_host=str(request.client_address[0])
+            )
+        except Exception as error:  # surface, don't kill the thread
+            reply, reply_blob, reply_encoding = (
+                {"error": f"{type(error).__name__}: {error}"},
+                None,
+                None,
+            )
+        try:
+            send_message(request.wfile, reply, reply_blob, encoding=reply_encoding)
+        except Exception:
+            pass  # requester vanished; the protocol is stateless
+
+    def _dispatch(
+        self,
+        payload: Dict[str, Any],
+        blob: Optional[bytes],
+        client_host: str = "127.0.0.1",
+    ) -> Tuple[Dict[str, Any], Optional[bytes], Optional[str]]:
+        return self.core.dispatch(payload, blob, client_host=client_host)
+
+    def telemetry_view(self) -> Dict[str, Any]:
+        return self.core.telemetry_view()
+
+    def transfer_stats(self) -> Dict[str, int]:
+        return self.core.transfer_stats()
+
+
+__all__ = [
+    "CoordinatorCore",
+    "CoordinatorServer",
+    "SweepEndpoint",
+]

@@ -72,6 +72,58 @@ class DistributionTimeout(TimeoutError):
         self.worker_ages = dict(worker_ages)
 
 
+def assemble_point(
+    plan: SweepPlan,
+    store: ArtifactStore,
+    params: Mapping[str, Any],
+    config: SparkXDConfig,
+    keys: Sequence[Tuple[str, str]],
+) -> RunRecord:
+    """Assemble one grid point's :class:`RunRecord` from a warmed store.
+
+    Identical in values to one iteration of :meth:`Runner.run`'s
+    assembly loop; the volatile fields additionally record where each
+    job ran and what its transfers cost (``cluster/…`` keys in
+    ``stage_timings``).  Every key in ``keys`` must already be
+    satisfied — callers wait (executor) or require a done plan
+    (service results) before assembling.
+    """
+    started = time.perf_counter()
+    # A per-record stats view keeps the hit/miss deltas attributable to
+    # THIS record's assembly: the shared store's counters may be
+    # concurrently bumped by server threads serving other tenants or
+    # straggler uploads.
+    view = store.stats_view()
+    pipeline = ExperimentPipeline(config, store=view)
+    result = pipeline.run()
+    record = RunRecord.from_result(
+        result,
+        params=params,
+        wall_time_s=time.perf_counter() - started,
+        cache_hits=view.stats.hits,
+        cache_misses=view.stats.misses,
+        stage_timings=pipeline.stage_timings,
+    )
+    for (stage_name, digest) in keys:
+        job = plan.job_for(stage_name, digest)
+        if job is None or not job.stats:
+            continue
+        prefix = f"cluster/{stage_name}"
+        exec_s = (job.stats.get("exec_s") or {}).get(stage_name)
+        if exec_s is not None:
+            record.stage_timings[prefix] = float(exec_s)
+        record.stage_timings[f"{prefix}:sync_s"] = float(
+            job.stats.get("sync_s", 0.0)
+        )
+        record.stage_timings[f"{prefix}:sync_bytes"] = float(
+            job.stats.get("pulled_bytes", 0)
+        ) + float(job.stats.get("pushed_bytes", 0))
+        record.stage_timings[f"{prefix}:worker"] = float(
+            job.stats.get("slot", -1)
+        )
+    return record
+
+
 class ClusterExecutor:
     """Run sweeps by fanning jobs out to workers over the line protocol.
 
@@ -112,6 +164,20 @@ class ClusterExecutor:
         Auto-compact the journal after this many appended events (see
         :class:`~repro.cluster.journal.SweepJournal`); ``None`` never
         compacts automatically.
+    service:
+        Optional control-plane address (``host:port`` or
+        ``http://host:port``) of a running
+        :class:`~repro.cluster.service.ExperimentService`.  When set,
+        :meth:`run` does not bind an embedded coordinator at all — it
+        *submits* the sweep over HTTP, polls until completion, and
+        rebuilds the records the service assembled, so many executors
+        (and many tenants) share one fleet and one store.  The
+        journal/resume/affinity/peer_sync knobs are the service's to
+        decide in this mode.
+    token:
+        Shared cluster secret: stamped onto control-plane requests
+        (service mode) or required of workers by the embedded
+        coordinator.
     """
 
     def __init__(
@@ -129,9 +195,13 @@ class ClusterExecutor:
         affinity: bool = True,
         peer_sync: bool = True,
         compact_every: Optional[int] = None,
+        service: Optional[Any] = None,
+        token: Optional[str] = None,
     ):
         self.base_config = base_config or SparkXDConfig()
         self.store = store if store is not None else ArtifactStore()
+        self.service = service
+        self.token = token
         self.bind_address: Tuple[str, int] = parse_address(address)
         self.lease_timeout = float(lease_timeout)
         self.max_attempts = int(max_attempts)
@@ -162,7 +232,13 @@ class ClusterExecutor:
         coordinator is listening, with the bound ``(host, port)``;
         convenient for launching a worker fleet against an ephemeral
         port (see :func:`local_worker_processes`).
+
+        In service mode (``service=...``) there is no embedded
+        coordinator: the grid is submitted to the running service and
+        ``on_ready`` is not called (the fleet already exists).
         """
+        if self.service is not None:
+            return self._run_via_service(grid)
         journal = (
             SweepJournal(
                 self.journal_path,
@@ -191,7 +267,12 @@ class ClusterExecutor:
                 jobs=len(plan.jobs),
                 grid_points=len(plan.configs),
             ), CoordinatorServer(
-                plan, self.store, host=host, port=port, poll_s=self.poll_s
+                plan,
+                self.store,
+                host=host,
+                port=port,
+                poll_s=self.poll_s,
+                token=self.token,
             ) as server:
                 # Lease grants carry the sweep span as remote parent, so
                 # worker job spans land in this trace (no-op when
@@ -212,6 +293,33 @@ class ClusterExecutor:
         finally:
             if journal is not None:
                 journal.close()
+
+    def _run_via_service(
+        self, grid: Mapping[str, Sequence[Any]]
+    ) -> List[RunRecord]:
+        """Submit to a running service, poll, and rebuild its records.
+
+        The records come back through ``RunRecord.to_dict`` /
+        ``from_dict`` — value-identical to local assembly by
+        construction (``records_equivalent`` compares exactly these
+        dicts), minus only the in-memory ``result`` object.
+        """
+        from repro.cluster.http_api import ServiceClient
+
+        client = ServiceClient(self.service, token=self.token)
+        submitted = client.submit(self.base_config, grid)
+        sweep_id = str(submitted["sweep_id"])
+        LOG.info(
+            "sweep submitted to service",
+            extra={"sweep_id": sweep_id, "state": submitted.get("state")},
+        )
+        final = client.wait(sweep_id, timeout=self.wait_timeout)
+        if final.get("state") == "cancelled":
+            raise PlanFailed(f"sweep {sweep_id} was cancelled on the service")
+        payload = client.results(sweep_id)
+        return [
+            RunRecord.from_dict(entry) for entry in payload.get("records", [])
+        ]
 
     def _wait_for_keys(
         self,
@@ -273,40 +381,9 @@ class ClusterExecutor:
         records: List[RunRecord] = []
         for params, config, keys in zip(plan.param_sets, plan.configs, plan.chain_keys):
             self._wait_for_keys(plan, keys, deadline)
-            started = time.perf_counter()
-            # A per-record stats view keeps the hit/miss deltas
-            # attributable to THIS record's assembly: the shared store's
-            # counters are concurrently bumped by the server threads
-            # still serving straggler uploads.
-            view = self.store.stats_view()
-            pipeline = ExperimentPipeline(config, store=view)
-            result = pipeline.run()
-            record = RunRecord.from_result(
-                result,
-                params=params,
-                wall_time_s=time.perf_counter() - started,
-                cache_hits=view.stats.hits,
-                cache_misses=view.stats.misses,
-                stage_timings=pipeline.stage_timings,
+            records.append(
+                assemble_point(plan, self.store, params, config, keys)
             )
-            for (stage_name, digest) in keys:
-                job = plan.job_for(stage_name, digest)
-                if job is None or not job.stats:
-                    continue
-                prefix = f"cluster/{stage_name}"
-                exec_s = (job.stats.get("exec_s") or {}).get(stage_name)
-                if exec_s is not None:
-                    record.stage_timings[prefix] = float(exec_s)
-                record.stage_timings[f"{prefix}:sync_s"] = float(
-                    job.stats.get("sync_s", 0.0)
-                )
-                record.stage_timings[f"{prefix}:sync_bytes"] = float(
-                    job.stats.get("pulled_bytes", 0)
-                ) + float(job.stats.get("pushed_bytes", 0))
-                record.stage_timings[f"{prefix}:worker"] = float(
-                    job.stats.get("slot", -1)
-                )
-            records.append(record)
         # Belt and braces: every job must be done once all records are
         # assembled (chain keys cover every job by construction).
         plan.raise_on_failure()
@@ -378,6 +455,7 @@ def local_worker_processes(
     peer: bool = True,
     trace: Optional[str] = None,
     log_level: Optional[str] = None,
+    token: Optional[str] = None,
 ) -> Iterator[List[subprocess.Popen]]:
     """``n_workers`` subprocess agents (``python -m repro cluster worker``).
 
@@ -413,6 +491,10 @@ def local_worker_processes(
     if log_level:
         command += ["--log-level", str(log_level)]
     env = _worker_env(threads_per_worker)
+    if token:
+        # The secret travels by environment, not argv: process listings
+        # are world-readable on shared hosts.
+        env["REPRO_CLUSTER_TOKEN"] = str(token)
     # stdout is silenced (the agent prints a summary line that would
     # corrupt --json output); stderr is inherited so a worker that dies
     # on startup — import error, bad PYTHONPATH — shows its traceback
@@ -453,6 +535,7 @@ __all__ = [
     "ClusterExecutor",
     "DistributionTimeout",
     "PlanFailed",
+    "assemble_point",
     "local_worker_processes",
     "local_worker_threads",
 ]

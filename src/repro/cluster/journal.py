@@ -131,6 +131,34 @@ class SweepJournal:
         """The events read from disk at open time (oldest first)."""
         return list(self._events)
 
+    def lag(self) -> int:
+        """Events appended since the last snapshot (all of them if none).
+
+        This is exactly the chatter the next compaction would fold away:
+        a journal that was never compacted lags by its full length.  The
+        coordinator surfaces it per plan in ``cluster status`` so an
+        operator can see ``--compact-every`` falling behind long before
+        the file size on disk does.
+        """
+        with self._lock:
+            return self._lag_locked()
+
+    def _lag_locked(self) -> int:
+        for index in range(len(self._events) - 1, -1, -1):
+            if self._events[index].get("event") == "snapshot":
+                return len(self._events) - index - 1
+        return len(self._events)
+
+    def status(self) -> Dict[str, Any]:
+        """Operator view: path, event count, lag, compaction policy."""
+        with self._lock:
+            return {
+                "path": str(self.path),
+                "events": len(self._events),
+                "lag": self._lag_locked(),
+                "compact_every": self.compact_every,
+            }
+
     def done_events(self, plan_id: Optional[str] = None) -> Dict[tuple, Dict[str, Any]]:
         """``(stage, digest) -> last done event``, verifying plan headers.
 

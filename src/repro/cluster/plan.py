@@ -116,6 +116,138 @@ class PlanFailed(RuntimeError):
     """The plan cannot complete (a job exhausted its retry budget)."""
 
 
+class WorkerRegistry:
+    """Fleet state shared across plans: liveness, slots, holdings, peers.
+
+    In single-sweep mode each :class:`SweepPlan` creates its own
+    registry, reproducing the pre-service behaviour exactly.  The
+    experiment service instead passes ONE registry to every tenant
+    plan, so worker liveness, stable slot numbers, affinity holdings
+    and the peer routing table describe the whole fleet no matter which
+    sweep a worker last touched — a worker that went silent is dead for
+    *every* tenant, and an artifact it holds is locatable from *every*
+    tenant.
+
+    Thread-safe under its own lock; plans may call into it while
+    holding their plan lock (the registry never calls back into a
+    plan, so the ``plan lock -> registry lock`` order is acyclic).
+    """
+
+    def __init__(
+        self,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        liveness_window_s: float = 90.0,
+    ):
+        if liveness_window_s <= 0:
+            raise ValueError(
+                f"liveness_window_s must be > 0, got {liveness_window_s}"
+            )
+        self.clock = clock
+        self.liveness_window_s = float(liveness_window_s)
+        self._lock = threading.Lock()
+        #: worker name -> last contact (monotonic seconds)
+        self._workers: Dict[str, float] = {}
+        #: worker name -> stable integer slot (first-contact order)
+        self._slots: Dict[str, int] = {}
+        #: worker name -> (stage, digest) keys it reported holding
+        self._holdings: Dict[str, Set[Tuple[str, str]]] = {}
+        #: worker name -> (host, port) of its peer artifact server
+        self._peers: Dict[str, Tuple[str, int]] = {}
+
+    def touch(self, worker: str) -> None:
+        with self._lock:
+            self._touch_locked(worker)
+
+    def _touch_locked(self, worker: str) -> None:
+        self._workers[worker] = self.clock()
+        self._slot_locked(worker)
+
+    def slot(self, worker: str) -> int:
+        with self._lock:
+            return self._slot_locked(worker)
+
+    def _slot_locked(self, worker: str) -> int:
+        if worker not in self._slots:
+            self._slots[worker] = len(self._slots)
+        return self._slots[worker]
+
+    def ages(self) -> Dict[str, float]:
+        """Seconds since each known worker was last heard from."""
+        now = self.clock()
+        with self._lock:
+            return {name: now - seen for name, seen in self._workers.items()}
+
+    def live_names(self) -> List[str]:
+        """Workers heard from within the liveness window."""
+        now = self.clock()
+        with self._lock:
+            return [
+                name
+                for name, seen in self._workers.items()
+                if now - seen <= self.liveness_window_s
+            ]
+
+    def _live_locked(self, worker: str, now: float) -> bool:
+        seen = self._workers.get(worker)
+        return seen is not None and now - seen <= self.liveness_window_s
+
+    def set_holdings(self, worker: str, keys: Iterable[Sequence[str]]) -> None:
+        """Replace ``worker``'s reported holdings (from a lease report)."""
+        with self._lock:
+            self._touch_locked(worker)
+            self._holdings[worker] = {
+                (str(stage), str(digest)) for stage, digest in keys
+            }
+
+    def add_holdings(self, worker: str, keys: Iterable[Tuple[str, str]]) -> None:
+        """Fold additional keys into ``worker``'s holdings (completion)."""
+        with self._lock:
+            held = self._holdings.setdefault(worker, set())
+            held.update((str(stage), str(digest)) for stage, digest in keys)
+
+    def holding_count(self, worker: str) -> int:
+        with self._lock:
+            return len(self._holdings.get(worker, ()))
+
+    def holdings_view(self, worker: str) -> Set[Tuple[str, str]]:
+        """A snapshot copy of ``worker``'s reported holdings."""
+        with self._lock:
+            return set(self._holdings.get(worker, ()))
+
+    def register_peer(self, worker: str, host: str, port: int) -> None:
+        with self._lock:
+            self._touch_locked(worker)
+            self._peers[worker] = (str(host), int(port))
+
+    def locate(
+        self,
+        keys: Iterable[Sequence[str]],
+        exclude: Optional[str] = None,
+    ) -> List[List[Any]]:
+        """``[[stage, digest, [address, …]], …]`` for keys a live peer holds."""
+        from repro.cluster.protocol import format_address
+
+        now = self.clock()
+        located: List[List[Any]] = []
+        with self._lock:
+            serving = [
+                (name, self._holdings.get(name, ()))
+                for name, address in self._peers.items()
+                if name != exclude and self._live_locked(name, now)
+            ]
+            for stage, digest in keys:
+                key = (str(stage), str(digest))
+                holders = [
+                    format_address(self._peers[name])
+                    for name, held in serving
+                    if key in held
+                ]
+                if holders:
+                    located.append([key[0], key[1], holders])
+        return located
+
+
 class SweepPlan:
     """Deduplicated, dependency-ordered job queue for one sweep.
 
@@ -153,6 +285,11 @@ class SweepPlan:
         degrades to a metadata service.  ``False`` disables
         registration and makes :meth:`locate` answer nothing, which
         reproduces the PR 4/5 hub topology exactly.
+    registry:
+        Optional shared :class:`WorkerRegistry`.  ``None`` (the
+        default) creates a private one whose liveness window is the
+        classic ``3 × lease_timeout``; the experiment service passes
+        one registry to every tenant plan so the fleet view is global.
     """
 
     def __init__(
@@ -167,6 +304,7 @@ class SweepPlan:
         journal: Optional[SweepJournal] = None,
         affinity: bool = True,
         peer_sync: bool = True,
+        registry: Optional[WorkerRegistry] = None,
     ):
         if lease_timeout <= 0:
             raise ValueError(f"lease_timeout must be > 0, got {lease_timeout}")
@@ -198,14 +336,10 @@ class SweepPlan:
         self.jobs: Dict[str, Job] = {}
         self._order: List[str] = []  # creation order: grid-major, depth-minor
         self.failure: Optional[str] = None
-        #: worker name -> last contact (monotonic seconds)
-        self._workers: Dict[str, float] = {}
-        #: worker name -> stable integer slot (first-contact order)
-        self._slots: Dict[str, int] = {}
-        #: worker name -> (stage, digest) keys it reported holding
-        self._holdings: Dict[str, Set[Tuple[str, str]]] = {}
-        #: worker name -> (host, port) of its peer artifact server
-        self._peers: Dict[str, Tuple[str, int]] = {}
+        self._cancelled = False
+        self.registry = registry if registry is not None else WorkerRegistry(
+            clock=clock, liveness_window_s=3.0 * self.lease_timeout
+        )
         replayed = (
             journal.done_events(plan_id=self.plan_id) if journal is not None else {}
         )
@@ -313,35 +447,20 @@ class SweepPlan:
             return counts
 
     def worker_slot(self, worker: str) -> int:
-        with self._lock:
-            return self._slot_locked(worker)
+        return self.registry.slot(worker)
 
     def worker_ages(self) -> Dict[str, float]:
         """Seconds since each known worker was last heard from."""
-        now = self.clock()
-        with self._lock:
-            return {name: now - seen for name, seen in self._workers.items()}
-
-    def _slot_locked(self, worker: str) -> int:
-        if worker not in self._slots:
-            self._slots[worker] = len(self._slots)
-        return self._slots[worker]
+        return self.registry.ages()
 
     # ------------------------------------------------------------------
-    # Peer routing (the holdings map as an artifact routing table).
-
-    def _live_locked(self, worker: str, now: float) -> bool:
-        """Heard from within the lease-expiry window (same as exclusion)."""
-        seen = self._workers.get(worker)
-        return seen is not None and now - seen <= 3.0 * self.lease_timeout
+    # Peer routing (the registry's holdings map as a routing table).
 
     def register_peer(self, worker: str, host: str, port: int) -> None:
         """Record ``worker``'s peer artifact server address (from hello)."""
         if not self.peer_sync:
             return
-        with self._lock:
-            self._touch_locked(worker)
-            self._peers[worker] = (str(host), int(port))
+        self.registry.register_peer(worker, host, port)
 
     def locate(
         self,
@@ -360,38 +479,18 @@ class SweepPlan:
         """
         if not self.peer_sync:
             return []
-        from repro.cluster.protocol import format_address
-
-        now = self.clock()
-        located: List[List[Any]] = []
-        with self._lock:
-            serving = [
-                (name, self._holdings.get(name, ()))
-                for name, address in self._peers.items()
-                if name != exclude and self._live_locked(name, now)
-            ]
-            for stage, digest in keys:
-                key = (str(stage), str(digest))
-                holders = [
-                    format_address(self._peers[name])
-                    for name, held in serving
-                    if key in held
-                ]
-                if holders:
-                    located.append([key[0], key[1], holders])
-        return located
+        return self.registry.locate(keys, exclude=exclude)
 
     def worker_holding_count(self, worker: str) -> int:
         """How many keys the coordinator attributes to ``worker``."""
-        with self._lock:
-            return len(self._holdings.get(worker, ()))
+        return self.registry.holding_count(worker)
 
     # ------------------------------------------------------------------
     # Scheduling.
 
     def _touch_locked(self, worker: str) -> None:
-        self._workers[worker] = self.clock()
-        self._slot_locked(worker)
+        # Registry after plan lock is the one sanctioned nesting order.
+        self.registry.touch(worker)
 
     def _ready(self, job: Job) -> bool:
         return job.state == "pending" and all(
@@ -402,14 +501,10 @@ class SweepPlan:
         """Exclusion check, relaxed when honouring it would deadlock."""
         if worker not in job.excluded:
             return True
-        now = self.clock()
-        window = 3.0 * self.lease_timeout
         live_others = [
             name
-            for name, seen in self._workers.items()
-            if name != worker
-            and name not in job.excluded
-            and now - seen <= window
+            for name in self.registry.live_names()
+            if name != worker and name not in job.excluded
         ]
         return not live_others
 
@@ -480,15 +575,15 @@ class SweepPlan:
         creation order is granted, exactly as before.
         """
         self.expire_leases()
+        if holding is not None:
+            self.registry.set_holdings(worker, holding)
         with self._lock:
             self._touch_locked(worker)
-            if holding is not None:
-                self._holdings[worker] = {
-                    (str(stage), str(digest)) for stage, digest in holding
-                }
-            if self.failure is not None:
+            if self.failure is not None or self._cancelled:
                 return None
-            held = self._holdings.get(worker, ()) if self.affinity else ()
+            held = (
+                self.registry.holdings_view(worker) if self.affinity else ()
+            )
             best: Optional[Job] = None
             best_score = -1
             for job_id in self._order:
@@ -569,13 +664,13 @@ class SweepPlan:
                 # plus the target), so fold it into the routing table
                 # immediately — peers can pull from it before its next
                 # lease re-reports holdings.
-                held = self._holdings.setdefault(worker, set())
-                held.update(job.upstream)
-                held.add((job.stage, job.digest))
+                self.registry.add_holdings(
+                    worker, list(job.upstream) + [(job.stage, job.digest)]
+                )
             if not job.stats:
                 job.stats = dict(stats or {})
                 job.stats.setdefault("worker", worker)
-                job.stats.setdefault("slot", self._slot_locked(worker))
+                job.stats.setdefault("slot", self.registry.slot(worker))
             self._journal_event({
                 "event": "done",
                 "job": job.job_id,
@@ -602,6 +697,55 @@ class SweepPlan:
         with self._lock:
             if self.failure is not None:
                 raise PlanFailed(self.failure)
+
+    # ------------------------------------------------------------------
+    # Cancellation (service tenants can be withdrawn mid-flight).
+
+    @property
+    def cancelled(self) -> bool:
+        with self._lock:
+            return self._cancelled
+
+    def cancel(self) -> int:
+        """Withdraw the sweep: no further grants, live leases freed.
+
+        Returns the number of leases released.  Freed jobs go back to
+        ``pending`` with their worker and deadline cleared (no exclusion
+        — the workers did nothing wrong), but :meth:`lease` grants
+        nothing once cancelled, so the fleet immediately drains onto
+        other tenants.  A completion that still arrives for a freed job
+        is accepted as usual (content-addressed artifacts make it
+        idempotent).  Cancellation is in-memory only: resubmitting the
+        same sweep later resumes from the journal as if never cancelled.
+        """
+        with self._lock:
+            if self._cancelled:
+                return 0
+            self._cancelled = True
+            freed = 0
+            for job in self.jobs.values():
+                if job.state == "leased":
+                    job.worker = None
+                    job.deadline = None
+                    job.state = "pending"
+                    freed += 1
+            self._journal_event({
+                "event": "cancelled",
+                "plan_id": self.plan_id,
+                "leases_freed": freed,
+            })
+            get_metrics().counter("plan.cancellations").inc()
+            LOG.info(
+                "plan cancelled",
+                extra={"plan_id": self.plan_id[:16], "leases_freed": freed},
+            )
+            return freed
+
+    def journal_status(self) -> Optional[Dict[str, Any]]:
+        """The attached journal's lag/size view (``None`` without one)."""
+        if self.journal is None:
+            return None
+        return self.journal.status()
 
     # ------------------------------------------------------------------
     def job_for(self, stage_name: str, digest: str) -> Optional[Job]:

@@ -59,6 +59,16 @@ class ConnectionClosed(ProtocolError):
     """The peer closed the connection mid-message."""
 
 
+class AuthError(ProtocolError):
+    """The peer rejected our token (or the lack of one).
+
+    Raised by :class:`ClusterClient` whenever an error reply carries
+    ``"code": "auth"`` — *regardless* of ``check=False``, because an
+    authentication mismatch is a deployment error no retry loop can
+    recover from: callers must surface it loudly, not poll through it.
+    """
+
+
 def parse_address(address: Any, default_port: int = DEFAULT_PORT) -> Tuple[str, int]:
     """Normalise ``"host:port"`` / ``"host"`` / ``(host, port)`` forms.
 
@@ -118,18 +128,17 @@ def encode_blob(
 # Framing.
 
 
-def send_message(
-    wfile: BinaryIO,
+def build_frame(
     payload: Dict[str, Any],
     blob: Optional[bytes] = None,
     encoding: Optional[str] = None,
-) -> None:
-    """Write one header line (and the blob it announces, if any).
+) -> Tuple[bytes, Optional[bytes]]:
+    """Serialise one message into ``(header_line, blob)``.
 
-    ``encoding`` names how ``blob`` was encoded for the wire (today only
-    ``"gzip"``, from :func:`encode_blob`); the receiver's
-    :func:`recv_message` decodes transparently.  Only pass an encoding
-    the peer advertised — see :data:`PROTOCOL_CAPS`.
+    The pure half of :func:`send_message`, shared with the asyncio
+    transport (:mod:`repro.cluster.service`): normalises the
+    ``blob_bytes``/``blob_encoding`` keys and enforces the header size
+    limit, leaving the actual writing to the caller.
     """
     payload = dict(payload)
     if blob is not None:
@@ -144,6 +153,55 @@ def send_message(
     line = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
     if len(line) > MAX_HEADER_BYTES:
         raise ProtocolError(f"header of {len(line)} bytes exceeds protocol limit")
+    return line, blob
+
+
+def parse_header(line: bytes) -> Dict[str, Any]:
+    """Decode one header line into its payload dict (no blob handling)."""
+    if len(line) > MAX_HEADER_BYTES:
+        raise ProtocolError("header line exceeds protocol limit")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"invalid header line: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"header must be a JSON object, got {type(payload)}")
+    return payload
+
+
+def decode_wire_blob(payload: Dict[str, Any], blob: bytes) -> bytes:
+    """Undo the announced ``blob_encoding`` (popped from ``payload``).
+
+    The pure half of :func:`recv_message`'s decode step, shared with the
+    asyncio transport: surfaces the wire size as
+    ``payload["blob_wire_bytes"]`` and raises on unknown encodings.
+    """
+    encoding = payload.pop("blob_encoding", None)
+    if encoding is None:
+        return blob
+    if encoding != "gzip":
+        raise ProtocolError(f"unknown blob encoding {encoding!r}")
+    payload["blob_wire_bytes"] = len(blob)
+    try:
+        return gzip.decompress(blob)
+    except (OSError, EOFError) as error:
+        raise ProtocolError(f"corrupt gzip blob: {error}") from error
+
+
+def send_message(
+    wfile: BinaryIO,
+    payload: Dict[str, Any],
+    blob: Optional[bytes] = None,
+    encoding: Optional[str] = None,
+) -> None:
+    """Write one header line (and the blob it announces, if any).
+
+    ``encoding`` names how ``blob`` was encoded for the wire (today only
+    ``"gzip"``, from :func:`encode_blob`); the receiver's
+    :func:`recv_message` decodes transparently.  Only pass an encoding
+    the peer advertised — see :data:`PROTOCOL_CAPS`.
+    """
+    line, blob = build_frame(payload, blob, encoding)
     wfile.write(line)
     if blob is not None:
         wfile.write(blob)
@@ -162,14 +220,7 @@ def recv_message(rfile: BinaryIO) -> Tuple[Dict[str, Any], Optional[bytes]]:
     line = rfile.readline(MAX_HEADER_BYTES + 1)
     if not line:
         raise ConnectionClosed("peer closed the connection before a header")
-    if len(line) > MAX_HEADER_BYTES:
-        raise ProtocolError("header line exceeds protocol limit")
-    try:
-        payload = json.loads(line)
-    except json.JSONDecodeError as error:
-        raise ProtocolError(f"invalid header line: {error}") from error
-    if not isinstance(payload, dict):
-        raise ProtocolError(f"header must be a JSON object, got {type(payload)}")
+    payload = parse_header(line)
     blob: Optional[bytes] = None
     size = payload.pop("blob_bytes", None)
     if size is not None:
@@ -186,16 +237,7 @@ def recv_message(rfile: BinaryIO) -> Tuple[Dict[str, Any], Optional[bytes]]:
                 )
             chunks.append(chunk)
             remaining -= len(chunk)
-        blob = b"".join(chunks)
-        encoding = payload.pop("blob_encoding", None)
-        if encoding is not None:
-            if encoding != "gzip":
-                raise ProtocolError(f"unknown blob encoding {encoding!r}")
-            payload["blob_wire_bytes"] = len(blob)
-            try:
-                blob = gzip.decompress(blob)
-            except (OSError, EOFError) as error:
-                raise ProtocolError(f"corrupt gzip blob: {error}") from error
+        blob = decode_wire_blob(payload, b"".join(chunks))
     return payload, blob
 
 
@@ -204,11 +246,20 @@ def recv_message(rfile: BinaryIO) -> Tuple[Dict[str, Any], Optional[bytes]]:
 
 
 class ClusterClient:
-    """Issues single request/response exchanges against a coordinator."""
+    """Issues single request/response exchanges against a coordinator.
 
-    def __init__(self, address: Any, timeout: float = 30.0):
+    ``token`` — the shared cluster secret — is stamped onto every
+    outgoing payload when set.  A coordinator without auth ignores the
+    unknown key; a coordinator *with* auth rejects token-less requests
+    with ``"code": "auth"``, which this client raises as
+    :class:`AuthError` so mixed fleets fail loud, not silent (the same
+    degradation contract as the gzip capability handshake).
+    """
+
+    def __init__(self, address: Any, timeout: float = 30.0, token: Optional[str] = None):
         self.address = parse_address(address)
         self.timeout = timeout
+        self.token = token
 
     def request(
         self,
@@ -220,16 +271,23 @@ class ClusterClient:
         """One round trip; raises :class:`ProtocolError` on error replies.
 
         With ``check=False`` error replies (``{"ok": false, "error":
-        ...}``) are returned to the caller instead of raised.
+        ...}``) are returned to the caller instead of raised — except
+        auth rejections, which raise :class:`AuthError` unconditionally.
         ``encoding`` passes through to :func:`send_message` for blobs
         already encoded with :func:`encode_blob`.
         """
+        if self.token is not None:
+            payload = dict(payload)
+            payload.setdefault("token", self.token)
         with socket.create_connection(self.address, timeout=self.timeout) as sock:
             with sock.makefile("rb") as rfile, sock.makefile("wb") as wfile:
                 send_message(wfile, payload, blob, encoding=encoding)
                 reply, reply_blob = recv_message(rfile)
-        if check and reply.get("error"):
-            raise ProtocolError(str(reply["error"]))
+        if reply.get("error"):
+            if reply.get("code") == "auth":
+                raise AuthError(str(reply["error"]))
+            if check:
+                raise ProtocolError(str(reply["error"]))
         return reply, reply_blob
 
     def status(self) -> Dict[str, Any]:

@@ -1,0 +1,583 @@
+"""The always-on experiment service: multi-tenant sweeps on one loop.
+
+:class:`ExperimentService` turns the cluster stack from "run a sweep"
+into "serve sweep traffic": one asyncio event loop runs two listeners —
+
+- the **worker plane**: the existing JSON line protocol
+  (:mod:`repro.cluster.protocol`), served by an asyncio transport that
+  feeds the same :class:`~repro.cluster.coordinator.CoordinatorCore`
+  dispatch the blocking coordinator uses.  Workers stay generic: one
+  ``lease`` call draws from *any* active sweep and the grant carries a
+  ``sweep_id`` the worker echoes on heartbeat/complete/fail;
+- the **control plane**: the HTTP/JSON API of
+  :mod:`repro.cluster.http_api` (`POST /sweeps`, `GET /sweeps/{id}`,
+  `POST /sweeps/{id}/cancel`, `GET /sweeps/{id}/results`,
+  `GET /fleet`), through which clients submit and harvest sweeps.
+
+Each tenant sweep owns its :class:`~repro.cluster.plan.SweepPlan` and
+(optionally) its own :class:`~repro.cluster.journal.SweepJournal` —
+journal files are keyed by ``sweep_id`` under ``journal_dir``, so
+compaction and replay are strictly per tenant — while every tenant
+shares ONE :class:`~repro.pipeline.store.ArtifactStore` (cross-sweep
+fingerprint dedupe comes for free: a stage another tenant already
+computed needs no job at all) and ONE
+:class:`~repro.cluster.plan.WorkerRegistry` (liveness, affinity
+holdings and the peer routing table describe the whole fleet).
+
+Sweep identity is deterministic: ``sweep_id`` fingerprints the config ×
+grid, so resubmitting after a service crash reattaches to the same
+journal and replays it — the restart story is "resubmit everything,
+re-execute nothing".  Scheduling state lives in plans (thread-safe,
+lock-based), so request handling runs in the loop's default thread pool
+and the event loop itself only ever parses frames and shuttles bytes.
+
+``shutdown_when_idle=True`` reproduces the classic single-shot
+lifecycle (workers get ``shutdown`` once every submitted sweep
+finished); ``repro cluster sweep`` is exactly that: an in-process
+serve → submit → wait → assemble composition.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.cluster.coordinator import CoordinatorCore, SweepEndpoint
+from repro.cluster.executor import DistributionTimeout, assemble_point
+from repro.cluster.http_api import HttpControlPlane
+from repro.cluster.journal import SweepJournal
+from repro.cluster.plan import PlanFailed, SweepPlan, WorkerRegistry
+from repro.cluster.protocol import (
+    MAX_HEADER_BYTES,
+    ProtocolError,
+    build_frame,
+    decode_wire_blob,
+    parse_header,
+)
+from repro.core.config import SparkXDConfig
+from repro.pipeline.runner import RunRecord
+from repro.pipeline.store import ArtifactStore, fingerprint
+from repro.telemetry import current_context, get_logger, get_metrics
+
+LOG = get_logger(__name__)
+
+
+def sweep_identity(
+    base_config: SparkXDConfig, grid: Mapping[str, Sequence[Any]]
+) -> str:
+    """Deterministic sweep id: fingerprint of the config × grid.
+
+    Stable across processes, restarts, and the JSON round trip of the
+    control plane (``canonical_form`` normalises tuples vs. lists), so
+    a resubmitted sweep lands on the same journal file and an identical
+    concurrent submission reattaches instead of duplicating work.
+    """
+    return fingerprint(
+        {"config": base_config.to_wire(), "grid": dict(grid)}
+    )[:12]
+
+
+@dataclass
+class ManagedSweep:
+    """One tenant: its plan, its journal, its lifecycle state."""
+
+    sweep_id: str
+    plan: SweepPlan
+    journal: Optional[SweepJournal] = None
+    name: Optional[str] = None
+    #: Trace context adopted by lease grants of THIS sweep (the
+    #: submitter's active span), so worker job spans join the
+    #: submitting client's trace, tenant by tenant.
+    trace_context: Optional[Dict[str, str]] = None
+    created_at: float = field(default_factory=time.time)
+    #: Assembled records, cached after the first ``results`` call —
+    #: assembly is deterministic, so one pass serves every poller.
+    records: Optional[List[RunRecord]] = None
+
+    @property
+    def state(self) -> str:
+        return self.endpoint().state
+
+    def endpoint(self) -> SweepEndpoint:
+        return SweepEndpoint(
+            sweep_id=self.sweep_id,
+            plan=self.plan,
+            trace_context=self.trace_context,
+            name=self.name,
+        )
+
+
+class ExperimentService:
+    """Persistent multi-sweep coordinator with an HTTP control plane.
+
+    Parameters
+    ----------
+    store:
+        The one shared artifact store (in-memory by default; pass a
+        disk-backed store for real deployments).
+    host / port:
+        Bind address of the worker line-protocol listener (port 0 =
+        ephemeral; read :attr:`worker_address` after :meth:`start`).
+    http_host / http_port:
+        Bind address of the HTTP control plane (defaults: same host,
+        ephemeral port; read :attr:`http_address`).
+    token:
+        Shared secret enforced on BOTH planes (line ops and HTTP
+        bearer); ``None`` disables auth.
+    lease_timeout / max_attempts / affinity / peer_sync / poll_s:
+        Scheduling semantics, applied to every tenant plan (see
+        :class:`~repro.cluster.plan.SweepPlan`).
+    journal_dir:
+        Directory for per-tenant journals (``sweep-<sweep_id>.jsonl``).
+        ``None`` disables journaling unless a submit passes an explicit
+        path.
+    compact_every:
+        Per-tenant auto-compaction threshold (journal events).
+    shutdown_when_idle:
+        ``True`` restores the classic lifecycle: once every submitted
+        sweep is finished, workers are told to shut down.  The default
+        ``False`` keeps the fleet polling for future submissions.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ArtifactStore] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        http_host: Optional[str] = None,
+        http_port: int = 0,
+        *,
+        token: Optional[str] = None,
+        lease_timeout: float = 30.0,
+        max_attempts: int = 3,
+        poll_s: Optional[float] = None,
+        affinity: bool = True,
+        peer_sync: bool = True,
+        journal_dir: Optional[Union[str, Path]] = None,
+        compact_every: Optional[int] = None,
+        shutdown_when_idle: bool = False,
+        wire_cache_bytes: int = 64 * 1024 * 1024,
+    ):
+        self.store = store if store is not None else ArtifactStore()
+        self.bind_host = str(host)
+        self.bind_port = int(port)
+        self.http_host = str(http_host) if http_host is not None else self.bind_host
+        self.http_port = int(http_port)
+        self.token = token
+        self.lease_timeout = float(lease_timeout)
+        self.max_attempts = int(max_attempts)
+        self.poll_s = (
+            float(poll_s)
+            if poll_s is not None
+            else min(1.0, self.lease_timeout / 4.0)
+        )
+        self.affinity = bool(affinity)
+        self.peer_sync = bool(peer_sync)
+        self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        self.compact_every = None if compact_every is None else int(compact_every)
+        self.registry = WorkerRegistry(
+            liveness_window_s=3.0 * self.lease_timeout
+        )
+        self._lock = threading.Lock()
+        self._sweeps: Dict[str, ManagedSweep] = {}
+        self._order: List[str] = []  # submission order = lease priority
+        self.core = CoordinatorCore(
+            self.store,
+            self._endpoints,
+            self.registry,
+            token=token,
+            poll_s=self.poll_s,
+            wire_cache_bytes=wire_cache_bytes,
+            peer_sync=self.peer_sync,
+            persistent=not shutdown_when_idle,
+        )
+        self.http = HttpControlPlane(self, token=token)
+        #: Bound addresses, set by :meth:`start`.
+        self.worker_address: Optional[Tuple[str, int]] = None
+        self.http_address: Optional[Tuple[str, int]] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._line_server: Optional[asyncio.AbstractServer] = None
+        self._http_server: Optional[asyncio.AbstractServer] = None
+        self._expiry_task: Optional["asyncio.Task[None]"] = None
+
+    # ------------------------------------------------------------------
+    # Tenant registry.
+
+    def _endpoints(self) -> Tuple[SweepEndpoint, ...]:
+        with self._lock:
+            return tuple(
+                self._sweeps[sweep_id].endpoint() for sweep_id in self._order
+            )
+
+    def submit(
+        self,
+        base_config: SparkXDConfig,
+        grid: Mapping[str, Sequence[Any]],
+        *,
+        name: Optional[str] = None,
+        journal_path: Optional[Union[str, Path]] = None,
+        resume: Any = "auto",
+        compact_every: Optional[int] = None,
+        trace_context: Optional[Dict[str, str]] = None,
+    ) -> ManagedSweep:
+        """Register a sweep; idempotent on the deterministic sweep id.
+
+        ``resume`` — ``"auto"`` (default) replays an existing journal
+        file and starts fresh otherwise; ``True``/``False`` force the
+        :class:`~repro.cluster.journal.SweepJournal` behaviour.
+        ``trace_context`` defaults to the caller's current span, so
+        in-process submitters (``cluster sweep``) parent worker job
+        spans under their own trace; HTTP submits pass ``None``.
+        """
+        sweep_id = sweep_identity(base_config, grid)
+        with self._lock:
+            existing = self._sweeps.get(sweep_id)
+            if existing is not None:
+                # Reattach: same config × grid is the same sweep.  The
+                # done work is shared; the caller polls the same id.
+                return existing
+            path = Path(journal_path) if journal_path is not None else None
+            if path is None and self.journal_dir is not None:
+                path = self.journal_dir / f"sweep-{sweep_id}.jsonl"
+            journal: Optional[SweepJournal] = None
+            if path is not None:
+                do_resume = (
+                    path.exists() and path.stat().st_size > 0
+                    if resume == "auto"
+                    else bool(resume)
+                )
+                journal = SweepJournal(
+                    path,
+                    resume=do_resume,
+                    compact_every=(
+                        self.compact_every
+                        if compact_every is None
+                        else int(compact_every)
+                    ),
+                )
+            try:
+                plan = SweepPlan(
+                    base_config,
+                    grid,
+                    self.store,
+                    lease_timeout=self.lease_timeout,
+                    max_attempts=self.max_attempts,
+                    journal=journal,
+                    affinity=self.affinity,
+                    peer_sync=self.peer_sync,
+                    registry=self.registry,
+                )
+            except Exception:
+                if journal is not None:
+                    journal.close()
+                raise
+            managed = ManagedSweep(
+                sweep_id=sweep_id,
+                plan=plan,
+                journal=journal,
+                name=name,
+                trace_context=(
+                    trace_context
+                    if trace_context is not None
+                    else current_context()
+                ),
+            )
+            self._sweeps[sweep_id] = managed
+            self._order.append(sweep_id)
+        get_metrics().counter("service.sweeps_submitted").inc()
+        LOG.info(
+            "sweep submitted",
+            extra={
+                "sweep_id": sweep_id,
+                "name": name,
+                "jobs": len(plan.jobs),
+                "replayed_done": plan.replayed_done,
+                "journal": str(path) if path is not None else None,
+            },
+        )
+        return managed
+
+    def _get(self, sweep_id: str) -> ManagedSweep:
+        with self._lock:
+            managed = self._sweeps.get(str(sweep_id))
+        if managed is None:
+            raise KeyError(f"unknown sweep {sweep_id!r}")
+        return managed
+
+    def describe(self, sweep_id: str) -> Dict[str, Any]:
+        """One tenant's status: state, counts, failure, journal lag."""
+        managed = self._get(sweep_id)
+        payload: Dict[str, Any] = {
+            "sweep_id": managed.sweep_id,
+            "name": managed.name,
+            "state": managed.state,
+            "plan_id": managed.plan.plan_id,
+            "grid_points": len(managed.plan.configs),
+            "replayed_done": managed.plan.replayed_done,
+            "failure": managed.plan.failure,
+        }
+        payload.update(managed.plan.counts())
+        journal = managed.plan.journal_status()
+        if journal is not None:
+            payload["journal"] = journal
+        return payload
+
+    def cancel(self, sweep_id: str) -> Dict[str, Any]:
+        """Withdraw a tenant: frees its live leases, grants nothing new."""
+        managed = self._get(sweep_id)
+        freed = managed.plan.cancel()
+        get_metrics().counter("service.sweeps_cancelled").inc()
+        LOG.info(
+            "sweep cancelled",
+            extra={"sweep_id": managed.sweep_id, "leases_freed": freed},
+        )
+        return {
+            "sweep_id": managed.sweep_id,
+            "state": managed.state,
+            "leases_freed": freed,
+        }
+
+    def results(self, sweep_id: str) -> List[RunRecord]:
+        """Assemble (once) and return a finished sweep's records.
+
+        Raises :class:`KeyError` for unknown ids,
+        :class:`~repro.cluster.plan.PlanFailed` for failed sweeps, and
+        :class:`RuntimeError` while the sweep is still running or was
+        cancelled — the HTTP layer maps those to 404/409.
+        """
+        managed = self._get(sweep_id)
+        if managed.records is not None:
+            return list(managed.records)
+        plan = managed.plan
+        plan.raise_on_failure()
+        if plan.cancelled:
+            raise RuntimeError(f"sweep {sweep_id} was cancelled")
+        if not plan.done:
+            counts = plan.counts()
+            raise RuntimeError(
+                f"sweep {sweep_id} is not complete (job states: {counts})"
+            )
+        records = [
+            assemble_point(plan, self.store, params, config, keys)
+            for params, config, keys in zip(
+                plan.param_sets, plan.configs, plan.chain_keys
+            )
+        ]
+        managed.records = records
+        return list(records)
+
+    def fleet(self) -> Dict[str, Any]:
+        """The whole-service view (same shape as the ``status`` op)."""
+        return self.core.status_view()
+
+    def wait(
+        self,
+        sweep_id: str,
+        timeout: Optional[float] = None,
+        poll_s: float = 0.05,
+    ) -> str:
+        """Block until a sweep leaves ``running``; returns final state.
+
+        In-process convenience for the thin ``cluster sweep``
+        composition and tests; remote clients poll
+        :meth:`~repro.cluster.http_api.ServiceClient.wait` instead.
+        Raises :class:`~repro.cluster.plan.PlanFailed` on failure and
+        :class:`~repro.cluster.executor.DistributionTimeout` on
+        ``timeout``.
+        """
+        managed = self._get(sweep_id)
+        plan = managed.plan
+        deadline = (
+            None if timeout is None else time.monotonic() + float(timeout)
+        )
+        while True:
+            plan.expire_leases()
+            plan.raise_on_failure()
+            state = managed.state
+            if state in ("done", "cancelled"):
+                return state
+            if deadline is not None and time.monotonic() > deadline:
+                raise DistributionTimeout(
+                    f"sweep {sweep_id} incomplete after {timeout}s — are "
+                    f"workers connected to {self.worker_address}?",
+                    counts=plan.counts(),
+                    worker_ages=plan.worker_ages(),
+                )
+            time.sleep(max(0.01, float(poll_s)))
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+
+    def start(self) -> "ExperimentService":
+        """Bind both listeners on a fresh background event loop."""
+        if self._loop is not None:
+            raise RuntimeError("service already started")
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="repro-experiment-service",
+            daemon=True,
+        )
+        self._thread.start()
+        future = asyncio.run_coroutine_threadsafe(self._start_async(), self._loop)
+        future.result(timeout=30.0)
+        LOG.info(
+            "experiment service listening",
+            extra={
+                "workers": self.worker_address,
+                "control": self.http_address,
+                "auth": self.token is not None,
+            },
+        )
+        return self
+
+    async def _start_async(self) -> None:
+        self._line_server = await asyncio.start_server(
+            self._handle_line,
+            host=self.bind_host,
+            port=self.bind_port,
+            limit=MAX_HEADER_BYTES + 1024,
+        )
+        self.worker_address = self._line_server.sockets[0].getsockname()[:2]
+        self._http_server = await asyncio.start_server(
+            self.http.handle,
+            host=self.http_host,
+            port=self.http_port,
+            limit=MAX_HEADER_BYTES + 1024,
+        )
+        self.http_address = self._http_server.sockets[0].getsockname()[:2]
+        self._expiry_task = asyncio.get_running_loop().create_task(
+            self._expiry_loop()
+        )
+
+    async def _expiry_loop(self) -> None:
+        """Detect worker death even when nobody polls: expire leases.
+
+        The blocking executor gets this for free from its assembly
+        loop; a persistent service needs its own tick, or a dead
+        worker's lease would only requeue when some other worker's
+        lease call happens to run expiry.
+        """
+        tick = max(0.05, min(1.0, self.lease_timeout / 4.0))
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(tick)
+            await loop.run_in_executor(None, self._expire_all)
+
+    def _expire_all(self) -> None:
+        for endpoint in self._endpoints():
+            try:
+                endpoint.plan.expire_leases()
+            except Exception:  # journaling I/O error must not kill the tick
+                LOG.exception(
+                    "lease expiry failed", extra={"sweep_id": endpoint.sweep_id}
+                )
+
+    async def _handle_line(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Asyncio transport for the worker line protocol.
+
+        Frame parsing happens on the loop; dispatch (plan locks, store
+        I/O, pickling) runs in the default thread pool — the same
+        thread-safe :class:`CoordinatorCore` the blocking server uses.
+        """
+        peer = writer.get_extra_info("peername")
+        client_host = str(peer[0]) if peer else "127.0.0.1"
+        try:
+            try:
+                line = await reader.readline()
+                if not line:
+                    return
+                payload = parse_header(line)
+                blob: Optional[bytes] = None
+                size = payload.pop("blob_bytes", None)
+                if size is not None:
+                    size = int(size)
+                    if size < 0:
+                        raise ProtocolError(f"negative blob size {size}")
+                    blob = decode_wire_blob(
+                        payload, await reader.readexactly(size)
+                    )
+            except (
+                ProtocolError,
+                ValueError,
+                asyncio.IncompleteReadError,
+                ConnectionError,
+            ):
+                return  # half-open or malformed; nothing to answer
+            loop = asyncio.get_running_loop()
+            try:
+                reply, reply_blob, reply_encoding = await loop.run_in_executor(
+                    None, self.core.dispatch, payload, blob, client_host
+                )
+            except Exception as error:  # surface, don't kill the listener
+                reply, reply_blob, reply_encoding = (
+                    {"error": f"{type(error).__name__}: {error}"},
+                    None,
+                    None,
+                )
+            try:
+                header, wire_blob = build_frame(reply, reply_blob, reply_encoding)
+                writer.write(header)
+                if wire_blob is not None:
+                    writer.write(wire_blob)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # requester vanished; the protocol is stateless
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    def stop(self) -> None:
+        """Close both listeners, stop the loop, close tenant journals."""
+        loop = self._loop
+        if loop is not None:
+            future = asyncio.run_coroutine_threadsafe(self._stop_async(), loop)
+            with contextlib.suppress(Exception):
+                future.result(timeout=10.0)
+            loop.call_soon_threadsafe(loop.stop)
+            if self._thread is not None:
+                self._thread.join(timeout=10.0)
+                self._thread = None
+            loop.close()
+            self._loop = None
+        with self._lock:
+            managed_sweeps = list(self._sweeps.values())
+        for managed in managed_sweeps:
+            if managed.journal is not None:
+                managed.journal.close()
+
+    async def _stop_async(self) -> None:
+        if self._expiry_task is not None:
+            self._expiry_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._expiry_task
+            self._expiry_task = None
+        for server in (self._line_server, self._http_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        self._line_server = None
+        self._http_server = None
+
+    def __enter__(self) -> "ExperimentService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+__all__ = [
+    "ExperimentService",
+    "ManagedSweep",
+    "PlanFailed",
+    "sweep_identity",
+]

@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from repro.cluster.protocol import (
+    AuthError,
     ClusterClient,
     ProtocolError,
     encode_blob,
@@ -127,10 +128,18 @@ class WorkerStats:
 class _LeaseHeartbeat:
     """Renews one lease from a daemon thread while a job runs."""
 
-    def __init__(self, client: ClusterClient, worker: str, job_id: str, interval: float):
+    def __init__(
+        self,
+        client: ClusterClient,
+        worker: str,
+        job_id: str,
+        interval: float,
+        sweep_id: Optional[str] = None,
+    ):
         self._client = client
         self._worker = worker
         self._job_id = job_id
+        self._sweep_id = sweep_id
         self._interval = max(0.05, interval)
         self._stop = threading.Event()
         self.lease_lost = False
@@ -140,24 +149,30 @@ class _LeaseHeartbeat:
 
     def _run(self) -> None:
         while not self._stop.wait(self._interval):
+            request = {
+                "op": "heartbeat",
+                "worker": self._worker,
+                "job_id": self._job_id,
+                # Periodic beats are the natural piggyback for
+                # the cumulative metrics snapshot: the
+                # coordinator's fleet view stays fresh while a
+                # long job runs, at zero extra round trips.
+                "telemetry": telemetry_snapshot(),
+            }
+            if self._sweep_id is not None:
+                request["sweep_id"] = self._sweep_id
             try:
-                reply, _ = self._client.request(
-                    {
-                        "op": "heartbeat",
-                        "worker": self._worker,
-                        "job_id": self._job_id,
-                        # Periodic beats are the natural piggyback for
-                        # the cumulative metrics snapshot: the
-                        # coordinator's fleet view stays fresh while a
-                        # long job runs, at zero extra round trips.
-                        "telemetry": telemetry_snapshot(),
-                    }
-                )
+                reply, _ = self._client.request(request)
                 if not reply.get("ok", False):
                     # Lease revoked (expiry raced us).  Keep computing:
                     # completion is idempotent and content-addressed, so
                     # finishing is still useful — but remember it.
                     self.lease_lost = True
+            except AuthError:
+                # The main loop will hit the same rejection on its next
+                # request and exit loudly; beating again is pointless.
+                self.lease_lost = True
+                return
             except (OSError, ProtocolError):
                 pass  # transient; the next beat retries
 
@@ -308,6 +323,12 @@ class WorkerAgent:
         no ``peer_port`` in hello, every byte via the coordinator).
     peer_port:
         Fixed port for the peer server (0 = ephemeral, the default).
+    token:
+        Shared cluster secret; stamped onto every request.  A
+        token-requiring coordinator rejects tokenless workers with an
+        :class:`~repro.cluster.protocol.AuthError`, on which this agent
+        exits immediately and loudly (recorded in ``stats.errors``) —
+        an auth mismatch is a deployment error, not a transient.
     """
 
     def __init__(
@@ -321,8 +342,9 @@ class WorkerAgent:
         max_jobs: Optional[int] = None,
         peer: bool = True,
         peer_port: int = 0,
+        token: Optional[str] = None,
     ):
-        self.client = ClusterClient(address, timeout=client_timeout)
+        self.client = ClusterClient(address, timeout=client_timeout, token=token)
         self.name = name or default_worker_name()
         self.store = store if store is not None else ArtifactStore()
         self.max_idle_s = float(max_idle_s)
@@ -367,6 +389,8 @@ class WorkerAgent:
         request["telemetry"] = telemetry_snapshot()
         try:
             reply, _ = self.client.request(request)
+        except AuthError:
+            raise  # deployment error: surface through the run loop
         except (OSError, ProtocolError):
             return
         if "slot" in reply:
@@ -389,6 +413,19 @@ class WorkerAgent:
                 self._peer_server = None
 
     def _run_loop(self) -> WorkerStats:
+        try:
+            return self._lease_loop()
+        except AuthError as error:
+            # Loud, immediate exit: a token mismatch never heals by
+            # retrying, and silently polling through it would look like
+            # a healthy-but-idle worker to the operator.
+            message = f"authentication rejected by coordinator: {error}"
+            self.stats.errors.append(message)
+            get_metrics().counter("worker.auth_rejects").inc()
+            LOG.error("worker auth rejected", extra={"worker": self.name})
+            return self.stats
+
+    def _lease_loop(self) -> WorkerStats:
         # Register up front so the coordinator assigns the stable slot
         # (and learns our peer address) before any lease, and
         # monitoring sees the worker immediately.
@@ -405,6 +442,8 @@ class WorkerAgent:
             request["telemetry"] = telemetry_snapshot()
             try:
                 reply, _ = self.client.request(request)
+            except AuthError:
+                raise  # handled (loudly) one frame up
             except (OSError, ProtocolError) as error:
                 # The coordinator may be restarting (crash + --resume):
                 # its holdings map and peer registry start empty, so
@@ -433,7 +472,10 @@ class WorkerAgent:
                 self._stop.wait(float(reply.get("wait", self.retry_s)))
                 continue
             self._execute(
-                job, sources=reply.get("sources"), trace=reply.get("trace")
+                job,
+                sources=reply.get("sources"),
+                trace=reply.get("trace"),
+                sweep_id=reply.get("sweep_id"),
             )
         return self.stats
 
@@ -443,6 +485,7 @@ class WorkerAgent:
         job: Dict[str, Any],
         sources: Optional[Any] = None,
         trace: Optional[Dict[str, str]] = None,
+        sweep_id: Optional[str] = None,
     ) -> None:
         job_id = str(job["job_id"])
         depth = int(job["depth"])
@@ -464,12 +507,16 @@ class WorkerAgent:
             # outlast the lease, and an unrenewed lease would requeue a
             # job that is making perfectly healthy progress.
             with _LeaseHeartbeat(
-                self.client, self.name, job_id, lease_s / 3.0
+                self.client, self.name, job_id, lease_s / 3.0, sweep_id=sweep_id
             ) as heartbeat, adopt_context(trace), span(
                 "cluster.job",
                 job=str(job.get("display_id", job_id)),
                 stage=str(job.get("stage", "")),
                 worker=self.name,
+                # The tenant dimension: "" in single-sweep mode, the
+                # service's sweep_id otherwise, so fleet traces split
+                # per tenant (docs/telemetry.md).
+                sweep=str(sweep_id or ""),
             ):
                 # Upstream artifacts first: everything the chain prefix
                 # could restore instead of recompute.  Anything the
@@ -493,15 +540,18 @@ class WorkerAgent:
                 "job failed",
                 extra={"job_id": job_id, "worker": self.name, "reason": message},
             )
+            report: Dict[str, Any] = {
+                "op": "fail",
+                "worker": self.name,
+                "job_id": job_id,
+                "error": message,
+            }
+            if sweep_id is not None:
+                report["sweep_id"] = sweep_id
             try:
-                self.client.request(
-                    {
-                        "op": "fail",
-                        "worker": self.name,
-                        "job_id": job_id,
-                        "error": message,
-                    }
-                )
+                self.client.request(report)
+            except AuthError:
+                raise  # handled (loudly) one frame up
             except (OSError, ProtocolError):
                 pass  # lease expiry will requeue it anyway
             return
@@ -541,16 +591,19 @@ class WorkerAgent:
         self.stats.sync_retries += sync.retries
         self.stats.sync_s += sync.seconds
         self.stats.exec_s += sum(pipeline.stage_timings.values())
+        completion: Dict[str, Any] = {
+            "op": "complete",
+            "worker": self.name,
+            "job_id": job_id,
+            "stats": stats,
+            "telemetry": telemetry_snapshot(),
+        }
+        if sweep_id is not None:
+            completion["sweep_id"] = sweep_id
         try:
-            reply, _ = self.client.request(
-                {
-                    "op": "complete",
-                    "worker": self.name,
-                    "job_id": job_id,
-                    "stats": stats,
-                    "telemetry": telemetry_snapshot(),
-                }
-            )
+            reply, _ = self.client.request(completion)
+        except AuthError:
+            raise  # handled (loudly) one frame up
         except (OSError, ProtocolError) as error:
             # The artifacts are pushed; a lost completion only costs a
             # redundant re-lease of an already-satisfiable job.

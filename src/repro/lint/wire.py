@@ -18,12 +18,28 @@ jobs).  Both directions are checked across all of them:
   may serve out-of-tree tooling, but more often it is dead or drifted
   protocol; a module "emitting" only to its own dispatch proves
   nothing about the wire).
+
+The HTTP control plane (``cluster/http_api.py``) is the same trap in a
+different syntax: ``ServiceClient`` emits ``http_request("GET",
+f"/sweeps/{id}")`` strings while the server dispatches on a ``ROUTES``
+table of ``(method, path_template, handler_name)`` rows.  The rule
+cross-checks that table too:
+
+- a client path **emitted** (``.http_request(METHOD, PATH)``, constant
+  or f-string — placeholders match template parameters) with no
+  ``ROUTES`` row is an *error* (guaranteed 404);
+- a ``ROUTES`` row no client emits is a *warning* (unlike ops, the
+  client lives in the same module as the table, so same-module
+  emission counts);
+- a ``ROUTES`` row naming a handler with no ``_route_<name>`` function
+  in the module is an *error* (dispatch would die at request time).
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Sequence, Set, Tuple
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.lint.base import (
     Checker,
@@ -51,10 +67,12 @@ class ProtocolConsistencyChecker(Checker):
         ),
         emitter_dir: str = "cluster/",
         op_key: str = "op",
+        http_suffix: str = "cluster/http_api.py",
     ):
         self.handler_suffixes = tuple(handler_suffixes)
         self.emitter_dir = emitter_dir
         self.op_key = op_key
+        self.http_suffix = http_suffix
 
     def _is_handler(self, module: SourceModule) -> bool:
         return any(module.relpath.endswith(s) for s in self.handler_suffixes)
@@ -66,6 +84,10 @@ class ProtocolConsistencyChecker(Checker):
 
     # ------------------------------------------------------------------
     def check_project(self, modules: Sequence[SourceModule]) -> Iterator[Finding]:
+        yield from self._check_ops(modules)
+        yield from self._check_http_routes(modules)
+
+    def _check_ops(self, modules: Sequence[SourceModule]) -> Iterator[Finding]:
         handlers = [m for m in modules if self._is_handler(m)]
         emitters = [m for m in modules if self._is_emitter(m)]
         if not handlers:
@@ -117,6 +139,78 @@ class ProtocolConsistencyChecker(Checker):
                         "external tooling)"
                     ),
                 )
+
+    def _check_http_routes(
+        self, modules: Sequence[SourceModule]
+    ) -> Iterator[Finding]:
+        route_modules = [
+            m for m in modules if m.relpath.endswith(self.http_suffix)
+        ]
+        if not route_modules:
+            return
+        routes: Dict[Tuple[str, str], List[Tuple[SourceModule, int, str]]] = {}
+        for module in route_modules:
+            for method, path, handler, line in _http_routes(module.tree):
+                key = (method.upper(), _normalize_http_path(path))
+                routes.setdefault(key, []).append((module, line, handler))
+        emitted: Dict[Tuple[str, str], List[Tuple[SourceModule, int, str]]] = {}
+        for module in modules:
+            if self.emitter_dir not in module.relpath:
+                continue
+            for method, path, line, symbol in _emitted_http_requests(module.tree):
+                key = (method.upper(), _normalize_http_path(path))
+                emitted.setdefault(key, []).append((module, line, symbol))
+
+        for key in sorted(set(emitted) - set(routes)):
+            method, path = key
+            for module, line, symbol in emitted[key]:
+                yield Finding(
+                    rule=self.rule,
+                    severity="error",
+                    path=module.relpath,
+                    line=line,
+                    symbol=symbol or path,
+                    message=(
+                        f"HTTP request {method} {path!r} is emitted here "
+                        "but matches no row of the control-plane ROUTES "
+                        "table; the call can only produce a 404"
+                    ),
+                )
+        for key in sorted(routes):
+            method, path = key
+            for module, line, handler in routes[key]:
+                # Unlike line-protocol ops, the route table and the
+                # client live in the same module by design — any
+                # in-tree emission (same module included) matches.
+                if key not in emitted:
+                    yield Finding(
+                        rule=self.rule,
+                        severity="warning",
+                        path=module.relpath,
+                        line=line,
+                        symbol=handler or path,
+                        message=(
+                            f"ROUTES row {method} {path!r} has no in-tree "
+                            "client emitting it; dead control-plane surface "
+                            "drifts silently (add a ServiceClient helper, or "
+                            "suppress if it serves external tooling)"
+                        ),
+                    )
+                function_name = f"_route_{handler}"
+                if function_name not in _defined_functions(module.tree):
+                    yield Finding(
+                        rule=self.rule,
+                        severity="error",
+                        path=module.relpath,
+                        line=line,
+                        symbol=handler or path,
+                        message=(
+                            f"ROUTES row {method} {path!r} names handler "
+                            f"{handler!r} but the module defines no "
+                            f"{function_name}(); dispatch would fail at "
+                            "request time"
+                        ),
+                    )
 
 
 # ----------------------------------------------------------------------
@@ -185,6 +279,98 @@ def _handled_ops(module: SourceModule, op_key: str):
         consts = [s for s in sides if const_str(s) is not None]
         if calls and consts:
             yield const_str(consts[0]), node.lineno, symbols.get(node, "")
+
+
+# ----------------------------------------------------------------------
+# HTTP control-plane extraction.
+
+
+def _normalize_http_path(path: str) -> str:
+    """Collapse template parameters and f-string holes to ``{}``.
+
+    ``/sweeps/{sweep_id}/cancel`` (route template) and the client's
+    ``f"/sweeps/{sweep_id}/cancel"`` (already hole-collapsed by
+    :func:`_fstring_path`) both normalise to ``/sweeps/{}/cancel``.
+    """
+    return re.sub(r"\{[^{}/]*\}", "{}", path)
+
+
+def _fstring_path(node: ast.JoinedStr) -> Optional[str]:
+    """An f-string as a path pattern: interpolations become ``{}``."""
+    parts: List[str] = []
+    for value in node.values:
+        if isinstance(value, ast.FormattedValue):
+            parts.append("{}")
+            continue
+        text = const_str(value)
+        if text is None:
+            return None
+        parts.append(text)
+    return "".join(parts)
+
+
+def _path_pattern(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.JoinedStr):
+        return _fstring_path(node)
+    return const_str(node)
+
+
+def _http_routes(tree: ast.AST):
+    """``(method, path, handler, line)`` rows of a ``ROUTES`` table.
+
+    Recognises plain and annotated assignments to a name ending in
+    ``ROUTES`` whose value is a tuple/list of 3-tuples of string
+    constants.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        else:
+            continue
+        if not (isinstance(target, ast.Name) and target.id.endswith("ROUTES")):
+            continue
+        if not isinstance(value, (ast.Tuple, ast.List)):
+            continue
+        for row in value.elts:
+            if not isinstance(row, (ast.Tuple, ast.List)) or len(row.elts) != 3:
+                continue
+            method, path, handler = (const_str(e) for e in row.elts)
+            if method is not None and path is not None and handler is not None:
+                yield method, path, handler, row.lineno
+
+
+def _emitted_http_requests(tree: ast.AST):
+    """``(method, path, line, scope)`` for ``http_request(...)`` calls.
+
+    Matches direct and attribute calls (``self.http_request`` /
+    ``client.http_request``) whose first two arguments are a constant
+    method string and a constant-or-f-string path.
+    """
+    symbols = enclosing_symbols(tree)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or len(node.args) < 2:
+            continue
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+        else:
+            name = (attribute_chain(node.func) or "").rpartition(".")[2]
+        if name != "http_request":
+            continue
+        method = const_str(node.args[0])
+        path = _path_pattern(node.args[1])
+        if method is not None and path is not None:
+            yield method, path, node.lineno, symbols.get(node, "")
+
+
+def _defined_functions(tree: ast.AST) -> Set[str]:
+    """Every function/method name defined anywhere in the module."""
+    return {
+        node.name
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
 
 
 __all__ = ["ProtocolConsistencyChecker"]

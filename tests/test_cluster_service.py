@@ -1,0 +1,341 @@
+"""Experiment-service tests: multi-tenant sweeps, auth, journal isolation.
+
+Three layers:
+
+- **scheduling** (no sockets): tenant registry semantics, deterministic
+  sweep ids, cancel, per-tenant journal isolation across a simulated
+  SIGKILL + service restart (zero re-executions, no cross-tenant
+  done-map bleed);
+- **end-to-end** (real sockets, module-scoped): one service, two
+  overlapping sweeps, a 2-worker fleet, records value-identical to the
+  serial Runner; the control-plane HTTP API against the live service;
+- **auth**: unauthenticated/mistokened requests rejected loudly on
+  both planes.
+"""
+
+import threading
+
+import pytest
+
+from repro import SparkXDConfig
+from repro.analysis.export import records_equivalent
+from repro.cluster import (
+    AuthError,
+    ClusterClient,
+    ExperimentService,
+    ServiceAuthError,
+    ServiceClient,
+    ServiceError,
+    WorkerAgent,
+    sweep_identity,
+)
+from repro.pipeline import ArtifactStore, Runner
+from repro.pipeline.runner import RunRecord
+
+TINY = SparkXDConfig.small(
+    n_train=40,
+    n_test=25,
+    n_neurons=12,
+    n_steps=30,
+    baseline_epochs=1,
+    ber_rates=(1e-5, 1e-3),
+    accuracy_bound=0.5,
+)
+GRID_A = {"voltages": [(1.325,), (1.025,)]}
+#: Shares TINY's training chain but is a distinct sweep (its own id,
+#: plan and journal) — the overlap exercises cross-tenant dedupe.
+GRID_B = {"voltages": [(1.125,)]}
+TOKEN = "sweep-secret"
+
+
+def drain(plan, worker="w1", limit=500):
+    """Drive a plan to completion without a pipeline (synthetic bytes)."""
+    for _ in range(limit):
+        job = plan.lease(worker)
+        if job is None:
+            assert plan.done
+            return
+        plan.store.put(job.stage, job.digest, f"artifact-{job.job_id}")
+        assert plan.complete(worker, job.job_id)
+    raise AssertionError("plan did not drain")
+
+
+# ----------------------------------------------------------------------
+class TestTenantRegistry:
+    def test_sweep_identity_is_deterministic_and_grid_sensitive(self):
+        assert sweep_identity(TINY, GRID_A) == sweep_identity(TINY, GRID_A)
+        assert sweep_identity(TINY, GRID_A) != sweep_identity(TINY, GRID_B)
+        other = TINY.with_overrides(seed=7)
+        assert sweep_identity(TINY, GRID_A) != sweep_identity(other, GRID_A)
+
+    def test_resubmission_reattaches(self):
+        service = ExperimentService()
+        first = service.submit(TINY, GRID_A)
+        second = service.submit(TINY, GRID_A)
+        assert first is second
+        assert len(service.fleet()["sweeps"]) == 1
+
+    def test_tenants_share_one_store_and_dedupe_training(self):
+        service = ExperimentService()
+        a = service.submit(TINY, GRID_A)
+        drain(a.plan)
+        # B's training chain is already cached by A: only the
+        # dram-eval job for its own voltage remains.
+        b = service.submit(TINY, GRID_B)
+        assert [j.stage for j in b.plan.jobs.values()] == ["dram-eval"]
+
+    def test_describe_reports_counts_and_state(self):
+        service = ExperimentService()
+        managed = service.submit(TINY, GRID_A, name="alpha")
+        info = service.describe(managed.sweep_id)
+        assert info["name"] == "alpha"
+        assert info["state"] == "running"
+        assert info["pending"] == len(managed.plan.jobs)
+        drain(managed.plan)
+        assert service.describe(managed.sweep_id)["state"] == "done"
+
+    def test_unknown_sweep_raises_key_error(self):
+        service = ExperimentService()
+        with pytest.raises(KeyError):
+            service.describe("nope")
+
+    def test_cancel_frees_leases_and_stops_grants(self):
+        service = ExperimentService()
+        managed = service.submit(TINY, GRID_A)
+        job = managed.plan.lease("w1")
+        assert job is not None
+        reply = service.cancel(managed.sweep_id)
+        assert reply["state"] == "cancelled"
+        assert reply["leases_freed"] == 1
+        assert managed.plan.lease("w1") is None
+        # results on a cancelled sweep is a client error, not a crash
+        with pytest.raises(RuntimeError, match="cancelled"):
+            service.results(managed.sweep_id)
+
+    def test_results_before_done_is_an_error(self):
+        service = ExperimentService()
+        managed = service.submit(TINY, GRID_A)
+        with pytest.raises(RuntimeError, match="not complete"):
+            service.results(managed.sweep_id)
+
+
+# ----------------------------------------------------------------------
+class TestJournalIsolation:
+    def _service(self, tmp_path, store):
+        return ExperimentService(
+            store=store, journal_dir=tmp_path / "journals"
+        )
+
+    def test_per_tenant_journal_files(self, tmp_path):
+        service = self._service(tmp_path, ArtifactStore())
+        a = service.submit(TINY, GRID_A)
+        b = service.submit(TINY, GRID_B)
+        assert a.journal.path.name == f"sweep-{a.sweep_id}.jsonl"
+        assert b.journal.path.name == f"sweep-{b.sweep_id}.jsonl"
+        assert a.journal.path != b.journal.path
+
+    def test_kill_and_restart_replays_both_tenants(self, tmp_path):
+        store = ArtifactStore()
+        service = self._service(tmp_path, store)
+        a = service.submit(TINY, GRID_A)
+        b = service.submit(TINY, GRID_B)
+        # Interleave the two tenants mid-flight: A fully drains, B
+        # completes exactly one job and holds a live lease on another.
+        drain(a.plan, worker="w1")
+        job1 = b.plan.lease("w2")
+        store.put(job1.stage, job1.digest, "artifact-b1")
+        assert b.plan.complete("w2", job1.job_id)
+        leased = b.plan.lease("w2")
+        assert leased is not None
+        b_done_before = b.plan.counts()["done"]
+        # SIGKILL: the journal flushes per line, so dropping the
+        # service without close() leaves exactly what a killed process
+        # would have left on disk.
+        del service, a
+
+        restarted = self._service(tmp_path, store)
+        a2 = restarted.submit(TINY, GRID_A)
+        b2 = restarted.submit(TINY, GRID_B)
+        # A replays straight to done: zero jobs to re-execute.
+        assert a2.plan.done
+        assert a2.plan.replayed_done == len(a2.plan.jobs)
+        assert a2.plan.counts()["pending"] == 0
+        # B replays its completed work; only genuinely unfinished jobs
+        # (including the in-flight lease, which journaled no done)
+        # come back as pending.
+        assert b2.plan.replayed_done == b_done_before
+        assert b2.plan.counts()["leased"] == 0
+        assert b2.plan.counts()["done"] == b_done_before
+        assert (
+            b2.plan.counts()["pending"]
+            == len(b2.plan.jobs) - b_done_before
+        )
+        drain(b2.plan, worker="w3")
+
+    def test_no_cross_tenant_done_bleed(self, tmp_path):
+        """A's journaled done set never leaks into B's plan (and vice
+        versa): each journal replays only fingerprints of its own
+        chain."""
+        store = ArtifactStore()
+        service = self._service(tmp_path, store)
+        a = service.submit(TINY, GRID_A)
+        b = service.submit(TINY, GRID_B)
+        a_ids = set(a.plan.jobs)
+        b_ids = set(b.plan.jobs)
+        drain(a.plan, worker="w1")
+        drain(b.plan, worker="w2")
+        del service, a, b
+
+        restarted = self._service(tmp_path, store)
+        a2 = restarted.submit(TINY, GRID_A)
+        b2 = restarted.submit(TINY, GRID_B)
+        assert set(a2.plan.jobs) == a_ids
+        assert set(b2.plan.jobs) == b_ids
+        assert a2.plan.done and b2.plan.done
+        # The shared-chain overlap dedupes through the *store*, not
+        # through each other's journals: every replayed-done job id in
+        # a tenant's plan belongs to that tenant's own chain.
+        assert all(j in a_ids for j in a2.plan.jobs)
+        assert all(j in b_ids for j in b2.plan.jobs)
+
+    def test_journal_lag_reported_per_tenant(self, tmp_path):
+        service = self._service(tmp_path, ArtifactStore())
+        managed = service.submit(TINY, GRID_A, name="lagged")
+        drain(managed.plan)
+        info = service.describe(managed.sweep_id)
+        # plan header + every lease/done transition, no snapshot yet
+        assert info["journal"]["lag"] == info["journal"]["events"] > 0
+        managed.journal.compact()
+        assert service.describe(managed.sweep_id)["journal"]["lag"] == 0
+        fleet = service.fleet()
+        sweep_view = fleet["sweeps"][managed.sweep_id]
+        assert sweep_view["journal"]["lag"] == 0
+        assert sweep_view["name"] == "lagged"
+
+
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def serial_records():
+    store = ArtifactStore()
+    records_a = Runner(TINY, store=store).run(GRID_A)
+    records_b = Runner(TINY, store=ArtifactStore()).run(GRID_B)
+    return records_a, records_b
+
+
+@pytest.fixture(scope="module")
+def live_service(serial_records):
+    """One service, two overlapping sweeps, a real 2-worker fleet."""
+    service = ExperimentService(token=TOKEN, shutdown_when_idle=False)
+    service.start()
+    client = ServiceClient(service.http_address, token=TOKEN)
+    submitted_a = client.submit(TINY, GRID_A, name="alpha")
+    submitted_b = client.submit(TINY, GRID_B, name="beta")
+    workers = [
+        WorkerAgent(service.worker_address, name=f"svc-w{i}", token=TOKEN)
+        for i in range(2)
+    ]
+    threads = [
+        threading.Thread(target=w.run_forever, daemon=True) for w in workers
+    ]
+    for thread in threads:
+        thread.start()
+    client.wait(submitted_a["sweep_id"], timeout=300)
+    client.wait(submitted_b["sweep_id"], timeout=300)
+    yield service, client, submitted_a["sweep_id"], submitted_b["sweep_id"]
+    service.stop()
+
+
+class TestServiceEndToEnd:
+    def test_both_sweeps_value_identical_to_serial(
+        self, live_service, serial_records
+    ):
+        _, client, sweep_a, sweep_b = live_service
+        serial_a, serial_b = serial_records
+        records_a = [
+            RunRecord.from_dict(e)
+            for e in client.results(sweep_a)["records"]
+        ]
+        records_b = [
+            RunRecord.from_dict(e)
+            for e in client.results(sweep_b)["records"]
+        ]
+        assert records_equivalent(records_a, serial_a)
+        assert records_equivalent(records_b, serial_b)
+
+    def test_fleet_view_has_both_tenants_and_workers(self, live_service):
+        _, client, sweep_a, sweep_b = live_service
+        fleet = client.fleet()
+        assert fleet["sweeps"][sweep_a]["state"] == "done"
+        assert fleet["sweeps"][sweep_b]["state"] == "done"
+        assert fleet["sweeps"][sweep_a]["name"] == "alpha"
+        assert len(fleet["workers"]) == 2
+
+    def test_http_status_of_unknown_sweep_is_404(self, live_service):
+        _, client, *_ = live_service
+        with pytest.raises(ServiceError) as excinfo:
+            client.status("doesnotexist")
+        assert excinfo.value.status == 404
+
+    def test_results_of_running_sweep_is_409(self, live_service):
+        service, client, *_ = live_service
+        managed = service.submit(TINY, {"seed": [7]}, name="fresh")
+        try:
+            with pytest.raises(ServiceError) as excinfo:
+                client.results(managed.sweep_id)
+            assert excinfo.value.status == 409
+        finally:
+            service.cancel(managed.sweep_id)
+
+    def test_cancel_over_http_frees_leases(self, live_service):
+        service, client, *_ = live_service
+        managed = service.submit(TINY, {"seed": [11]}, name="doomed")
+        job = managed.plan.lease("interloper")
+        assert job is not None
+        reply = client.cancel(managed.sweep_id)
+        assert reply["state"] == "cancelled"
+        assert reply["leases_freed"] == 1
+        assert managed.plan.lease("interloper") is None
+
+    def test_line_status_includes_sweeps(self, live_service):
+        service, _, sweep_a, _ = live_service
+        reply = ClusterClient(service.worker_address, token=TOKEN).status()
+        assert sweep_a in reply["sweeps"]
+
+    def test_worker_exits_loudly_on_bad_token(self, live_service):
+        service, *_ = live_service
+        agent = WorkerAgent(
+            service.worker_address, name="intruder", token="wrong-token"
+        )
+        stats = agent.run_forever()
+        assert stats.jobs_done == 0
+        assert any("authentication" in e for e in stats.errors)
+
+
+class TestAuthRejection:
+    def test_line_plane_rejects_missing_and_bad_token(self, live_service):
+        service, *_ = live_service
+        with pytest.raises(AuthError):
+            ClusterClient(service.worker_address).request(
+                {"op": "hello", "worker": "anon"}
+            )
+        with pytest.raises(AuthError):
+            ClusterClient(service.worker_address, token="bad").request(
+                {"op": "lease", "worker": "anon"}
+            )
+
+    def test_http_plane_rejects_unauthenticated_submit(self, live_service):
+        service, *_ = live_service
+        naked = ServiceClient(service.http_address)
+        with pytest.raises(ServiceAuthError):
+            naked.submit(TINY, GRID_B)
+        with pytest.raises(ServiceAuthError):
+            ServiceClient(service.http_address, token="bad").fleet()
+
+    def test_tokenless_service_accepts_anonymous(self):
+        service = ExperimentService()  # no token: auth disabled
+        service.start()
+        try:
+            reply = ServiceClient(service.http_address).fleet()
+            assert reply["sweeps"] == {}
+        finally:
+            service.stop()

@@ -76,8 +76,9 @@ class TestProtocolConsistency:
         report = run_lint(
             FIXTURES / "wire_tree", checkers=[ProtocolConsistencyChecker()]
         )
-        errors = [f for f in report.findings if f.severity == "error"]
-        warnings = [f for f in report.findings if f.severity == "warning"]
+        op_findings = [f for f in report.findings if "op '" in f.message]
+        errors = [f for f in op_findings if f.severity == "error"]
+        warnings = [f for f in op_findings if f.severity == "warning"]
         assert len(errors) == 1
         assert "'leese'" in errors[0].message
         assert errors[0].path == "cluster/client.py"
@@ -111,6 +112,42 @@ class TestProtocolConsistency:
             FIXTURES / "rng_tree", checkers=[ProtocolConsistencyChecker()]
         )
         assert report.findings == []
+
+    def test_http_emitted_without_route_is_error(self):
+        report = run_lint(
+            FIXTURES / "wire_tree", checkers=[ProtocolConsistencyChecker()]
+        )
+        pause = [f for f in report.findings if "/sweeps/{}/pause" in f.message]
+        assert [f.severity for f in pause] == ["error"]
+        assert pause[0].path == "cluster/http_api.py"
+        assert "404" in pause[0].message
+
+    def test_http_route_without_emitter_is_warning(self):
+        report = run_lint(
+            FIXTURES / "wire_tree", checkers=[ProtocolConsistencyChecker()]
+        )
+        cancel = [f for f in report.findings if "/sweeps/{}/cancel" in f.message]
+        assert [f.severity for f in cancel] == ["warning"]
+        assert "no in-tree client" in cancel[0].message
+
+    def test_http_route_with_missing_handler_is_error(self):
+        report = run_lint(
+            FIXTURES / "wire_tree", checkers=[ProtocolConsistencyChecker()]
+        )
+        ghost = [f for f in report.findings if "'ghost'" in f.message]
+        assert [f.severity for f in ghost] == ["error"]
+        assert "_route_ghost" in ghost[0].message
+
+    def test_http_matched_routes_not_flagged(self):
+        # /fleet (constant path) and /sweeps/{sweep_id} (f-string
+        # emission vs. {param} template) are emitted, routed and
+        # handled: clean in both directions.
+        report = run_lint(
+            FIXTURES / "wire_tree", checkers=[ProtocolConsistencyChecker()]
+        )
+        assert not any("'/fleet'" in f.message for f in report.findings)
+        status_key = "'/sweeps/{}'"
+        assert not any(status_key in f.message for f in report.findings)
 
 
 class TestWorkspaceDiscipline:
